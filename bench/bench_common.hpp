@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/bcc.hpp"
+#include "graph/generators.hpp"
+#include "util/types.hpp"
+
+/// \file bench_common.hpp
+/// Shared plumbing for the experiment drivers: scale selection and the
+/// paper's workload parameters.
+///
+/// The paper's instances are random graphs with n = 1M vertices and
+/// m in {4n, 10n, 20n = n log n} edges on a 12-processor Sun E4500.
+/// Full scale takes minutes per algorithm on one core, so the benches
+/// default to n = 250k (same density sweep, same shapes) and honour
+///   PARBCC_N        vertex count    (set 1000000 for paper scale)
+///   PARBCC_THREADS  largest SPMD width in the sweeps (default 12)
+///   PARBCC_SEED     workload seed
+
+namespace parbcc::bench {
+
+inline vid env_n(vid fallback = 250000) {
+  if (const char* s = std::getenv("PARBCC_N")) {
+    return static_cast<vid>(std::atoll(s));
+  }
+  return fallback;
+}
+
+inline int env_threads(int fallback = 12) {
+  if (const char* s = std::getenv("PARBCC_THREADS")) return std::atoi(s);
+  return fallback;
+}
+
+inline std::uint64_t env_seed(std::uint64_t fallback = 20050404) {
+  if (const char* s = std::getenv("PARBCC_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(s));
+  }
+  return fallback;
+}
+
+/// The paper's density sweep: multipliers of n, with 20n standing in
+/// for n log n at n = 1M.
+inline std::vector<eid> density_multipliers() { return {4, 10, 20}; }
+
+/// Thread counts matching Fig. 3's x axis (1..12 processors).
+inline std::vector<int> thread_sweep(int max_threads) {
+  std::vector<int> out;
+  for (const int p : {1, 2, 4, 8, 12}) {
+    if (p <= max_threads) out.push_back(p);
+  }
+  if (out.empty() || out.back() != max_threads) out.push_back(max_threads);
+  return out;
+}
+
+inline void print_header(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace parbcc::bench

@@ -1,0 +1,69 @@
+// Extension study: robustness across graph families.  The paper
+// evaluates on uniform random graphs only; this bench runs the same
+// three implementations on structurally extreme families (meshes,
+// scale-free R-MAT, cactus block-chains, near-complete graphs) to show
+// the relative ordering persists — and where it does not (the
+// low-diameter advantage of TV-filter vanishes when there is nothing
+// to filter, as in trees/cacti).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace parbcc;
+using namespace parbcc::bench;
+
+namespace {
+
+double run(const EdgeList& g, BccAlgorithm algorithm, int p, vid* blocks) {
+  BccOptions opt;
+  opt.algorithm = algorithm;
+  opt.threads = p;
+  opt.compute_cut_info = false;
+  double best = 1e30;
+  for (int rep = 0; rep < 2; ++rep) {
+    const BccResult r = biconnected_components(g, opt);
+    best = std::min(best, r.times.total);
+    *blocks = r.num_components;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const int p = env_threads();
+  const std::uint64_t seed = env_seed();
+
+  print_header("Graph-family robustness study (extension)");
+  std::printf("p = %d\n\n", p);
+
+  struct Family {
+    const char* name;
+    EdgeList g;
+  };
+  const Family families[] = {
+      {"random 100k x 8", gen::random_connected_gnm(100000, 800000, seed)},
+      {"torus 316^2", gen::grid_torus(316, 316)},
+      {"rmat scale 17", gen::rmat(17, 8, seed)},
+      {"cactus 20k blocks", gen::random_cactus(20000, 8, seed)},
+      {"cliquechain 5k x 6", gen::clique_chain(5000, 6)},
+      {"dense 1500 @ 70%", gen::dense_retain(1500, 700, seed)},
+  };
+
+  std::printf("%-20s %10s %10s %8s %12s %12s %12s\n", "family", "n", "m",
+              "blocks", "TV-SMP(s)", "TV-opt(s)", "TV-filter(s)");
+  for (const Family& f : families) {
+    vid blocks = 0;
+    const double t_smp = run(f.g, BccAlgorithm::kTvSmp, p, &blocks);
+    const double t_opt = run(f.g, BccAlgorithm::kTvOpt, p, &blocks);
+    const double t_filter = run(f.g, BccAlgorithm::kTvFilter, p, &blocks);
+    std::printf("%-20s %10u %10u %8u %12.3f %12.3f %12.3f\n", f.name, f.g.n,
+                f.g.m(), blocks, t_smp, t_opt, t_filter);
+  }
+  std::printf(
+      "\nshape check: TV-filter wins where nontree edges abound (dense,\n"
+      "rmat, random) and loses its edge on near-trees (cactus, clique\n"
+      "chains) where filtering removes little.\n");
+  return 0;
+}

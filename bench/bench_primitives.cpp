@@ -1,0 +1,275 @@
+// Experiment P1 - throughput of the parallel primitives the paper's
+// introduction builds on: prefix sum, list ranking, sorting, connected
+// components and spanning tree.  Google-benchmark microbenches; the
+// argument is the SPMD width p (oversubscribed on a single-core host).
+//
+//   ./bench_primitives --benchmark_filter=ListRank
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <random>
+
+#include "connectivity/hcs.hpp"
+#include "connectivity/shiloach_vishkin.hpp"
+#include "eulertour/tree_contraction.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "listrank/list_ranking.hpp"
+#include "scan/scan.hpp"
+#include "sort/radix_sort.hpp"
+#include "sort/sample_sort.hpp"
+#include "spanning/bfs_tree.hpp"
+#include "spanning/sv_tree.hpp"
+#include "spanning/traversal_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace parbcc;
+
+constexpr std::size_t kArray = 1 << 22;  // 4M elements
+constexpr vid kGraphN = 200000;
+constexpr eid kGraphM = 8 * kGraphN;
+
+const std::vector<std::uint64_t>& keys_fixture() {
+  static const auto data = [] {
+    std::vector<std::uint64_t> v(kArray);
+    Xoshiro256 rng(1);
+    for (auto& x : v) x = rng();
+    return v;
+  }();
+  return data;
+}
+
+const EdgeList& graph_fixture() {
+  static const EdgeList g = gen::random_connected_gnm(kGraphN, kGraphM, 3);
+  return g;
+}
+
+struct ListFixture {
+  std::vector<vid> succ;
+  vid head;
+};
+const ListFixture& list_fixture() {
+  static const ListFixture f = [] {
+    std::vector<vid> perm(kArray);
+    std::iota(perm.begin(), perm.end(), 0);
+    Xoshiro256 rng(2);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    ListFixture out;
+    out.succ.assign(kArray, kNoVertex);
+    for (std::size_t i = 0; i + 1 < kArray; ++i) {
+      out.succ[perm[i]] = perm[i + 1];
+    }
+    out.head = perm[0];
+    return out;
+  }();
+  return f;
+}
+
+void BM_PrefixSum(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const auto& in = keys_fixture();
+  std::vector<std::uint64_t> out(in.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exclusive_scan(ex, in.data(), out.data(), in.size(),
+                       std::uint64_t{0}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_PrefixSum)->Arg(1)->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_ListRankSequential(benchmark::State& state) {
+  const auto& f = list_fixture();
+  std::vector<vid> rank(f.succ.size());
+  for (auto _ : state) {
+    list_rank_sequential(f.succ.data(), rank.data(), f.succ.size(), f.head);
+    benchmark::DoNotOptimize(rank.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.succ.size()));
+}
+BENCHMARK(BM_ListRankSequential)->Unit(benchmark::kMillisecond);
+
+void BM_ListRankWyllie(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const auto& f = list_fixture();
+  std::vector<vid> rank(f.succ.size());
+  for (auto _ : state) {
+    list_rank_wyllie(ex, f.succ.data(), rank.data(), f.succ.size(), f.head);
+    benchmark::DoNotOptimize(rank.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.succ.size()));
+}
+BENCHMARK(BM_ListRankWyllie)->Arg(4)->Iterations(2)->Unit(benchmark::kMillisecond);
+
+void BM_ListRankHelmanJaja(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const auto& f = list_fixture();
+  std::vector<vid> rank(f.succ.size());
+  for (auto _ : state) {
+    list_rank_hj(ex, f.succ.data(), rank.data(), f.succ.size(), f.head);
+    benchmark::DoNotOptimize(rank.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.succ.size()));
+}
+BENCHMARK(BM_ListRankHelmanJaja)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ListRankIndependentSet(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const auto& f = list_fixture();
+  std::vector<vid> rank(f.succ.size());
+  for (auto _ : state) {
+    list_rank_independent_set(ex, f.succ.data(), rank.data(), f.succ.size(),
+                              f.head);
+    benchmark::DoNotOptimize(rank.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.succ.size()));
+}
+BENCHMARK(BM_ListRankIndependentSet)
+    ->Arg(4)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SampleSort(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = keys_fixture();
+    state.ResumeTiming();
+    sample_sort(ex, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kArray));
+}
+BENCHMARK(BM_SampleSort)->Arg(1)->Arg(4)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_RadixSort(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = keys_fixture();
+    state.ResumeTiming();
+    radix_sort_u64(ex, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kArray));
+}
+BENCHMARK(BM_RadixSort)->Arg(1)->Arg(4)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectedComponentsSV(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const EdgeList& g = graph_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_components_sv(ex, g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.m()));
+}
+BENCHMARK(BM_ConnectedComponentsSV)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpanningTreeSV(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const EdgeList& g = graph_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv_spanning_forest(ex, g.n, g.edges));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.m()));
+}
+BENCHMARK(BM_SpanningTreeSV)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SpanningTreeTraversal(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const EdgeList& g = graph_fixture();
+  static const Csr csr = Csr::build(ex, g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traversal_spanning_tree(ex, csr, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.m()));
+}
+BENCHMARK(BM_SpanningTreeTraversal)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BfsTree(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const EdgeList& g = graph_fixture();
+  static const Csr csr = Csr::build(ex, g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_tree(ex, csr, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.m()));
+}
+BENCHMARK(BM_BfsTree)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectedComponentsHCS(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const EdgeList& g = graph_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_components_hcs(ex, g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.m()));
+}
+BENCHMARK(BM_ConnectedComponentsHCS)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeContraction(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  static const ExpressionTree tree = random_expression_tree(1 << 20, 5);
+  const std::uint64_t expect = evaluate_sequential(tree);
+  for (auto _ : state) {
+    const std::uint64_t got = evaluate_tree_contraction(ex, tree);
+    if (got != expect) state.SkipWithError("wrong value");
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tree.size()));
+}
+BENCHMARK(BM_TreeContraction)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_TreeEvalSequential(benchmark::State& state) {
+  static const ExpressionTree tree = random_expression_tree(1 << 20, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_sequential(tree));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tree.size()));
+}
+BENCHMARK(BM_TreeEvalSequential)->Unit(benchmark::kMillisecond);
+
+void BM_CsrBuild(benchmark::State& state) {
+  Executor ex(static_cast<int>(state.range(0)));
+  const EdgeList& g = graph_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Csr::build(ex, g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.m()));
+}
+BENCHMARK(BM_CsrBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace

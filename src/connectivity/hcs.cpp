@@ -1,0 +1,99 @@
+#include "connectivity/hcs.hpp"
+
+#include <atomic>
+
+#include "util/padded.hpp"
+
+namespace parbcc {
+namespace {
+
+void atomic_min(std::atomic<vid>& slot, vid v) {
+  vid cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::vector<vid> connected_components_hcs(Executor& ex, vid n,
+                                          std::span<const Edge> edges) {
+  std::vector<std::atomic<vid>> label(n);
+  std::vector<std::atomic<vid>> best(n);  // per-root minimum seen this round
+  ex.parallel_for(n, [&](std::size_t v) {
+    label[v].store(static_cast<vid>(v), std::memory_order_relaxed);
+  });
+
+  const std::size_t m = edges.size();
+  const int p = ex.threads();
+  std::vector<Padded<bool>> thread_changed(static_cast<std::size_t>(p));
+
+  for (;;) {
+    ex.parallel_for(n, [&](std::size_t v) {
+      best[v].store(label[v].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    });
+
+    // Gather: every edge offers each endpoint's label to the other
+    // endpoint's current root.
+    ex.parallel_for(m, [&](std::size_t i) {
+      const vid du = label[edges[i].u].load(std::memory_order_relaxed);
+      const vid dv = label[edges[i].v].load(std::memory_order_relaxed);
+      if (du == dv) return;
+      if (dv < du) {
+        atomic_min(best[du], dv);
+      } else {
+        atomic_min(best[dv], du);
+      }
+    });
+
+    // Graft: roots adopt the minimum offered label.  Only genuine
+    // roots move, and only downward, so the pointer digraph remains
+    // acyclic.
+    for (auto& c : thread_changed) c.value = false;
+    ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+      bool changed = false;
+      for (std::size_t v = begin; v < end; ++v) {
+        const vid b = best[v].load(std::memory_order_relaxed);
+        if (b < label[v].load(std::memory_order_relaxed) &&
+            label[v].load(std::memory_order_relaxed) == static_cast<vid>(v)) {
+          label[v].store(b, std::memory_order_relaxed);
+          changed = true;
+        }
+      }
+      if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
+    });
+
+    // Shortcut to fixpoint (full pointer jumping, HCS style).
+    for (;;) {
+      bool any_jump = false;
+      std::vector<Padded<bool>> jumped(static_cast<std::size_t>(p));
+      ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+        bool changed = false;
+        for (std::size_t v = begin; v < end; ++v) {
+          const vid l = label[v].load(std::memory_order_relaxed);
+          const vid ll = label[l].load(std::memory_order_relaxed);
+          if (ll != l) {
+            label[v].store(ll, std::memory_order_relaxed);
+            changed = true;
+          }
+        }
+        if (changed) jumped[static_cast<std::size_t>(tid)].value = true;
+      });
+      for (const auto& j : jumped) any_jump = any_jump || j.value;
+      if (!any_jump) break;
+    }
+
+    bool any = false;
+    for (const auto& c : thread_changed) any = any || c.value;
+    if (!any) break;
+  }
+
+  std::vector<vid> out(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    out[v] = label[v].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+/// \file hcs.hpp
+/// Connected components in the style of Hirschberg, Chandra and
+/// Sarwate (CACM 1979) — the second classic graft-and-shortcut
+/// algorithm the paper cites ([10]) alongside Shiloach-Vishkin as a
+/// source of rooted spanning trees.
+///
+/// Differences from the SV implementation in shiloach_vishkin.hpp:
+/// HCS grafts every root onto the *minimum* label seen across all its
+/// tree's edges (gathered with atomic min into a per-root slot), then
+/// shortcuts to a full fixpoint each round, giving O(log n) rounds
+/// deterministically at the cost of heavier rounds.  Both produce the
+/// same labels (component minima), so they are interchangeable and
+/// directly comparable in the primitive benchmarks.
+
+namespace parbcc {
+
+/// Component labels: label[v] == minimum vertex id of v's component.
+std::vector<vid> connected_components_hcs(Executor& ex, vid n,
+                                          std::span<const Edge> edges);
+
+inline std::vector<vid> connected_components_hcs(Executor& ex,
+                                                 const EdgeList& g) {
+  return connected_components_hcs(ex, g.n, g.edges);
+}
+
+}  // namespace parbcc

@@ -1,0 +1,108 @@
+#include "connectivity/shiloach_vishkin.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "connectivity/union_find.hpp"
+#include "util/padded.hpp"
+
+namespace parbcc {
+
+std::vector<vid> connected_components_sv(Executor& ex, vid n,
+                                         std::span<const Edge> edges) {
+  std::vector<std::atomic<vid>> label(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    label[v].store(static_cast<vid>(v), std::memory_order_relaxed);
+  });
+
+  const std::size_t m = edges.size();
+  const int p = ex.threads();
+  std::vector<Padded<bool>> thread_changed(static_cast<std::size_t>(p));
+
+  for (;;) {
+    for (auto& c : thread_changed) c.value = false;
+
+    // Graft: hook current roots onto strictly smaller neighbour labels.
+    // The CAS guarantees each root is hooked at most once, and the
+    // strict decrease makes the label digraph acyclic.
+    ex.parallel_blocks(m, [&](int tid, std::size_t begin, std::size_t end) {
+      bool changed = false;
+      for (std::size_t i = begin; i < end; ++i) {
+        const vid u = edges[i].u;
+        const vid v = edges[i].v;
+        vid du = label[u].load(std::memory_order_relaxed);
+        vid dv = label[v].load(std::memory_order_relaxed);
+        if (du == dv) continue;
+        if (du < dv) std::swap(du, dv);
+        // Hook root du onto the smaller label dv.
+        vid expected = du;
+        if (label[du].compare_exchange_strong(expected, dv,
+                                              std::memory_order_relaxed)) {
+          changed = true;
+        }
+      }
+      if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
+    });
+
+    // Shortcut: one pointer jump for every vertex.
+    ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+      bool changed = false;
+      for (std::size_t v = begin; v < end; ++v) {
+        const vid l = label[v].load(std::memory_order_relaxed);
+        const vid ll = label[l].load(std::memory_order_relaxed);
+        if (ll != l) {
+          label[v].store(ll, std::memory_order_relaxed);
+          changed = true;
+        }
+      }
+      if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
+    });
+
+    bool any = false;
+    for (const auto& c : thread_changed) any = any || c.value;
+    if (!any) break;
+  }
+
+  std::vector<vid> out(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    out[v] = label[v].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+std::vector<vid> connected_components_seq(vid n, std::span<const Edge> edges) {
+  UnionFind uf(n);
+  for (const Edge& e : edges) uf.unite(e.u, e.v);
+  // Convert to the same contract as the parallel version: the label is
+  // the minimum vertex id of the component.
+  std::vector<vid> min_of_root(n, kNoVertex);
+  for (vid v = 0; v < n; ++v) {
+    const vid r = uf.find(v);
+    if (min_of_root[r] == kNoVertex) min_of_root[r] = v;  // v ascending
+  }
+  std::vector<vid> out(n);
+  for (vid v = 0; v < n; ++v) out[v] = min_of_root[uf.find(v)];
+  return out;
+}
+
+vid count_components(std::span<const vid> labels) {
+  vid count = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+vid normalize_labels(std::vector<vid>& labels) {
+  vid domain = 0;
+  for (const vid l : labels) domain = std::max(domain, l + 1);
+  std::vector<vid> remap(domain, kNoVertex);
+  vid next = 0;
+  for (auto& l : labels) {
+    if (remap[l] == kNoVertex) remap[l] = next++;
+    l = remap[l];
+  }
+  return next;
+}
+
+}  // namespace parbcc

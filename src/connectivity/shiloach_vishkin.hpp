@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+/// \file shiloach_vishkin.hpp
+/// Parallel connected components by graft-and-shortcut, the SMP
+/// adaptation of Shiloach-Vishkin the paper uses twice: as TV step 6
+/// (components of the auxiliary graph) and — extended with hook-edge
+/// recording in spanning/sv_tree.hpp — as TV step 1.
+///
+/// Each pass grafts current roots onto strictly smaller neighbouring
+/// labels (CAS-arbitrated, so a root moves exactly once) and then
+/// pointer-jumps every label one step.  Labels decrease monotonically
+/// and path lengths halve per pass, giving O(log n) passes in practice.
+
+namespace parbcc {
+
+/// Component labels for vertices [0, n): label[v] is the smallest-id
+/// convergence root of v's component, with label[root] == root.
+std::vector<vid> connected_components_sv(Executor& ex, vid n,
+                                         std::span<const Edge> edges);
+
+inline std::vector<vid> connected_components_sv(Executor& ex,
+                                                const EdgeList& g) {
+  return connected_components_sv(ex, g.n, g.edges);
+}
+
+/// Sequential union-find components with the same root-label contract.
+std::vector<vid> connected_components_seq(vid n, std::span<const Edge> edges);
+
+/// Number of distinct components in a root-labeled array
+/// (label[v] == v exactly for roots).
+vid count_components(std::span<const vid> labels);
+
+/// Remap arbitrary labels to contiguous [0, k); returns k.
+/// Order: by first appearance of each label, so results are
+/// deterministic given a deterministic labeling.
+vid normalize_labels(std::vector<vid>& labels);
+
+}  // namespace parbcc

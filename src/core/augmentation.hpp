@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "core/bcc_result.hpp"
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file augmentation.hpp
+/// Biconnectivity augmentation: propose edges whose addition makes the
+/// graph biconnected — the "smallest augmentation" problem the paper
+/// cites ([11], Hsu & Ramachandran) as an application of biconnected
+/// components.
+///
+/// This is the classic block-cut-tree heuristic: take one attachment
+/// vertex from every leaf block (plus every isolated vertex) and join
+/// the attachments in a ring.  The ring gives every pendant part of the
+/// block-cut forest a second disjoint route, so the result is
+/// biconnected; it uses at most twice the optimal ceil(L/2) edges,
+/// trading optimality for a construction that is easy to audit.
+
+namespace parbcc {
+
+/// Edges to add to make `g` biconnected (empty if it already is).
+/// Requires n >= 3 and `result` computed with cut info.
+std::vector<Edge> biconnectivity_augmentation(Executor& ex, const EdgeList& g,
+                                              const BccResult& result);
+
+}  // namespace parbcc

@@ -1,0 +1,72 @@
+#include "core/aux_graph.hpp"
+
+#include "scan/compact.hpp"
+#include "scan/scan.hpp"
+
+namespace parbcc {
+
+AuxGraph build_aux_graph(Executor& ex, std::span<const Edge> edges,
+                         const RootedSpanningTree& tree,
+                         std::span<const vid> tree_owner, const LowHigh& lh) {
+  const std::size_t m = edges.size();
+  const vid n = tree.n();
+  AuxGraph out;
+
+  // --- Map edges to aux vertices (prefix sum over nontree flags). ----
+  out.aux_id.resize(m);
+  {
+    std::vector<vid> nontree_rank(m);
+    ex.parallel_for(m, [&](std::size_t e) {
+      nontree_rank[e] = tree_owner[e] == kNoVertex ? 1 : 0;
+    });
+    const vid num_nontree =
+        exclusive_scan(ex, nontree_rank.data(), nontree_rank.data(), m, vid{0});
+    out.num_vertices = n + num_nontree;
+    ex.parallel_for(m, [&](std::size_t e) {
+      out.aux_id[e] =
+          tree_owner[e] == kNoVertex ? n + nontree_rank[e] : tree_owner[e];
+    });
+  }
+
+  // --- Stage candidate pairs: slot e, m+e, 2m+e per condition. -------
+  const Edge kEmpty{kNoVertex, kNoVertex};
+  std::vector<Edge> staged(3 * m, kEmpty);
+  ex.parallel_for(m, [&](std::size_t e) {
+    const vid u = edges[e].u;
+    const vid v = edges[e].v;
+    const vid owner = tree_owner[e];
+    if (owner == kNoVertex) {
+      // Condition 1: nontree (u,v) with pre(v) < pre(u) pairs with the
+      // tree edge below u (i.e. aux vertex u).
+      const vid hi_end = tree.pre[u] > tree.pre[v] ? u : v;
+      staged[e] = {out.aux_id[e], hi_end};
+      // Condition 2: endpoints unrelated pairs (u,p(u)) with (v,p(v)).
+      if (!tree.is_ancestor(u, v) && !tree.is_ancestor(v, u)) {
+        staged[m + e] = {u, v};
+      }
+    } else {
+      // Condition 3: tree edge below `owner`; its parent's tree edge is
+      // in the same component iff some nontree edge escapes the
+      // parent's subtree from owner's subtree.
+      const vid parent = tree.parent[owner];
+      if (parent != tree.root) {
+        if (lh.low[owner] < tree.pre[parent] ||
+            lh.high[owner] >= tree.pre[parent] + tree.sub[parent]) {
+          staged[2 * m + e] = {owner, parent};
+        }
+      }
+    }
+  });
+
+  // --- Compact into E'. -----------------------------------------------
+  out.edges.resize(3 * m);
+  const std::size_t count = pack_into(
+      ex, staged.size(),
+      [&](std::size_t i) { return staged[i].u != kNoVertex; },
+      [&](std::size_t dst, std::size_t i) { out.edges[dst] = staged[i]; });
+  out.edges.resize(count);
+  out.edges.shrink_to_fit();
+  return out;
+}
+
+}  // namespace parbcc

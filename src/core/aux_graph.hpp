@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/lowhigh.hpp"
+#include "eulertour/tree_computations.hpp"
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file aux_graph.hpp
+/// TV step 5 (Label-edge): build the auxiliary graph G' = (V', E')
+/// whose vertices are the edges of G and whose connected components are
+/// the biconnected components — the paper's Alg. 1.
+///
+/// Vertex mapping (paper §2): tree edge (u, p(u)) |-> u; the j-th
+/// nontree edge |-> n + j, with j assigned by a prefix sum.  Candidate
+/// pairs are staged into a 3m-slot array — one m-slot region per R''c
+/// condition — and compacted with a prefix sum, so the construction is
+/// write-conflict free (EREW), matching Theorem 1.
+
+namespace parbcc {
+
+struct AuxGraph {
+  /// n + (number of nontree edges); ids below n are tree-edge images.
+  vid num_vertices = 0;
+  /// Compacted E' (endpoints are aux vertex ids).
+  std::vector<Edge> edges;
+  /// Image of each original edge in V'.
+  std::vector<vid> aux_id;
+};
+
+/// `tree_owner[e]` = child endpoint if e is a tree edge else kNoVertex;
+/// `lh` from compute_low_high_*.
+AuxGraph build_aux_graph(Executor& ex, std::span<const Edge> edges,
+                         const RootedSpanningTree& tree,
+                         std::span<const vid> tree_owner, const LowHigh& lh);
+
+}  // namespace parbcc

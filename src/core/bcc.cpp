@@ -1,0 +1,198 @@
+#include "core/bcc.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "connectivity/shiloach_vishkin.hpp"
+#include "core/articulation.hpp"
+#include "core/drivers.hpp"
+#include "core/hopcroft_tarjan.hpp"
+#include "graph/csr.hpp"
+#include "util/timer.hpp"
+
+namespace parbcc {
+namespace {
+
+void accumulate(StepTimes& into, const StepTimes& part) {
+  into.conversion += part.conversion;
+  into.spanning_tree += part.spanning_tree;
+  into.euler_tour += part.euler_tour;
+  into.root_tree += part.root_tree;
+  into.low_high += part.low_high;
+  into.label_edge += part.label_edge;
+  into.connected_components += part.connected_components;
+  into.filtering += part.filtering;
+}
+
+BccAlgorithm resolve(BccAlgorithm algorithm, vid n, eid m) {
+  if (algorithm != BccAlgorithm::kAuto) return algorithm;
+  // Paper §4: "if m <= 4n, we can always fall back to TV-opt".
+  return m > 4ull * n ? BccAlgorithm::kTvFilter : BccAlgorithm::kTvOpt;
+}
+
+BccResult run_connected(Executor& ex, const EdgeList& g,
+                        const BccOptions& opt, BccAlgorithm algorithm) {
+  switch (algorithm) {
+    case BccAlgorithm::kTvSmp:
+      return tv_smp_bcc(ex, g, opt);
+    case BccAlgorithm::kTvOpt:
+      return tv_opt_bcc(ex, g, opt);
+    case BccAlgorithm::kTvFilter:
+      return tv_filter_bcc(ex, g, opt);
+    case BccAlgorithm::kSequential:
+    case BccAlgorithm::kAuto:
+      break;
+  }
+  throw std::logic_error("run_connected: unexpected algorithm");
+}
+
+/// Parallel path for general (possibly disconnected) inputs: decompose
+/// into connected components, relabel each as a compact subproblem, and
+/// solve them one after another (each solve is internally parallel).
+BccResult run_general(Executor& ex, const EdgeList& g, const BccOptions& opt,
+                      BccAlgorithm algorithm) {
+  const vid n = g.n;
+  const eid m = g.m();
+
+  std::vector<vid> comp = connected_components_sv(ex, g);
+  const vid k = normalize_labels(comp);
+
+  if (k <= 1) {
+    BccOptions connected_opt = opt;
+    if (connected_opt.root >= n) connected_opt.root = 0;
+    return run_connected(ex, g, connected_opt, algorithm);
+  }
+
+  // Bucket vertices and edges by component (counting sort).
+  std::vector<vid> vertex_offset(k + 1, 0);
+  std::vector<vid> new_id(n);
+  for (vid v = 0; v < n; ++v) ++vertex_offset[comp[v] + 1];
+  for (vid c = 0; c < k; ++c) vertex_offset[c + 1] += vertex_offset[c];
+  {
+    std::vector<vid> cursor(vertex_offset.begin(), vertex_offset.end() - 1);
+    for (vid v = 0; v < n; ++v) {
+      new_id[v] = cursor[comp[v]]++ - vertex_offset[comp[v]];
+    }
+  }
+  std::vector<eid> edge_offset(k + 1, 0);
+  std::vector<eid> edge_bucket(m);
+  for (eid e = 0; e < m; ++e) ++edge_offset[comp[g.edges[e].u] + 1];
+  for (vid c = 0; c < k; ++c) edge_offset[c + 1] += edge_offset[c];
+  {
+    std::vector<eid> cursor(edge_offset.begin(), edge_offset.end() - 1);
+    for (eid e = 0; e < m; ++e) edge_bucket[cursor[comp[g.edges[e].u]]++] = e;
+  }
+
+  BccResult result;
+  result.edge_component.assign(m, kNoVertex);
+  vid label_base = 0;
+
+  for (vid c = 0; c < k; ++c) {
+    const eid e_begin = edge_offset[c];
+    const eid e_end = edge_offset[c + 1];
+    if (e_begin == e_end) continue;  // isolated vertex: nothing to label
+    EdgeList sub;
+    sub.n = vertex_offset[c + 1] - vertex_offset[c];
+    sub.edges.reserve(e_end - e_begin);
+    for (eid j = e_begin; j < e_end; ++j) {
+      const Edge& e = g.edges[edge_bucket[j]];
+      sub.edges.push_back({new_id[e.u], new_id[e.v]});
+    }
+    BccOptions sub_opt = opt;
+    sub_opt.root = 0;
+    sub_opt.compute_cut_info = false;
+    BccResult sub_result = run_connected(ex, sub, sub_opt, algorithm);
+    for (eid j = e_begin; j < e_end; ++j) {
+      result.edge_component[edge_bucket[j]] =
+          label_base + sub_result.edge_component[j - e_begin];
+    }
+    label_base += sub_result.num_components;
+    accumulate(result.times, sub_result.times);
+  }
+  result.num_components = label_base;
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(BccAlgorithm algorithm) {
+  switch (algorithm) {
+    case BccAlgorithm::kSequential:
+      return "sequential";
+    case BccAlgorithm::kTvSmp:
+      return "TV-SMP";
+    case BccAlgorithm::kTvOpt:
+      return "TV-opt";
+    case BccAlgorithm::kTvFilter:
+      return "TV-filter";
+    case BccAlgorithm::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+BccResult biconnected_components(Executor& ex, const EdgeList& g,
+                                 const BccOptions& options) {
+  for (const Edge& e : g.edges) {
+    if (e.u >= g.n || e.v >= g.n) {
+      throw std::invalid_argument(
+          "biconnected_components: edge endpoint out of range");
+    }
+  }
+  if (options.root >= g.n && g.n > 0) {
+    throw std::invalid_argument("biconnected_components: root out of range");
+  }
+
+  Timer total;
+  BccResult result;
+  if (g.n == 0) return result;
+
+  // Self-loops never participate in biconnectivity: split them off as
+  // their own components and solve the stripped graph.
+  std::vector<eid> kept;
+  const bool has_loops = [&] {
+    for (const Edge& e : g.edges) {
+      if (e.u == e.v) return true;
+    }
+    return false;
+  }();
+  const EdgeList stripped =
+      has_loops ? remove_self_loops(g, &kept) : EdgeList{};
+  const EdgeList& work = has_loops ? stripped : g;
+
+  const BccAlgorithm algorithm =
+      resolve(options.algorithm, work.n, work.m());
+  if (algorithm == BccAlgorithm::kSequential) {
+    const Csr csr = Csr::build(ex, work);
+    result = hopcroft_tarjan_bcc(work, csr, /*compute_cut_info=*/false);
+  } else {
+    result = run_general(ex, work, options, algorithm);
+  }
+
+  if (has_loops) {
+    std::vector<vid> full(g.m());
+    for (eid j = 0; j < kept.size(); ++j) {
+      full[kept[j]] = result.edge_component[j];
+    }
+    vid next = result.num_components;
+    for (eid e = 0; e < g.m(); ++e) {
+      if (g.edges[e].u == g.edges[e].v) full[e] = next++;
+    }
+    result.edge_component = std::move(full);
+    result.num_components = next;
+  }
+
+  if (options.compute_cut_info) {
+    annotate_cut_info(ex, g, result);
+  }
+  result.times.total = total.seconds();
+  return result;
+}
+
+BccResult biconnected_components(const EdgeList& g,
+                                 const BccOptions& options) {
+  Executor ex(options.threads < 1 ? 1 : options.threads);
+  return biconnected_components(ex, g, options);
+}
+
+}  // namespace parbcc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/bcc_result.hpp"
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file bcc.hpp
+/// Public entry point of parbcc: biconnected components of an
+/// undirected graph.
+///
+///   #include "core/bcc.hpp"
+///   parbcc::BccOptions opt;
+///   opt.algorithm = parbcc::BccAlgorithm::kTvFilter;
+///   opt.threads = 8;
+///   parbcc::BccResult r = parbcc::biconnected_components(graph, opt);
+///
+/// The dispatcher accepts any undirected graph: disconnected inputs are
+/// decomposed into connected components first (each is solved with the
+/// selected algorithm), parallel edges are handled natively, and
+/// self-loops are split off as their own single-edge components.
+/// kAuto applies the paper's rule: TV-filter when m > 4n, else TV-opt.
+
+namespace parbcc {
+
+/// Compute biconnected components using a caller-provided executor
+/// (its thread count wins over options.threads).
+BccResult biconnected_components(Executor& ex, const EdgeList& g,
+                                 const BccOptions& options = {});
+
+/// Convenience overload creating an Executor(options.threads).
+BccResult biconnected_components(const EdgeList& g,
+                                 const BccOptions& options = {});
+
+}  // namespace parbcc

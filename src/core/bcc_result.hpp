@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eulertour/euler_tour.hpp"
+#include "util/types.hpp"
+
+/// \file bcc_result.hpp
+/// Public result and option types of the biconnected-components API.
+
+namespace parbcc {
+
+/// Which implementation to run (paper nomenclature).
+enum class BccAlgorithm {
+  /// Hopcroft-Tarjan DFS, the paper's "best sequential implementation".
+  kSequential,
+  /// Direct SMP emulation of Tarjan-Vishkin (paper §3.1).
+  kTvSmp,
+  /// Engineered TV: merged spanning/root steps, level-sweep tree
+  /// computations (paper §3.2).
+  kTvOpt,
+  /// The paper's new edge-filtering algorithm (Alg. 2, §4).
+  kTvFilter,
+  /// TV-filter when m > 4n, TV-opt otherwise — the fallback rule the
+  /// paper prescribes at the end of §4.
+  kAuto,
+};
+
+const char* to_string(BccAlgorithm algorithm);
+
+/// Wall-clock seconds per algorithm step, named after the bars of the
+/// paper's Fig. 4.  Steps an algorithm does not perform stay 0.
+struct StepTimes {
+  /// Input-representation conversion (edge list -> adjacency): the
+  /// cost the paper highlights as "the discrepancy among the input
+  /// representations ... brings non-negligible conversion cost".
+  /// Charged by TV-opt and TV-filter, whose traversals need adjacency.
+  double conversion = 0;
+  double spanning_tree = 0;
+  double euler_tour = 0;
+  double root_tree = 0;
+  double low_high = 0;
+  double label_edge = 0;
+  double connected_components = 0;
+  double filtering = 0;
+  double total = 0;
+
+  double accounted() const {
+    return conversion + spanning_tree + euler_tour + root_tree + low_high +
+           label_edge + connected_components + filtering;
+  }
+};
+
+struct BccOptions {
+  BccAlgorithm algorithm = BccAlgorithm::kAuto;
+  /// SPMD width for the parallel algorithms (>= 1).
+  int threads = 1;
+  /// Root vertex for spanning trees (only its component's numbering
+  /// changes; results are root-independent as partitions).
+  vid root = 0;
+  /// Also compute per-vertex articulation flags and the bridge list.
+  bool compute_cut_info = true;
+  /// List-ranking algorithm for TV-SMP's Root-tree step.
+  ListRanker ranker = ListRanker::kHelmanJaja;
+  /// Arc-sorting strategy for TV-SMP's Euler-tour step.
+  ArcSort arc_sort = ArcSort::kSampleSort;
+};
+
+/// Biconnected components of a graph, as a labeling of its edges.
+struct BccResult {
+  /// Number of biconnected components.
+  vid num_components = 0;
+  /// Component label per edge, contiguous in [0, num_components).
+  /// Two edges share a label iff they lie in the same biconnected
+  /// component.  Label values themselves depend on the algorithm and
+  /// root; only the partition is canonical.
+  std::vector<vid> edge_component;
+  /// Per-vertex articulation flags (empty unless compute_cut_info).
+  std::vector<std::uint8_t> is_articulation;
+  /// Edge ids of bridges, ascending (empty unless compute_cut_info).
+  /// A bridge is exactly a single-edge biconnected component.
+  std::vector<eid> bridges;
+  /// Per-step timing of the run.
+  StepTimes times;
+};
+
+}  // namespace parbcc

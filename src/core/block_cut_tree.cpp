@@ -1,0 +1,59 @@
+#include "core/block_cut_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sort/radix_sort.hpp"
+
+namespace parbcc {
+
+BlockCutTree build_block_cut_tree(Executor& ex, const EdgeList& g,
+                                  const BccResult& result) {
+  if (result.is_articulation.size() != g.n) {
+    throw std::invalid_argument(
+        "build_block_cut_tree: result lacks cut info (compute_cut_info)");
+  }
+  BlockCutTree tree;
+  tree.num_blocks = result.num_components;
+  tree.cut_node_of.assign(g.n, kNoVertex);
+  for (vid v = 0; v < g.n; ++v) {
+    if (result.is_articulation[v]) {
+      tree.cut_node_of[v] = static_cast<vid>(tree.cut_vertex.size());
+      tree.cut_vertex.push_back(v);
+    }
+  }
+  tree.num_cut_nodes = static_cast<vid>(tree.cut_vertex.size());
+
+  // Distinct (block, vertex) incidences: sort the 2m endpoint pairs and
+  // deduplicate.  Keys pack (block, vertex), so runs group by block in
+  // ascending vertex order.
+  std::vector<std::uint64_t> keys(2 * static_cast<std::size_t>(g.m()));
+  ex.parallel_for(g.m(), [&](std::size_t e) {
+    const std::uint64_t block = result.edge_component[e];
+    keys[2 * e] = (block << 32) | g.edges[e].u;
+    keys[2 * e + 1] = (block << 32) | g.edges[e].v;
+  });
+  radix_sort_u64(ex, keys);
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  tree.block_offsets.assign(tree.num_blocks + 1, 0);
+  tree.block_vertices.resize(keys.size());
+  tree.cut_degree_.assign(tree.num_blocks, 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const vid block = static_cast<vid>(keys[i] >> 32);
+    const vid v = static_cast<vid>(keys[i] & 0xffffffffu);
+    ++tree.block_offsets[block + 1];
+    tree.block_vertices[i] = v;
+    if (tree.cut_node_of[v] != kNoVertex) {
+      tree.edges.push_back(
+          {block, tree.num_blocks + tree.cut_node_of[v]});
+      ++tree.cut_degree_[block];
+    }
+  }
+  for (vid b = 0; b < tree.num_blocks; ++b) {
+    tree.block_offsets[b + 1] += tree.block_offsets[b];
+  }
+  return tree;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/bcc_result.hpp"
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file block_cut_tree.hpp
+/// Block-cut tree: the bipartite tree (forest, for disconnected inputs)
+/// whose nodes are the biconnected components ("blocks") and the
+/// articulation vertices, with a tree edge whenever a cut vertex lies
+/// in a block.  This is the structure behind the paper's motivating
+/// application — fault-tolerant network design — and drives the
+/// biconnectivity augmentation in augmentation.hpp.
+
+namespace parbcc {
+
+struct BlockCutTree {
+  /// == BccResult::num_components.
+  vid num_blocks = 0;
+  /// Number of articulation vertices.
+  vid num_cut_nodes = 0;
+  /// Graph vertex of each cut node (ascending vertex order).
+  std::vector<vid> cut_vertex;
+  /// Per graph vertex: its cut-node index, or kNoVertex.
+  std::vector<vid> cut_node_of;
+  /// Tree edges {block, num_blocks + cut_node}.
+  std::vector<Edge> edges;
+  /// CSR of the distinct vertices inside each block.
+  std::vector<eid> block_offsets;   // num_blocks + 1
+  std::vector<vid> block_vertices;  // sum over blocks of |V(block)|
+
+  std::span<const vid> vertices_of_block(vid b) const {
+    return {block_vertices.data() + block_offsets[b],
+            block_vertices.data() + block_offsets[b + 1]};
+  }
+
+  /// Cut vertices inside block b (count of tree edges at b).
+  vid cut_degree(vid b) const { return cut_degree_[b]; }
+  /// Leaf blocks: at most one cut vertex (isolated blocks included).
+  bool is_leaf_block(vid b) const { return cut_degree_[b] <= 1; }
+
+  std::vector<vid> cut_degree_;  // per block
+};
+
+/// Requires result.edge_component/num_components and
+/// result.is_articulation (i.e. compute_cut_info was on).
+BlockCutTree build_block_cut_tree(Executor& ex, const EdgeList& g,
+                                  const BccResult& result);
+
+}  // namespace parbcc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "core/bcc_result.hpp"
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file drivers.hpp
+/// The three parallel biconnected-components drivers.  Each assumes a
+/// connected input without self-loops (enforced/arranged by the public
+/// dispatcher in bcc.hpp), fills edge_component with contiguous labels,
+/// num_components, and the per-step times of the paper's Fig. 4.
+/// Cut info (articulation points, bridges) is annotated by the caller.
+
+namespace parbcc {
+
+/// Direct SMP emulation of Tarjan-Vishkin (paper §3.1): SV spanning
+/// tree, sort-built Euler tour, list-ranked rooting, RMQ low/high.
+BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt);
+
+/// Optimized adaptation (paper §3.2): work-stealing rooted spanning
+/// tree (merging Spanning-tree and Root-tree), DFS-order tree
+/// computations via level sweeps and prefix sums.
+BccResult tv_opt_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt);
+
+/// The paper's Alg. 2: BFS tree T, spanning forest F of G - T, TV-opt
+/// machinery on T u F (at most 2(n-1) edges), condition-1 labels for
+/// the filtered edges.
+BccResult tv_filter_bcc(Executor& ex, const EdgeList& g,
+                        const BccOptions& opt);
+
+}  // namespace parbcc

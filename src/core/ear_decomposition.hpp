@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file ear_decomposition.hpp
+/// Ear decomposition of a bridgeless graph — the classic downstream
+/// consumer of the machinery this library builds (the paper names
+/// graph planarity testing as an application; planarity and
+/// st-numbering algorithms are built on ear decompositions).
+///
+/// An ear decomposition E0, E1, ..., Ek partitions the edges so that
+/// E0 is a simple cycle and each Ei (i >= 1) is a simple path or cycle
+/// whose endpoints lie on earlier ears but whose internal vertices do
+/// not.  A graph has an ear decomposition iff it is 2-edge-connected,
+/// and an *open* one (every Ei a path with distinct endpoints) iff it
+/// is biconnected (Whitney).
+///
+/// Parallel construction after Maon-Schieber-Vishkin: root a spanning
+/// tree, key every nontree edge by the depth of its endpoints' LCA
+/// (ties by edge id), and give each tree edge the minimum key among the
+/// nontree edges covering it — a subtree-min computation identical in
+/// shape to TV's low/high step.  Nontree edge i plus the tree edges
+/// labeled i form ear i; renumbering by key order makes every ear's
+/// endpoints land on earlier ears.  This construction may emit a
+/// closed ear even on biconnected inputs (turning every ear open
+/// requires the extra Miller-Ramachandran phase, which is out of
+/// scope); `num_closed_ears` reports how many.
+
+namespace parbcc {
+
+struct EarDecomposition {
+  /// Ear id per edge, contiguous in [0, num_ears); ear 0 is the cycle.
+  std::vector<vid> ear_of_edge;
+  vid num_ears = 0;
+  /// Ears (other than E0) that are cycles rather than open paths.
+  vid num_closed_ears = 0;
+};
+
+/// Requires `g` connected, 2-edge-connected (no bridges), with >= 3
+/// vertices and no self-loops; throws std::invalid_argument otherwise.
+EarDecomposition ear_decomposition(Executor& ex, const EdgeList& g,
+                                   vid root = 0);
+
+/// Structural check used by tests and callers: verifies the ear
+/// properties directly against the graph (E0 a simple cycle, later
+/// ears simple paths or cycles attached to earlier ears with fresh
+/// internal vertices).  Pass require_open to also reject closed ears.
+bool is_ear_decomposition(const EdgeList& g, const EarDecomposition& ears,
+                          bool require_open = false);
+
+}  // namespace parbcc

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/bcc_result.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+/// \file hopcroft_tarjan.hpp
+/// Sequential biconnected components by depth-first search with an
+/// auxiliary edge stack (Tarjan 1972) — the linear-time baseline every
+/// speedup in the paper is measured against.
+///
+/// Iterative (explicit DFS stack), so million-vertex chains do not
+/// overflow the call stack.  Handles disconnected inputs and parallel
+/// edges; self-loops are rejected upstream by the public API.
+
+namespace parbcc {
+
+/// Label the edges of `g` with biconnected component ids.
+/// `csr` must be the adjacency of `g`.  Fills edge_component,
+/// num_components and (optionally) cut info; times.total only.
+BccResult hopcroft_tarjan_bcc(const EdgeList& g, const Csr& csr,
+                              bool compute_cut_info = true);
+
+}  // namespace parbcc

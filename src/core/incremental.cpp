@@ -1,0 +1,225 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace parbcc {
+
+IncrementalBiconnectivity::IncrementalBiconnectivity(vid n)
+    : n_(n),
+      parent_(n, kNoNode),
+      blocks_of_(n, 0),
+      comp_parent_(n),
+      comp_size_(n, 1),
+      num_components_(n) {
+  for (vid v = 0; v < n; ++v) comp_parent_[v] = v;
+}
+
+vid IncrementalBiconnectivity::comp_find(vid v) {
+  while (comp_parent_[v] != v) {
+    comp_parent_[v] = comp_parent_[comp_parent_[v]];
+    v = comp_parent_[v];
+  }
+  return v;
+}
+
+auto IncrementalBiconnectivity::block_find(node b) -> node {
+  // b is a block INDEX (id - n_).
+  while (block_uf_[b] != b) {
+    block_uf_[b] = block_uf_[block_uf_[b]];
+    b = block_uf_[b];
+  }
+  return b;
+}
+
+auto IncrementalBiconnectivity::resolve(node x) -> node {
+  if (x == kNoNode || !is_block(x)) return x;
+  return n_ + block_find(x - n_);
+}
+
+auto IncrementalBiconnectivity::make_block() -> node {
+  const node idx = static_cast<node>(block_uf_.size());
+  block_uf_.push_back(idx);
+  block_size_.push_back(1);
+  edge_count_.push_back(0);
+  parent_.push_back(kNoNode);
+  ++num_blocks_;
+  return n_ + idx;
+}
+
+auto IncrementalBiconnectivity::merge_blocks(node a, node b) -> node {
+  node ia = block_find(a - n_);
+  node ib = block_find(b - n_);
+  if (ia == ib) return n_ + ia;
+  if (block_size_[ia] < block_size_[ib]) std::swap(ia, ib);
+  block_uf_[ib] = ia;
+  block_size_[ia] += block_size_[ib];
+  edge_count_[ia] += edge_count_[ib];
+  --num_blocks_;
+  return n_ + ia;
+}
+
+void IncrementalBiconnectivity::reroot(vid v) {
+  // Reverse the parent pointers on v's root path.
+  node prev = kNoNode;
+  node cur = v;
+  while (cur != kNoNode) {
+    const node nxt = resolve(parent_[cur]);
+    parent_[cur] = prev;
+    prev = cur;
+    cur = nxt;
+  }
+}
+
+vid IncrementalBiconnectivity::num_cut_vertices() const {
+  vid count = 0;
+  for (vid v = 0; v < n_; ++v) count += blocks_of_[v] >= 2 ? 1 : 0;
+  return count;
+}
+
+bool IncrementalBiconnectivity::same_component(vid u, vid v) {
+  return comp_find(u) == comp_find(v);
+}
+
+bool IncrementalBiconnectivity::same_block(vid u, vid v) {
+  const node pu = resolve(parent_[u]);
+  const node pv = resolve(parent_[v]);
+  if (u == v) {
+    return blocks_of_[v] > 0;
+  }
+  // A block containing both is the parent of at least one of them.
+  if (pu != kNoNode && is_block(pu)) {
+    if (pu == pv) return true;
+    if (resolve(parent_[pu]) == static_cast<node>(v)) return true;
+  }
+  if (pv != kNoNode && is_block(pv)) {
+    if (resolve(parent_[pv]) == static_cast<node>(u)) return true;
+  }
+  return false;
+}
+
+void IncrementalBiconnectivity::insert_edge(vid u, vid v) {
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("insert_edge: vertex out of range");
+  }
+  if (u == v) return;  // self-loops carry no biconnectivity information
+
+  const vid cu = comp_find(u);
+  const vid cv = comp_find(v);
+  if (cu != cv) {
+    // New bridge block joining two components; re-root the smaller
+    // tree at its endpoint and hang it under the new block.
+    vid small = v, large = u;
+    if (comp_size_[cu] < comp_size_[cv]) std::swap(small, large);
+    reroot(small);
+    const node b = make_block();
+    edge_count_[b - n_] = 1;
+    ++num_bridges_;
+    parent_[b] = large;
+    parent_[small] = b;
+    ++blocks_of_[u];
+    ++blocks_of_[v];
+    // Union the components (by size).
+    vid ra = cu, rb = cv;
+    if (comp_size_[ra] < comp_size_[rb]) std::swap(ra, rb);
+    comp_parent_[rb] = ra;
+    comp_size_[ra] += comp_size_[rb];
+    --num_components_;
+    return;
+  }
+
+  // Same component: find the BC-tree path u..v by an alternating
+  // marked walk, then contract every block on it.
+  mark_.clear();
+  std::vector<node> path_a{static_cast<node>(u)};
+  std::vector<node> path_b{static_cast<node>(v)};
+  mark_[u] = 0;
+  mark_[v] = 1;
+  node meeting = kNoNode;
+  bool exhausted_a = false, exhausted_b = false;
+  int side = 0;
+  while (meeting == kNoNode) {
+    std::vector<node>& path = side == 0 ? path_a : path_b;
+    bool& exhausted = side == 0 ? exhausted_a : exhausted_b;
+    if (!exhausted) {
+      const node nxt = resolve(parent_[path.back()]);
+      if (nxt == kNoNode) {
+        exhausted = true;
+      } else {
+        const auto it = mark_.find(nxt);
+        if (it != mark_.end() && it->second != side) {
+          meeting = nxt;
+          path.push_back(nxt);
+        } else if (it == mark_.end()) {
+          mark_[nxt] = side;
+          path.push_back(nxt);
+        } else {
+          // Marked by our own side: cannot happen in a tree.
+          throw std::logic_error("insert_edge: BC forest corrupted");
+        }
+      }
+    }
+    if (exhausted_a && exhausted_b) {
+      throw std::logic_error("insert_edge: endpoints not connected");
+    }
+    side ^= 1;
+  }
+
+  // Truncate the other side at the meeting node.
+  std::vector<node>& other = mark_[meeting] == 0 ? path_a : path_b;
+  while (other.back() != meeting) other.pop_back();
+
+  // Combined path u .. meeting .. v (meeting once).
+  std::vector<node> path(path_a.begin(), path_a.end());
+  if (path.back() != meeting) {
+    // path_a stopped early (meeting discovered from side b); it already
+    // ends at meeting only when truncated above.
+  }
+  // Ensure path_a ends at meeting.
+  while (path.back() != meeting) path.pop_back();
+  for (auto it = path_b.rbegin(); it != path_b.rend(); ++it) {
+    if (*it == meeting) continue;
+    path.push_back(*it);
+  }
+
+  // Capture where the merged block will hang before mutating anything.
+  const node top_parent = is_block(meeting)
+                              ? resolve(parent_[meeting])
+                              : meeting;
+
+  // Merge all blocks on the path; count the bridges that disappear.
+  node merged = kNoNode;
+  vid touched_bridges = 0;
+  for (const node x : path) {
+    if (!is_block(x)) continue;
+    if (edge_count_[block_find(x - n_)] == 1) ++touched_bridges;
+    merged = merged == kNoNode ? x : merge_blocks(merged, x);
+  }
+  if (merged == kNoNode) {
+    throw std::logic_error("insert_edge: cycle path without blocks");
+  }
+  const node rep = resolve(merged);
+  edge_count_[rep - n_] += 1;  // the new edge itself
+  if (edge_count_[rep - n_] > 1) num_bridges_ -= touched_bridges;
+
+  // Each vertex interior to the path sat between two now-merged
+  // blocks: it loses one block membership per extra adjacency.
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (is_block(path[i])) continue;
+    int touches = 0;
+    if (i > 0 && is_block(path[i - 1])) ++touches;
+    if (i + 1 < path.size() && is_block(path[i + 1])) ++touches;
+    if (touches > 1) blocks_of_[path[i]] -= touches - 1;
+  }
+
+  // Rehang: the merged block keeps the topmost position; stale parent
+  // pointers into consumed blocks resolve through the union-find.
+  if (is_block(meeting)) {
+    parent_[rep] = top_parent;
+  } else {
+    parent_[rep] = meeting;
+  }
+}
+
+}  // namespace parbcc

@@ -1,0 +1,93 @@
+#include "core/lowhigh.hpp"
+
+#include <atomic>
+
+#include "rmq/sparse_table.hpp"
+
+namespace parbcc {
+namespace {
+
+void atomic_min(std::atomic<vid>& slot, vid v) {
+  vid cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<vid>& slot, vid v) {
+  vid cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-vertex extrema over {pre(v)} and {pre(w) : (v,w) nontree}.
+void local_extrema(Executor& ex, std::span<const Edge> edges,
+                   const RootedSpanningTree& tree,
+                   std::span<const vid> tree_owner, std::vector<vid>& lo,
+                   std::vector<vid>& hi) {
+  const std::size_t n = tree.parent.size();
+  std::vector<std::atomic<vid>> alo(n), ahi(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    alo[v].store(tree.pre[v], std::memory_order_relaxed);
+    ahi[v].store(tree.pre[v], std::memory_order_relaxed);
+  });
+  ex.parallel_for(edges.size(), [&](std::size_t e) {
+    if (tree_owner[e] != kNoVertex) return;  // tree edges don't contribute
+    const vid u = edges[e].u;
+    const vid v = edges[e].v;
+    atomic_min(alo[u], tree.pre[v]);
+    atomic_min(alo[v], tree.pre[u]);
+    atomic_max(ahi[u], tree.pre[v]);
+    atomic_max(ahi[v], tree.pre[u]);
+  });
+  lo.resize(n);
+  hi.resize(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    lo[v] = alo[v].load(std::memory_order_relaxed);
+    hi[v] = ahi[v].load(std::memory_order_relaxed);
+  });
+}
+
+}  // namespace
+
+LowHigh compute_low_high_rmq(Executor& ex, std::span<const Edge> edges,
+                             const RootedSpanningTree& tree,
+                             std::span<const vid> tree_owner) {
+  const std::size_t n = tree.parent.size();
+  LowHigh out;
+  local_extrema(ex, edges, tree, tree_owner, out.low, out.high);
+  if (n == 0) return out;
+
+  // Subtree(v) is the preorder interval [pre(v), pre(v)+sub(v)): lay
+  // the local values out in preorder and answer each vertex with one
+  // range query.
+  std::vector<vid> lo_by_pre(n), hi_by_pre(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    lo_by_pre[tree.pre[v] - 1] = out.low[v];
+    hi_by_pre[tree.pre[v] - 1] = out.high[v];
+  });
+  const MinTable<vid> min_table(ex, lo_by_pre.data(), n);
+  const MaxTable<vid> max_table(ex, hi_by_pre.data(), n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    const std::size_t l = tree.pre[v] - 1;
+    const std::size_t r = l + tree.sub[v] - 1;
+    out.low[v] = min_table.query(l, r);
+    out.high[v] = max_table.query(l, r);
+  });
+  return out;
+}
+
+LowHigh compute_low_high_levels(Executor& ex, std::span<const Edge> edges,
+                                const RootedSpanningTree& tree,
+                                std::span<const vid> tree_owner,
+                                const ChildrenCsr& children,
+                                const LevelStructure& levels) {
+  LowHigh out;
+  local_extrema(ex, edges, tree, tree_owner, out.low, out.high);
+  subtree_min(ex, children, levels, out.low.data());
+  subtree_max(ex, children, levels, out.high.data());
+  return out;
+}
+
+}  // namespace parbcc

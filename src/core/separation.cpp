@@ -1,0 +1,111 @@
+#include "core/separation.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace parbcc {
+
+SeparationIndex::SeparationIndex(Executor& ex, const EdgeList& g,
+                                 const BccResult& result)
+    : n_(g.n) {
+  const BlockCutTree bct = build_block_cut_tree(ex, g, result);
+  num_blocks_ = bct.num_blocks;
+  cut_node_of_ = bct.cut_node_of;
+  block_of_.assign(g.n, kNoVertex);
+  for (vid b = 0; b < bct.num_blocks; ++b) {
+    for (const vid v : bct.vertices_of_block(b)) {
+      if (cut_node_of_[v] == kNoVertex) block_of_[v] = b;
+    }
+  }
+
+  // BC-forest adjacency (blocks + cut nodes), plus a virtual super-root
+  // so one rooted tree covers every component.
+  const vid num_nodes = bct.num_blocks + bct.num_cut_nodes;
+  const vid virtual_root = num_nodes;
+  std::vector<std::vector<vid>> adj(num_nodes);
+  for (const Edge& e : bct.edges) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+
+  tree_.root = virtual_root;
+  tree_.parent.assign(num_nodes + 1, kNoVertex);
+  tree_.parent_edge.assign(num_nodes + 1, kNoEdge);
+  tree_.parent[virtual_root] = virtual_root;
+  component_.assign(num_nodes + 1, kNoVertex);
+  vid comp = 0;
+  for (vid r = 0; r < num_nodes; ++r) {
+    if (tree_.parent[r] != kNoVertex) continue;
+    tree_.parent[r] = virtual_root;
+    component_[r] = comp;
+    std::deque<vid> queue{r};
+    while (!queue.empty()) {
+      const vid x = queue.front();
+      queue.pop_front();
+      for (const vid y : adj[x]) {
+        if (tree_.parent[y] == kNoVertex) {
+          tree_.parent[y] = x;
+          component_[y] = comp;
+          queue.push_back(y);
+        }
+      }
+    }
+    ++comp;
+  }
+
+  const ChildrenCsr children = build_children(ex, tree_.parent, virtual_root);
+  const LevelStructure levels = build_levels(ex, children, virtual_root);
+  preorder_and_size(ex, children, levels, virtual_root, tree_.pre,
+                    tree_.sub);
+  depth_ = levels.depth;
+  lca_ = LcaIndex(ex, tree_, children, levels);
+}
+
+vid SeparationIndex::node_of(vid vertex) const {
+  if (cut_node_of_[vertex] != kNoVertex) {
+    return num_blocks_ + cut_node_of_[vertex];
+  }
+  return block_of_[vertex];  // kNoVertex for isolated vertices
+}
+
+bool SeparationIndex::connected(vid a, vid b) const {
+  if (a == b) return true;
+  const vid na = node_of(a);
+  const vid nb = node_of(b);
+  if (na == kNoVertex || nb == kNoVertex) return false;
+  return component_[na] == component_[nb];
+}
+
+bool SeparationIndex::on_path(vid x, vid a, vid b) const {
+  const vid lab = lca_.lca(a, b);
+  // dist(a, x) + dist(x, b) == dist(a, b) iff x lies on the a-b path.
+  const vid d_ab = depth_[a] + depth_[b] - 2 * depth_[lab];
+  const vid lax = lca_.lca(a, x);
+  const vid lxb = lca_.lca(x, b);
+  const vid d_ax = depth_[a] + depth_[x] - 2 * depth_[lax];
+  const vid d_xb = depth_[x] + depth_[b] - 2 * depth_[lxb];
+  return d_ax + d_xb == d_ab;
+}
+
+bool SeparationIndex::separates(vid v, vid a, vid b) const {
+  if (v >= n_ || a >= n_ || b >= n_ || v == a || v == b) {
+    throw std::invalid_argument("separates: need distinct in-range v, a, b");
+  }
+  if (a == b) return false;
+  if (cut_node_of_[v] == kNoVertex) return false;  // not a cut vertex
+  if (!connected(a, b)) return false;
+  const vid nv = num_blocks_ + cut_node_of_[v];
+  const vid na = node_of(a);
+  const vid nb = node_of(b);
+  // The endpoints' own nodes never separate them: if a is the cut
+  // vertex in question we already rejected v == a; and block nodes are
+  // never equal to a cut node.
+  if (nv == na || nv == nb) {
+    // a (or b) IS inside only-through-v structures exactly when its
+    // node equals v's cut node — impossible unless a == v.
+    return false;
+  }
+  return on_path(nv, na, nb);
+}
+
+}  // namespace parbcc

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "core/block_cut_tree.hpp"
+#include "eulertour/tree_computations.hpp"
+#include "graph/edge_list.hpp"
+#include "rmq/lca.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file separation.hpp
+/// Constant-time separation queries on top of a biconnectivity result —
+/// the operational form of the paper's fault-tolerance motivation:
+/// "does the failure of router v disconnect a from b?"
+///
+/// Removing v disconnects a from b exactly when v is a cut vertex whose
+/// block-cut-tree node lies on the tree path between a's and b's nodes.
+/// The index roots the block-cut forest (plus one virtual super-root,
+/// so a single Euler-tour LCA structure covers all components) and
+/// answers each query with two LCA probes.
+
+namespace parbcc {
+
+class SeparationIndex {
+ public:
+  /// Build from a finished BCC run (cut info required).
+  SeparationIndex(Executor& ex, const EdgeList& g, const BccResult& result);
+
+  /// True iff removing `v` leaves no a-b path.  Requires a != v,
+  /// b != v; a == b returns false.  Vertices in different components
+  /// (already disconnected) return false.
+  bool separates(vid v, vid a, vid b) const;
+
+  /// True iff a and b are in one connected component (isolated
+  /// vertices are their own components).
+  bool connected(vid a, vid b) const;
+
+ private:
+  vid node_of(vid vertex) const;  // BC-forest node of a vertex
+  bool on_path(vid x, vid a, vid b) const;
+
+  vid n_ = 0;
+  vid num_blocks_ = 0;
+  std::vector<vid> cut_node_of_;    // per vertex, kNoVertex if not cut
+  std::vector<vid> block_of_;       // a block per non-cut vertex
+  std::vector<vid> component_;      // BC-forest component per node
+  std::vector<vid> depth_;          // depth in the rooted forest
+  RootedSpanningTree tree_;         // over BC nodes + virtual root
+  LcaIndex lca_;
+};
+
+}  // namespace parbcc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+/// \file st_numbering.hpp
+/// st-numbering (Even-Tarjan 1976) — the bridge from biconnectivity to
+/// the planarity-testing application the paper names in its
+/// introduction: every classic planarity algorithm (LEC, PQ-trees)
+/// consumes an st-numbered biconnected graph.
+///
+/// An st-numbering for an edge {s, t} assigns 1..n to the vertices so
+/// that s gets 1, t gets n, and every other vertex has both a
+/// lower-numbered and a higher-numbered neighbour.  One exists iff the
+/// graph is biconnected (Lempel-Even-Cederbaum).
+///
+/// The implementation is the Even-Tarjan pathfinding algorithm: one
+/// DFS from s whose first tree edge is (s, t) computes lowpoints, then
+/// a stack-driven pathfinder consumes each edge once, so the whole
+/// construction is O(n + m).  (This consumer-side step is inherently
+/// sequential; the parallel part of the pipeline is producing the
+/// biconnectivity certificate that feeds it.)
+
+namespace parbcc {
+
+struct StNumbering {
+  /// number[v] in [1, n]; number[s] == 1, number[t] == n.
+  std::vector<vid> number;
+};
+
+/// Requires: g connected, biconnected, simple (no self-loops; parallel
+/// edges are tolerated), n >= 2, and {s, t} an edge of g.
+/// Throws std::invalid_argument otherwise.
+StNumbering st_number(const EdgeList& g, vid s, vid t);
+
+/// Check the defining property directly (s lowest, t highest, everyone
+/// else has a smaller and a larger neighbour).
+bool is_valid_st_numbering(const EdgeList& g, vid s, vid t,
+                           const StNumbering& st);
+
+}  // namespace parbcc

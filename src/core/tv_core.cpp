@@ -1,0 +1,68 @@
+#include "core/tv_core.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "connectivity/shiloach_vishkin.hpp"
+#include "core/aux_graph.hpp"
+#include "util/timer.hpp"
+
+namespace parbcc {
+
+std::vector<vid> make_tree_owner(Executor& ex, std::size_t num_edges,
+                                 const RootedSpanningTree& tree) {
+  std::vector<vid> owner(num_edges, kNoVertex);
+  ex.parallel_for(tree.parent.size(), [&](std::size_t v) {
+    const eid e = tree.parent_edge[v];
+    if (e != kNoEdge) {
+      // Each tree edge has exactly one child endpoint, so slots are
+      // written at most once.
+      owner[e] = static_cast<vid>(v);
+    }
+  });
+  return owner;
+}
+
+std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
+                                const RootedSpanningTree& tree,
+                                std::span<const vid> tree_owner,
+                                LowHighMethod method,
+                                const ChildrenCsr* children,
+                                const LevelStructure* levels,
+                                TvCoreTimes* times) {
+  Timer timer;
+
+  // Step 4: low/high.
+  LowHigh lh;
+  switch (method) {
+    case LowHighMethod::kRmq:
+      lh = compute_low_high_rmq(ex, edges, tree, tree_owner);
+      break;
+    case LowHighMethod::kLevelSweep:
+      if (children == nullptr || levels == nullptr) {
+        throw std::invalid_argument(
+            "tv_label_edges: level sweep needs children/levels");
+      }
+      lh = compute_low_high_levels(ex, edges, tree, tree_owner, *children,
+                                   *levels);
+      break;
+  }
+  if (times) times->low_high = timer.lap();
+
+  // Step 5: Label-edge (Alg. 1).
+  const AuxGraph aux = build_aux_graph(ex, edges, tree, tree_owner, lh);
+  if (times) times->label_edge = timer.lap();
+
+  // Step 6: connected components of G' via Shiloach-Vishkin, read back
+  // through each edge's aux image.
+  const std::vector<vid> aux_labels =
+      connected_components_sv(ex, aux.num_vertices, aux.edges);
+  std::vector<vid> labels(edges.size());
+  ex.parallel_for(edges.size(), [&](std::size_t e) {
+    labels[e] = aux_labels[aux.aux_id[e]];
+  });
+  if (times) times->connected_components = timer.lap();
+  return labels;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/lowhigh.hpp"
+#include "eulertour/tree_computations.hpp"
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file tv_core.hpp
+/// The back half of Tarjan-Vishkin shared by TV-SMP, TV-opt and
+/// TV-filter: Low-high, Label-edge (Alg. 1) and Connected-components of
+/// the auxiliary graph, parameterized on the low/high aggregation
+/// back-end.  The front half (how the rooted spanning tree is obtained)
+/// is what distinguishes the three drivers.
+
+namespace parbcc {
+
+enum class LowHighMethod {
+  kRmq,        // TV-SMP: preorder-interval queries on a sparse table
+  kLevelSweep  // TV-opt / TV-filter: bottom-up level aggregation
+};
+
+struct TvCoreTimes {
+  double low_high = 0;
+  double label_edge = 0;
+  double connected_components = 0;
+};
+
+/// tree_owner[e] = child endpoint of tree edge e (kNoVertex for
+/// nontree edges), derived from the tree's parent_edge column.
+std::vector<vid> make_tree_owner(Executor& ex, std::size_t num_edges,
+                                 const RootedSpanningTree& tree);
+
+/// TV steps 4-6 over `edges` with spanning tree `tree`.
+/// `children`/`levels` are required for kLevelSweep and ignored for
+/// kRmq.  Returns one label per edge; labels are auxiliary-graph root
+/// ids in [0, n + #nontree) — canonical as a partition, not as values.
+std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
+                                const RootedSpanningTree& tree,
+                                std::span<const vid> tree_owner,
+                                LowHighMethod method,
+                                const ChildrenCsr* children,
+                                const LevelStructure* levels,
+                                TvCoreTimes* times = nullptr);
+
+}  // namespace parbcc

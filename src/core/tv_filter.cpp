@@ -1,0 +1,124 @@
+#include <stdexcept>
+
+#include "connectivity/shiloach_vishkin.hpp"
+#include "core/drivers.hpp"
+#include "core/tv_core.hpp"
+#include "graph/csr.hpp"
+#include "scan/compact.hpp"
+#include "spanning/bfs_tree.hpp"
+#include "spanning/sv_tree.hpp"
+#include "util/timer.hpp"
+
+namespace parbcc {
+
+BccResult tv_filter_bcc(Executor& ex, const EdgeList& g,
+                        const BccOptions& opt) {
+  BccResult result;
+  Timer total;
+  Timer step;
+  const vid n = g.n;
+  const eid m = g.m();
+
+  // Representation conversion, as in TV-opt.
+  const Csr csr = Csr::build(ex, g);
+  result.times.conversion = step.lap();
+
+  // Alg. 2 step 1: T must be a BFS tree (Lemma 1 needs its level
+  // structure).
+  const BfsTree bfs = bfs_tree(ex, csr, opt.root);
+  if (bfs.reached != n) {
+    throw std::invalid_argument("tv_filter_bcc: graph must be connected");
+  }
+  result.times.spanning_tree = step.lap();
+
+  // Alg. 2 step 2: spanning forest F of G - T.
+  // Candidates exclude edges parallel to a tree edge: such an edge is
+  // always labeled by condition 1 with its tree twin's component, and
+  // keeping it out of F preserves Lemma 1 (no ancestral relationship
+  // between F-edge endpoints) on multigraph inputs.
+  std::vector<std::uint8_t> in_tree(m, 0);
+  ex.parallel_for(n, [&](std::size_t v) {
+    if (bfs.parent_edge[v] != kNoEdge) in_tree[bfs.parent_edge[v]] = 1;
+  });
+  std::vector<eid> candidates;
+  pack_indices(ex, m,
+               [&](std::size_t e) {
+                 if (in_tree[e]) return false;
+                 const vid u = g.edges[e].u;
+                 const vid v = g.edges[e].v;
+                 return bfs.parent[u] != v && bfs.parent[v] != u;
+               },
+               candidates);
+  const SpanningForest forest =
+      sv_spanning_forest(ex, n, g.edges, candidates);
+  result.times.filtering = step.lap();
+
+  // Assemble H = T u F, remembering each H edge's original id.  Tree
+  // edges occupy slots [0, n-1) in a fixed per-vertex layout so the
+  // local parent_edge column is computable in parallel.
+  const std::size_t t_count = n - 1;
+  const std::size_t h_count = t_count + forest.tree_edges.size();
+  std::vector<Edge> h_edges(h_count);
+  std::vector<eid> orig_of(h_count);
+  std::vector<std::uint8_t> in_h(m, 0);
+
+  RootedSpanningTree tree;
+  tree.root = opt.root;
+  tree.parent = bfs.parent;
+  tree.parent_edge.assign(n, kNoEdge);
+  ex.parallel_for(n, [&](std::size_t v) {
+    if (v == opt.root) return;
+    const std::size_t slot = v < opt.root ? v : v - 1;
+    const eid e = bfs.parent_edge[v];
+    h_edges[slot] = g.edges[e];
+    orig_of[slot] = e;
+    in_h[e] = 1;
+    tree.parent_edge[v] = static_cast<eid>(slot);
+  });
+  ex.parallel_for(forest.tree_edges.size(), [&](std::size_t k) {
+    const eid e = forest.tree_edges[k];
+    h_edges[t_count + k] = g.edges[e];
+    orig_of[t_count + k] = e;
+    in_h[e] = 1;
+  });
+
+  // Rooted-tree computations over T (TV-opt pipeline).
+  const ChildrenCsr children = build_children(ex, tree.parent, tree.root);
+  const LevelStructure levels = build_levels(ex, children, tree.root);
+  result.times.euler_tour = step.lap();
+  preorder_and_size(ex, children, levels, tree.root, tree.pre, tree.sub);
+  result.times.root_tree = step.lap();
+
+  // Alg. 2 step 3: TV on H (at most 2(n-1) edges).
+  const std::vector<vid> owner = make_tree_owner(ex, h_count, tree);
+  TvCoreTimes core_times;
+  const std::vector<vid> h_labels =
+      tv_label_edges(ex, h_edges, tree, owner, LowHighMethod::kLevelSweep,
+                     &children, &levels, &core_times);
+  result.times.low_high = core_times.low_high;
+  result.times.label_edge = core_times.label_edge;
+  result.times.connected_components = core_times.connected_components;
+  step.reset();
+
+  // Alg. 2 step 4: scatter H labels back; every filtered edge (u,v)
+  // joins the component of the tree edge below its higher-preorder
+  // endpoint (condition 1, valid for any rooted spanning tree).
+  result.edge_component.assign(m, kNoVertex);
+  ex.parallel_for(h_count, [&](std::size_t h) {
+    result.edge_component[orig_of[h]] = h_labels[h];
+  });
+  ex.parallel_for(m, [&](std::size_t e) {
+    if (in_h[e]) return;
+    const vid u = g.edges[e].u;
+    const vid v = g.edges[e].v;
+    const vid hi_end = tree.pre[u] > tree.pre[v] ? u : v;
+    result.edge_component[e] = h_labels[tree.parent_edge[hi_end]];
+  });
+  result.times.filtering += step.lap();
+
+  result.num_components = normalize_labels(result.edge_component);
+  result.times.total = total.seconds();
+  return result;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,58 @@
+#include <stdexcept>
+
+#include "connectivity/shiloach_vishkin.hpp"
+#include "core/drivers.hpp"
+#include "core/tv_core.hpp"
+#include "graph/csr.hpp"
+#include "spanning/traversal_tree.hpp"
+#include "util/timer.hpp"
+
+namespace parbcc {
+
+BccResult tv_opt_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
+  BccResult result;
+  Timer total;
+  Timer step;
+
+  // Representation conversion: the work-stealing traversal needs an
+  // adjacency structure; TV-SMP works on the raw edge list.
+  const Csr csr = Csr::build(ex, g);
+  result.times.conversion = step.lap();
+
+  // Merged Spanning-tree + Root-tree: the traversal sets parents
+  // directly.
+  const TraversalTree traversal = traversal_spanning_tree(ex, csr, opt.root);
+  if (traversal.reached != g.n) {
+    throw std::invalid_argument("tv_opt_bcc: graph must be connected");
+  }
+  result.times.spanning_tree = step.lap();
+
+  // Cache-friendly substitute for the Euler tour: child lists + level
+  // buckets...
+  RootedSpanningTree tree;
+  tree.root = opt.root;
+  tree.parent = traversal.parent;
+  tree.parent_edge = traversal.parent_edge;
+  const ChildrenCsr children = build_children(ex, tree.parent, tree.root);
+  const LevelStructure levels = build_levels(ex, children, tree.root);
+  result.times.euler_tour = step.lap();
+
+  // ...and prefix-sum tree computations instead of list ranking.
+  preorder_and_size(ex, children, levels, tree.root, tree.pre, tree.sub);
+  result.times.root_tree = step.lap();
+
+  const std::vector<vid> owner = make_tree_owner(ex, g.edges.size(), tree);
+  TvCoreTimes core_times;
+  result.edge_component =
+      tv_label_edges(ex, g.edges, tree, owner, LowHighMethod::kLevelSweep,
+                     &children, &levels, &core_times);
+  result.times.low_high = core_times.low_high;
+  result.times.label_edge = core_times.label_edge;
+  result.times.connected_components = core_times.connected_components;
+
+  result.num_components = normalize_labels(result.edge_component);
+  result.times.total = total.seconds();
+  return result;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,49 @@
+#include <stdexcept>
+
+#include "connectivity/shiloach_vishkin.hpp"
+#include "core/drivers.hpp"
+#include "core/tv_core.hpp"
+#include "eulertour/euler_tour.hpp"
+#include "spanning/sv_tree.hpp"
+#include "util/timer.hpp"
+
+namespace parbcc {
+
+BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
+  BccResult result;
+  Timer total;
+  Timer step;
+
+  // Step 1 (Spanning-tree): Shiloach-Vishkin graft-and-shortcut.
+  const SpanningForest forest = sv_spanning_forest(ex, g.n, g.edges);
+  if (forest.num_components != 1) {
+    throw std::invalid_argument("tv_smp_bcc: graph must be connected");
+  }
+  result.times.spanning_tree = step.lap();
+
+  // Steps 2+3 (Euler-tour, Root-tree): circuit by arc sorting, rooting
+  // by list ranking.
+  EulerTourTimes euler_times;
+  const RootedSpanningTree tree =
+      root_tree_via_euler_tour(ex, g.n, g.edges, forest.tree_edges, opt.root,
+                               opt.ranker, opt.arc_sort, &euler_times);
+  result.times.euler_tour = euler_times.circuit;
+  result.times.root_tree = euler_times.rooting;
+  step.reset();
+
+  // Steps 4-6 with the sparse-table low/high back-end.
+  const std::vector<vid> owner = make_tree_owner(ex, g.edges.size(), tree);
+  TvCoreTimes core_times;
+  result.edge_component =
+      tv_label_edges(ex, g.edges, tree, owner, LowHighMethod::kRmq, nullptr,
+                     nullptr, &core_times);
+  result.times.low_high = core_times.low_high;
+  result.times.label_edge = core_times.label_edge;
+  result.times.connected_components = core_times.connected_components;
+
+  result.num_components = normalize_labels(result.edge_component);
+  result.times.total = total.seconds();
+  return result;
+}
+
+}  // namespace parbcc

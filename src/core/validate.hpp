@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "core/bcc_result.hpp"
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file validate.hpp
+/// Certificate checking for a biconnected-components result.
+///
+/// The checker verifies, without re-running any BCC algorithm, the
+/// local exchange properties that characterise the block partition:
+///
+///  (1) labels are total and contiguous in [0, num_components);
+///  (2) every component's edge set is connected (blocks are connected
+///      subgraphs);
+///  (3) within one block of >= 2 edges, removing any single vertex
+///      leaves the block's edges connected (verified exactly on blocks
+///      up to a size cap, spot-checked above it);
+///  (4) two blocks never share more than one vertex;
+///  (5) every cycle stays inside one block: for a spanning forest of
+///      the graph, each nontree edge's fundamental-cycle tree path
+///      carries a single label.
+///
+/// Together (2), (4) and (5) pin the partition exactly: (5) forces
+/// cycle-mates together, (2)+(4) forbid over-merging.  O((n + m) log n)
+/// and independent of the TV machinery, so it doubles as a test oracle
+/// at scales where the brute-force references are too slow.
+
+namespace parbcc {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string message;  // first violation found, empty when ok
+};
+
+ValidationReport validate_bcc(Executor& ex, const EdgeList& g,
+                              const BccResult& result);
+
+}  // namespace parbcc

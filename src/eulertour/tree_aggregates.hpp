@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eulertour/tree_computations.hpp"
+#include "scan/scan.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file tree_aggregates.hpp
+/// Group-valued tree computations via the analytic DFS Euler tour —
+/// the textbook "tour + prefix sums" applications (JáJá §3.2) that
+/// complement the min/max level sweeps in tree_computations.hpp:
+///
+///  - subtree_sums: weight of every subtree, from one prefix sum over
+///    the tour (down-arcs carry +w(v), up-arcs carry -... actually the
+///    standard trick: scatter w(v) at v's down position, prefix-sum,
+///    and subtract the tour prefix at the subtree boundary);
+///  - root_path_sums: sum of weights on the path root..v, using the
+///    +w / -w arc encoding.
+///
+/// Both run as two O(n) parallel passes plus one scan; because the
+/// positions come from dfs_tour_positions they need no list ranking.
+
+namespace parbcc {
+
+/// out[v] = sum of weights[w] over w in subtree(v).
+/// (Group trick: lay weights out in preorder; subtree(v) is the
+/// contiguous interval [pre(v), pre(v)+sub(v)), so a prefix sum gives
+/// every subtree total by subtraction.)
+template <class T>
+std::vector<T> subtree_sums(Executor& ex, const RootedSpanningTree& tree,
+                            std::span<const T> weights) {
+  const std::size_t n = tree.parent.size();
+  std::vector<T> by_pre(n + 1, T{});
+  ex.parallel_for(n, [&](std::size_t v) {
+    by_pre[tree.pre[v] - 1] = weights[v];
+  });
+  // Inclusive scan, then interval subtraction.
+  std::vector<T> prefix(n + 1, T{});
+  exclusive_scan(ex, by_pre.data(), prefix.data(), n + 1, T{});
+  std::vector<T> out(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    const std::size_t begin = tree.pre[v] - 1;
+    const std::size_t end = begin + tree.sub[v];
+    out[v] = prefix[end] - prefix[begin];
+  });
+  return out;
+}
+
+/// out[v] = sum of weights[w] over w on the root..v tree path
+/// (inclusive of both ends).
+/// (Arc encoding on the Euler tour: entering v adds w(v), leaving
+/// subtracts it; the prefix at v's down arc is the path sum.)
+template <class T>
+std::vector<T> root_path_sums(Executor& ex, const RootedSpanningTree& tree,
+                              std::span<const vid> depth,
+                              std::span<const T> weights) {
+  const std::size_t n = tree.parent.size();
+  std::vector<T> out(n);
+  if (n == 0) return out;
+  const DfsTourPositions pos = dfs_tour_positions(ex, tree, depth);
+  const std::size_t arcs = 2 * (n - 1);
+  std::vector<T> arc_val(arcs, T{});
+  ex.parallel_for(n, [&](std::size_t v) {
+    if (v == tree.root) return;
+    arc_val[pos.down[v]] = weights[v];
+    arc_val[pos.up[v]] = T{} - weights[v];
+  });
+  std::vector<T> prefix(arcs, T{});
+  inclusive_scan(ex, arc_val.data(), prefix.data(), arcs, T{});
+  ex.parallel_for(n, [&](std::size_t v) {
+    if (v == tree.root) {
+      out[v] = weights[v];
+    } else {
+      out[v] = prefix[pos.down[v]] + weights[tree.root];
+    }
+  });
+  return out;
+}
+
+}  // namespace parbcc

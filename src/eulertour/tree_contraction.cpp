@@ -1,0 +1,220 @@
+#include "eulertour/tree_contraction.hpp"
+
+#include <stdexcept>
+
+#include "util/padded.hpp"
+#include "util/rng.hpp"
+
+namespace parbcc {
+namespace {
+
+using Op = ExpressionTree::Op;
+
+std::uint64_t apply(Op op, std::uint64_t a, std::uint64_t b) {
+  return op == Op::kAdd ? a + b : a * b;
+}
+
+}  // namespace
+
+std::uint64_t evaluate_sequential(const ExpressionTree& tree) {
+  if (tree.size() == 0) {
+    throw std::invalid_argument("evaluate_sequential: empty tree");
+  }
+  // Iterative post-order with an explicit stack (chains can be deep).
+  std::vector<std::uint64_t> result(tree.size());
+  std::vector<std::pair<vid, int>> stack{{tree.root, 0}};
+  while (!stack.empty()) {
+    auto& [v, phase] = stack.back();
+    if (tree.is_leaf(v)) {
+      result[v] = tree.value[v];
+      stack.pop_back();
+    } else if (phase == 0) {
+      phase = 1;
+      stack.push_back({tree.left[v], 0});
+    } else if (phase == 1) {
+      phase = 2;
+      stack.push_back({tree.right[v], 0});
+    } else {
+      result[v] = apply(tree.op[v], result[tree.left[v]],
+                        result[tree.right[v]]);
+      stack.pop_back();
+    }
+  }
+  return result[tree.root];
+}
+
+std::uint64_t evaluate_tree_contraction(Executor& ex,
+                                        const ExpressionTree& tree) {
+  const vid n = tree.size();
+  if (n == 0) {
+    throw std::invalid_argument("evaluate_tree_contraction: empty tree");
+  }
+  if (n == 1) return tree.value[tree.root];
+
+  // Mutable working copy of the shape plus affine labels.
+  std::vector<vid> left(tree.left), right(tree.right), parent(tree.parent);
+  std::vector<std::uint64_t> fa(n, 1), fb(n, 0);  // f(x) = fa*x + fb
+  vid root = tree.root;
+
+  // Leaves in left-to-right (in-order) order.
+  std::vector<vid> leaves;
+  leaves.reserve((n + 1) / 2);
+  {
+    std::vector<vid> stack{root};
+    while (!stack.empty()) {
+      const vid v = stack.back();
+      stack.pop_back();
+      if (tree.is_leaf(v)) {
+        leaves.push_back(v);
+      } else {
+        stack.push_back(right[v]);  // right pushed first -> left visited first
+        stack.push_back(left[v]);
+      }
+    }
+  }
+
+  // Rake leaf l: fold f_l(value) through parent's op into the sibling's
+  // label and splice the sibling up.  Returns the new root if the
+  // parent was the root (at most one rake per sub-round can do that,
+  // since the root has a single pair of children).
+  const auto rake = [&](vid l) -> vid {
+    const vid p = parent[l];
+    const vid s = left[p] == l ? right[p] : left[p];
+    const std::uint64_t c = fa[l] * tree.value[l] + fb[l];
+    // f_p(c op f_s(x)) expanded; + and * are commutative, so the side
+    // of l does not matter.
+    std::uint64_t a2, b2;
+    if (tree.op[p] == Op::kAdd) {
+      a2 = fa[p] * fa[s];
+      b2 = fa[p] * (c + fb[s]) + fb[p];
+    } else {
+      a2 = fa[p] * c * fa[s];
+      b2 = fa[p] * c * fb[s] + fb[p];
+    }
+    fa[s] = a2;
+    fb[s] = b2;
+    if (p == root) {
+      parent[s] = s;
+      return s;
+    }
+    const vid gp = parent[p];
+    if (left[gp] == p) {
+      left[gp] = s;
+    } else {
+      right[gp] = s;
+    }
+    parent[s] = gp;
+    return kNoVertex;
+  };
+
+  std::vector<std::uint8_t> raked(n, 0);
+  while (leaves.size() > 1) {
+    // Sub-round A: odd-indexed leaves that are left children.
+    // Sub-round B: odd-indexed leaves that are right children.
+    // (Odd and even leaves alternate in tree order, so the sibling
+    // chains touched by two simultaneous rakes never overlap.)
+    for (const bool want_left : {true, false}) {
+      std::vector<vid> batch;
+      for (std::size_t i = 1; i < leaves.size(); i += 2) {
+        const vid l = leaves[i];
+        if (raked[l]) continue;
+        const bool is_left = left[parent[l]] == l;
+        if (is_left == want_left) batch.push_back(l);
+      }
+      Padded<vid> new_root{kNoVertex};
+      ex.parallel_for(batch.size(), [&](std::size_t k) {
+        const vid r = rake(batch[k]);
+        if (r != kNoVertex) new_root.value = r;
+        raked[batch[k]] = 1;
+      });
+      if (new_root.value != kNoVertex) root = new_root.value;
+    }
+    // Compact the surviving leaves, preserving order.
+    std::vector<vid> next;
+    next.reserve(leaves.size() / 2 + 1);
+    for (const vid l : leaves) {
+      if (!raked[l]) next.push_back(l);
+    }
+    leaves = std::move(next);
+  }
+
+  const vid last = leaves[0];
+  return fa[last] * tree.value[last] + fb[last];
+}
+
+ExpressionTree random_expression_tree(vid leaves, std::uint64_t seed) {
+  if (leaves < 1) {
+    throw std::invalid_argument("random_expression_tree: leaves >= 1");
+  }
+  Xoshiro256 rng(splitmix64(seed ^ 0x74726565ULL));
+  ExpressionTree t;
+  const vid n = 2 * leaves - 1;
+  t.left.assign(n, kNoVertex);
+  t.right.assign(n, kNoVertex);
+  t.parent.assign(n, kNoVertex);
+  t.op.assign(n, Op::kAdd);
+  t.value.assign(n, 0);
+  // Grow by random leaf expansion: pick a leaf, give it two children.
+  std::vector<vid> frontier{0};
+  vid next_node = 1;
+  t.root = 0;
+  t.parent[0] = 0;
+  for (vid grown = 1; grown < leaves; ++grown) {
+    const std::size_t pick = rng.below(frontier.size());
+    const vid v = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    const vid a = next_node++;
+    const vid b = next_node++;
+    t.left[v] = a;
+    t.right[v] = b;
+    t.parent[a] = v;
+    t.parent[b] = v;
+    t.op[v] = rng.below(2) == 0 ? Op::kAdd : Op::kMul;
+    frontier.push_back(a);
+    frontier.push_back(b);
+  }
+  for (vid v = 0; v < n; ++v) {
+    if (t.is_leaf(v)) t.value[v] = rng.below(1000);
+  }
+  return t;
+}
+
+ExpressionTree chain_expression_tree(vid leaves, std::uint64_t seed) {
+  if (leaves < 1) {
+    throw std::invalid_argument("chain_expression_tree: leaves >= 1");
+  }
+  Xoshiro256 rng(splitmix64(seed ^ 0x636861696eULL));
+  ExpressionTree t;
+  const vid n = 2 * leaves - 1;
+  t.left.assign(n, kNoVertex);
+  t.right.assign(n, kNoVertex);
+  t.parent.assign(n, kNoVertex);
+  t.op.assign(n, Op::kAdd);
+  t.value.assign(n, 0);
+  t.root = 0;
+  t.parent[0] = 0;
+  // Internal spine 0..leaves-2; each spine node's right child is a
+  // leaf, its left child the next spine node (the last gets a leaf).
+  vid next_leaf = leaves - 1;  // leaves occupy [leaves-1, 2*leaves-1)
+  for (vid s = 0; s + 1 < leaves; ++s) {
+    const vid leaf = next_leaf++;
+    t.right[s] = leaf;
+    t.parent[leaf] = s;
+    t.op[s] = rng.below(2) == 0 ? Op::kAdd : Op::kMul;
+    const vid child = (s + 2 < leaves) ? s + 1 : next_leaf++;
+    t.left[s] = child;
+    t.parent[child] = s;
+  }
+  if (leaves == 1) {
+    // Single node tree.
+    t.left.assign(1, kNoVertex);
+    t.right.assign(1, kNoVertex);
+  }
+  for (vid v = 0; v < n; ++v) {
+    if (t.is_leaf(v)) t.value[v] = rng.below(1000);
+  }
+  return t;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+/// \file tree_contraction.hpp
+/// Parallel expression evaluation by tree contraction (leaf raking) —
+/// the tree-computation substrate the paper cites from Bader, Sreshta
+/// and Weisse-Bernstein (HiPC 2002, reference [2]).
+///
+/// The input is a full binary expression tree (every internal node has
+/// exactly two children) over the ring Z/2^64 with + and *.  Each
+/// node carries an affine label f(x) = a*x + b (initially the
+/// identity); raking a leaf folds its value through its parent's
+/// operation into its sibling's label, so the tree halves its leaves
+/// every round and evaluates in O(log n) barrier-synchronised rounds.
+/// The classic schedule — odd-numbered left-child leaves first, then
+/// odd-numbered right-child leaves — makes every rake in a sub-round
+/// touch disjoint nodes, so no synchronisation beyond the round
+/// barrier is needed.
+
+namespace parbcc {
+
+struct ExpressionTree {
+  enum class Op : std::uint8_t { kAdd, kMul };
+
+  /// kNoVertex for leaves.
+  std::vector<vid> left;
+  std::vector<vid> right;
+  std::vector<vid> parent;  // parent[root] == root
+  std::vector<Op> op;       // meaningful for internal nodes
+  std::vector<std::uint64_t> value;  // meaningful for leaves
+  vid root = 0;
+
+  vid size() const { return static_cast<vid>(left.size()); }
+  bool is_leaf(vid v) const { return left[v] == kNoVertex; }
+};
+
+/// Straightforward iterative post-order evaluation (the baseline).
+std::uint64_t evaluate_sequential(const ExpressionTree& tree);
+
+/// Parallel evaluation by rake-based tree contraction.
+std::uint64_t evaluate_tree_contraction(Executor& ex,
+                                        const ExpressionTree& tree);
+
+/// Random full binary expression tree with `leaves` leaves (ops and
+/// values seeded deterministically).
+ExpressionTree random_expression_tree(vid leaves, std::uint64_t seed);
+
+/// Left-leaning caterpillar ("chain") tree: the depth worst case.
+ExpressionTree chain_expression_tree(vid leaves, std::uint64_t seed);
+
+}  // namespace parbcc

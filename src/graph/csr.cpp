@@ -1,0 +1,68 @@
+#include "graph/csr.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "scan/scan.hpp"
+#include "sort/radix_sort.hpp"
+
+namespace parbcc {
+
+Csr Csr::build(Executor& ex, const EdgeList& g) {
+  if (!g.validate()) {
+    throw std::invalid_argument(
+        "Csr::build: edge list has out-of-range endpoints or self-loops");
+  }
+  Csr csr;
+  csr.n_ = g.n;
+  csr.m_ = g.m();
+  const std::size_t n = g.n;
+  const std::size_t m = g.edges.size();
+  const std::size_t num_arcs = 2 * m;
+
+  // Row boundaries from a degree count.
+  {
+    std::vector<std::atomic<eid>> degree(n);
+    ex.parallel_for(n, [&](std::size_t v) {
+      degree[v].store(0, std::memory_order_relaxed);
+    });
+    ex.parallel_for(m, [&](std::size_t i) {
+      degree[g.edges[i].u].fetch_add(1, std::memory_order_relaxed);
+      degree[g.edges[i].v].fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<eid> deg(n);
+    ex.parallel_for(n, [&](std::size_t v) {
+      deg[v] = degree[v].load(std::memory_order_relaxed);
+    });
+    csr.offsets_.resize(n + 1);
+    const eid total =
+        exclusive_scan(ex, deg.data(), csr.offsets_.data(), n, eid{0});
+    csr.offsets_[n] = total;
+  }
+
+  // Row contents by a stable by-source radix sort.  A direct per-vertex
+  // cursor scatter costs two dependent cache misses per arc (latency
+  // bound); the sort's distribution passes stream sequentially instead,
+  // which is several times faster at the paper's densities.
+  std::vector<std::uint64_t> keys(num_arcs);
+  std::vector<std::uint64_t> payload(num_arcs);  // (neighbour << 32) | edge
+  ex.parallel_for(m, [&](std::size_t i) {
+    const Edge e = g.edges[i];
+    keys[2 * i] = e.u;
+    payload[2 * i] = (static_cast<std::uint64_t>(e.v) << 32) | i;
+    keys[2 * i + 1] = e.v;
+    payload[2 * i + 1] = (static_cast<std::uint64_t>(e.u) << 32) | i;
+  });
+  radix_sort_kv64(ex, keys, payload);
+
+  csr.nbrs_.resize(num_arcs);
+  csr.eids_.resize(num_arcs);
+  ex.parallel_for(num_arcs, [&](std::size_t s) {
+    csr.nbrs_[s] = static_cast<vid>(payload[s] >> 32);
+    csr.eids_[s] = static_cast<eid>(payload[s] & 0xffffffffu);
+  });
+
+  return csr;
+}
+
+}  // namespace parbcc

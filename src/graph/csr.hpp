@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+/// \file csr.hpp
+/// Compressed sparse row adjacency built in parallel from an edge list.
+///
+/// Each undirected edge {u, v} contributes the arc u->v to u's row and
+/// v->u to v's row; every arc remembers the index of the edge it came
+/// from so per-edge results (BCC labels) can be read off during
+/// traversals.  With more than one build thread the order of arcs
+/// within a row is nondeterministic — no algorithm in this library
+/// depends on adjacency order, and tests compare label partitions, not
+/// labels.
+
+namespace parbcc {
+
+class Csr {
+ public:
+  /// Build the adjacency structure of `g` using `ex`.
+  static Csr build(Executor& ex, const EdgeList& g);
+
+  vid num_vertices() const { return n_; }
+  eid num_edges() const { return m_; }
+
+  eid degree(vid v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Neighbours of v (one entry per incident edge).
+  std::span<const vid> neighbors(vid v) const {
+    return {nbrs_.data() + offsets_[v], nbrs_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge indices aligned with neighbors(v).
+  std::span<const eid> incident_edges(vid v) const {
+    return {eids_.data() + offsets_[v], eids_.data() + offsets_[v + 1]};
+  }
+
+  std::span<const eid> offsets() const { return offsets_; }
+
+ private:
+  vid n_ = 0;
+  eid m_ = 0;
+  std::vector<eid> offsets_;  // n + 1
+  std::vector<vid> nbrs_;     // 2m
+  std::vector<eid> eids_;     // 2m
+};
+
+}  // namespace parbcc

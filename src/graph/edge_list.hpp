@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file edge_list.hpp
+/// The library's interchange representation: a flat list of undirected
+/// edges.  Tarjan-Vishkin takes an edge list as input (paper §2), and
+/// every result labels edges by their index in this list.
+
+namespace parbcc {
+
+/// One undirected edge {u, v}.  Orientation is storage only.
+struct Edge {
+  vid u;
+  vid v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+
+  /// The endpoint that is not `x` (precondition: x is an endpoint).
+  vid other(vid x) const { return x == u ? v : u; }
+};
+
+/// An undirected graph as n vertices plus an edge list.
+/// Vertices are [0, n).  Parallel edges are permitted (they are
+/// biconnectivity-relevant: a doubled edge is never a bridge);
+/// self-loops are rejected by validate() — strip them first with
+/// remove_self_loops() if an input may contain any.
+struct EdgeList {
+  vid n = 0;
+  std::vector<Edge> edges;
+
+  EdgeList() = default;
+  EdgeList(vid num_vertices, std::vector<Edge> e)
+      : n(num_vertices), edges(std::move(e)) {}
+
+  eid m() const { return static_cast<eid>(edges.size()); }
+
+  void add_edge(vid u, vid v) { edges.push_back({u, v}); }
+
+  /// True iff all endpoints are in range and there are no self-loops.
+  bool validate() const {
+    for (const Edge& e : edges) {
+      if (e.u >= n || e.v >= n || e.u == e.v) return false;
+    }
+    return true;
+  }
+};
+
+/// Copy of `g` without self-loops; `kept[i]` gets the original index of
+/// surviving edge i when non-null.
+inline EdgeList remove_self_loops(const EdgeList& g,
+                                  std::vector<eid>* kept = nullptr) {
+  EdgeList out;
+  out.n = g.n;
+  out.edges.reserve(g.edges.size());
+  if (kept) kept->clear();
+  for (eid i = 0; i < g.m(); ++i) {
+    if (g.edges[i].u != g.edges[i].v) {
+      out.edges.push_back(g.edges[i]);
+      if (kept) kept->push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace parbcc

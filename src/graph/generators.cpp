@@ -1,0 +1,359 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace parbcc::gen {
+namespace {
+
+std::uint64_t pack(vid u, vid v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+Edge unpack(std::uint64_t key) {
+  return {static_cast<vid>(key >> 32), static_cast<vid>(key & 0xffffffffu)};
+}
+
+std::uint64_t max_edges(vid n) {
+  return static_cast<std::uint64_t>(n) * (n - 1) / 2;
+}
+
+/// Draw `count` distinct undirected non-loop edges on [0, n), excluding
+/// the (sorted) keys in `exclude`.  Uniform over all valid edge sets:
+/// iid draws deduplicated are exchangeable, and a seeded shuffle picks
+/// a uniform subset when overdrawn.
+std::vector<std::uint64_t> distinct_edges(vid n, std::uint64_t count,
+                                          std::uint64_t seed,
+                                          const std::vector<std::uint64_t>& exclude) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> pool;
+  pool.reserve(count + count / 8 + 16);
+  std::uint64_t need = count;
+  while (pool.size() < count) {
+    const std::uint64_t batch = need + need / 8 + 16;
+    std::vector<std::uint64_t> cand;
+    cand.reserve(pool.size() + batch);
+    cand = std::move(pool);
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      vid u = static_cast<vid>(rng.below(n));
+      vid v = static_cast<vid>(rng.below(n - 1));
+      if (v >= u) ++v;  // uniform over v != u
+      cand.push_back(pack(u, v));
+    }
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    if (!exclude.empty()) {
+      std::vector<std::uint64_t> kept;
+      kept.reserve(cand.size());
+      std::set_difference(cand.begin(), cand.end(), exclude.begin(),
+                          exclude.end(), std::back_inserter(kept));
+      cand = std::move(kept);
+    }
+    pool = std::move(cand);
+    need = count > pool.size() ? count - pool.size() : 0;
+  }
+  if (pool.size() > count) {
+    std::shuffle(pool.begin(), pool.end(), rng);
+    pool.resize(count);
+  }
+  return pool;
+}
+
+}  // namespace
+
+EdgeList random_gnm(vid n, eid m, std::uint64_t seed) {
+  if (m > max_edges(n)) {
+    throw std::invalid_argument("random_gnm: m exceeds n*(n-1)/2");
+  }
+  EdgeList g;
+  g.n = n;
+  if (m == 0) return g;
+  const auto keys = distinct_edges(n, m, splitmix64(seed), {});
+  g.edges.reserve(m);
+  for (const auto key : keys) g.edges.push_back(unpack(key));
+  return g;
+}
+
+EdgeList random_connected_gnm(vid n, eid m, std::uint64_t seed) {
+  if (n >= 1 && m + 1 < n) {
+    throw std::invalid_argument("random_connected_gnm: m < n-1");
+  }
+  if (m > max_edges(n)) {
+    throw std::invalid_argument("random_connected_gnm: m exceeds n*(n-1)/2");
+  }
+  EdgeList g;
+  g.n = n;
+  if (n <= 1) return g;
+
+  // Uniform-attachment random tree backbone.
+  Xoshiro256 rng(splitmix64(seed ^ 0x7265656eULL));
+  std::vector<std::uint64_t> tree_keys;
+  tree_keys.reserve(n - 1);
+  g.edges.reserve(m);
+  for (vid v = 1; v < n; ++v) {
+    const vid parent = static_cast<vid>(rng.below(v));
+    g.edges.push_back({parent, v});
+    tree_keys.push_back(pack(parent, v));
+  }
+  std::sort(tree_keys.begin(), tree_keys.end());
+
+  const std::uint64_t extra = m - (n - 1);
+  if (extra > 0) {
+    const auto keys =
+        distinct_edges(n, extra, splitmix64(seed ^ 0x65646765ULL), tree_keys);
+    for (const auto key : keys) g.edges.push_back(unpack(key));
+  }
+  return g;
+}
+
+EdgeList path(vid n) {
+  EdgeList g;
+  g.n = n;
+  g.edges.reserve(n > 0 ? n - 1 : 0);
+  for (vid v = 1; v < n; ++v) g.edges.push_back({static_cast<vid>(v - 1), v});
+  return g;
+}
+
+EdgeList cycle(vid n) {
+  if (n < 3) throw std::invalid_argument("cycle: n must be >= 3");
+  EdgeList g = path(n);
+  g.edges.push_back({static_cast<vid>(n - 1), 0});
+  return g;
+}
+
+EdgeList complete(vid n) {
+  EdgeList g;
+  g.n = n;
+  g.edges.reserve(max_edges(n));
+  for (vid u = 0; u < n; ++u) {
+    for (vid v = u + 1; v < n; ++v) g.edges.push_back({u, v});
+  }
+  return g;
+}
+
+EdgeList star(vid n) {
+  EdgeList g;
+  g.n = n;
+  for (vid v = 1; v < n; ++v) g.edges.push_back({0, v});
+  return g;
+}
+
+EdgeList binary_tree(vid n) {
+  EdgeList g;
+  g.n = n;
+  for (vid v = 1; v < n; ++v) g.edges.push_back({(v - 1) / 2, v});
+  return g;
+}
+
+EdgeList grid_torus(vid rows, vid cols) {
+  if (rows < 3 || cols < 3) {
+    throw std::invalid_argument("grid_torus: rows and cols must be >= 3");
+  }
+  EdgeList g;
+  g.n = rows * cols;
+  g.edges.reserve(2ull * rows * cols);
+  const auto at = [cols](vid r, vid c) { return r * cols + c; };
+  for (vid r = 0; r < rows; ++r) {
+    for (vid c = 0; c < cols; ++c) {
+      g.edges.push_back({at(r, c), at(r, (c + 1) % cols)});
+      g.edges.push_back({at(r, c), at((r + 1) % rows, c)});
+    }
+  }
+  return g;
+}
+
+EdgeList clique_chain(vid blocks, vid clique_size) {
+  if (blocks < 1 || clique_size < 2) {
+    throw std::invalid_argument("clique_chain: blocks >= 1, clique_size >= 2");
+  }
+  EdgeList g;
+  // Consecutive cliques share one vertex.
+  g.n = blocks * (clique_size - 1) + 1;
+  for (vid b = 0; b < blocks; ++b) {
+    const vid base = b * (clique_size - 1);
+    for (vid i = 0; i < clique_size; ++i) {
+      for (vid j = i + 1; j < clique_size; ++j) {
+        g.edges.push_back({base + i, base + j});
+      }
+    }
+  }
+  return g;
+}
+
+EdgeList cycle_chain(vid blocks, vid cycle_len) {
+  if (blocks < 1 || cycle_len < 3) {
+    throw std::invalid_argument("cycle_chain: blocks >= 1, cycle_len >= 3");
+  }
+  EdgeList g;
+  g.n = blocks * (cycle_len - 1) + 1;
+  for (vid b = 0; b < blocks; ++b) {
+    const vid base = b * (cycle_len - 1);
+    for (vid i = 0; i + 1 < cycle_len; ++i) {
+      g.edges.push_back({base + i, base + i + 1});
+    }
+    g.edges.push_back({base + cycle_len - 1, base});
+  }
+  return g;
+}
+
+EdgeList random_cactus(vid blocks, vid max_cycle_len, std::uint64_t seed) {
+  if (blocks < 1 || max_cycle_len < 3) {
+    throw std::invalid_argument(
+        "random_cactus: blocks >= 1, max_cycle_len >= 3");
+  }
+  Xoshiro256 rng(splitmix64(seed ^ 0x63616374ULL));
+  const auto draw_len = [&] {
+    return static_cast<vid>(3 + rng.below(max_cycle_len - 2));
+  };
+  EdgeList g;
+  vid next_vertex = 0;
+  for (vid b = 0; b < blocks; ++b) {
+    const vid len = draw_len();
+    const vid anchor =
+        (b == 0) ? next_vertex++ : static_cast<vid>(rng.below(next_vertex));
+    vid prev = anchor;
+    for (vid i = 1; i < len; ++i) {
+      const vid v = next_vertex++;
+      g.edges.push_back({prev, v});
+      prev = v;
+    }
+    g.edges.push_back({prev, anchor});
+  }
+  g.n = next_vertex;
+  return g;
+}
+
+EdgeList dense_retain(vid n, unsigned permille, std::uint64_t seed) {
+  if (permille < 1 || permille > 1000) {
+    throw std::invalid_argument("dense_retain: permille in [1, 1000]");
+  }
+  const std::uint64_t all = max_edges(n);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(all);
+  for (vid u = 0; u < n; ++u) {
+    for (vid v = u + 1; v < n; ++v) keys.push_back(pack(u, v));
+  }
+  Xoshiro256 rng(splitmix64(seed ^ 0x64656e73ULL));
+  std::shuffle(keys.begin(), keys.end(), rng);
+  const std::uint64_t keep = all * permille / 1000;
+  keys.resize(keep);
+
+  EdgeList g;
+  g.n = n;
+  g.edges.reserve(keep);
+  for (const auto key : keys) g.edges.push_back(unpack(key));
+  return g;
+}
+
+EdgeList rmat(unsigned scale, eid edge_factor, std::uint64_t seed, double a,
+              double b, double c) {
+  if (scale < 1 || scale > 31) {
+    throw std::invalid_argument("rmat: scale in [1, 31]");
+  }
+  if (a + b + c >= 1.0 || a <= 0 || b <= 0 || c <= 0) {
+    throw std::invalid_argument("rmat: need a, b, c > 0 and a + b + c < 1");
+  }
+  const vid n = vid{1} << scale;
+  const std::uint64_t target = static_cast<std::uint64_t>(edge_factor) * n;
+  Xoshiro256 rng(splitmix64(seed ^ 0x726d6174ULL));
+  const auto draw_unit = [&] {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  };
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(target + target / 8);
+  // Oversample, deduplicate, and trim; R-MAT resamples collide often on
+  // the dense quadrant, so a couple of refill rounds may be needed.
+  while (keys.size() < target) {
+    const std::uint64_t want = target - keys.size();
+    for (std::uint64_t i = 0; i < want + want / 4 + 16; ++i) {
+      vid u = 0, v = 0;
+      for (unsigned bit = 0; bit < scale; ++bit) {
+        const double r = draw_unit();
+        u <<= 1;
+        v <<= 1;
+        if (r < a) {
+          // top-left: nothing set
+        } else if (r < a + b) {
+          v |= 1;
+        } else if (r < a + b + c) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      if (u == v) continue;
+      keys.push_back(pack(u, v));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    if (keys.size() >= max_edges(n)) break;  // graph is saturated
+  }
+  if (keys.size() > target) {
+    std::shuffle(keys.begin(), keys.end(), rng);
+    keys.resize(target);
+  }
+
+  EdgeList g;
+  g.n = n;
+  g.edges.reserve(keys.size());
+  for (const auto key : keys) g.edges.push_back(unpack(key));
+  return g;
+}
+
+EdgeList wheel(vid n) {
+  if (n < 4) throw std::invalid_argument("wheel: n must be >= 4");
+  EdgeList g;
+  g.n = n;
+  for (vid v = 1; v < n; ++v) {
+    g.edges.push_back({0, v});
+    g.edges.push_back({v, v + 1 == n ? vid{1} : v + 1});
+  }
+  return g;
+}
+
+EdgeList complete_bipartite(vid a, vid b) {
+  if (a < 1 || b < 1) {
+    throw std::invalid_argument("complete_bipartite: a, b >= 1");
+  }
+  EdgeList g;
+  g.n = a + b;
+  g.edges.reserve(static_cast<std::size_t>(a) * b);
+  for (vid u = 0; u < a; ++u) {
+    for (vid v = 0; v < b; ++v) g.edges.push_back({u, a + v});
+  }
+  return g;
+}
+
+EdgeList barbell(vid k, vid path_len) {
+  if (k < 3 || path_len < 1) {
+    throw std::invalid_argument("barbell: k >= 3, path_len >= 1");
+  }
+  EdgeList g;
+  // Vertices: [0, k) left clique, [k, k + path_len - 1) path interior,
+  // [k + path_len - 1, 2k + path_len - 1) right clique.
+  g.n = 2 * k + path_len - 1;
+  const vid right = k + path_len - 1;
+  for (vid i = 0; i < k; ++i) {
+    for (vid j = i + 1; j < k; ++j) {
+      g.edges.push_back({i, j});
+      g.edges.push_back({right + i, right + j});
+    }
+  }
+  // Path from left-clique vertex k-1 to right-clique vertex `right`.
+  vid prev = k - 1;
+  for (vid s = 0; s < path_len; ++s) {
+    const vid next = (s + 1 == path_len) ? right : k + s;
+    g.edges.push_back({prev, next});
+    prev = next;
+  }
+  return g;
+}
+
+}  // namespace parbcc::gen

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+/// \file generators.hpp
+/// Deterministic workload generators.
+///
+/// `random_connected_gnm` reproduces the paper's instances: "We create
+/// a random graph of n vertices and m edges by randomly adding m unique
+/// edges to the vertex set" (§5), plus a uniformly attached random tree
+/// backbone so the instance is connected, as the paper's inputs are.
+/// The structured families back tests (known BCC structure) and the
+/// pathological/dense experiments (chain, Woo-Sahni dense graphs).
+/// Every generator is a pure function of its arguments.
+
+namespace parbcc::gen {
+
+/// m distinct random edges (no self-loops) on n vertices; may be
+/// disconnected.  Requires m <= n*(n-1)/2.
+EdgeList random_gnm(vid n, eid m, std::uint64_t seed);
+
+/// Connected: a uniform-attachment random spanning tree plus
+/// m - (n-1) distinct random extra edges.  Requires m >= n-1.
+EdgeList random_connected_gnm(vid n, eid m, std::uint64_t seed);
+
+/// Path 0-1-...-n-1 (every edge is a bridge; n-1 BCCs).
+EdgeList path(vid n);
+
+/// Simple cycle on n >= 3 vertices (one BCC, no articulation points).
+EdgeList cycle(vid n);
+
+/// Complete graph K_n (one BCC for n >= 3).
+EdgeList complete(vid n);
+
+/// Star: center 0 joined to 1..n-1 (n-1 bridges; center articulates).
+EdgeList star(vid n);
+
+/// Complete binary tree on n vertices, heap-indexed (all bridges).
+EdgeList binary_tree(vid n);
+
+/// rows x cols torus grid (biconnected for rows, cols >= 3).
+EdgeList grid_torus(vid rows, vid cols);
+
+/// `blocks` cliques of `clique_size` >= 2 vertices chained end to end,
+/// consecutive cliques sharing one cut vertex.
+/// BCCs = blocks; articulation points = blocks - 1 shared vertices.
+EdgeList clique_chain(vid blocks, vid clique_size);
+
+/// `blocks` simple cycles of length `cycle_len` >= 3 chained end to end
+/// through shared cut vertices (a cactus path).
+EdgeList cycle_chain(vid blocks, vid cycle_len);
+
+/// Random cactus/block tree: `blocks` cycles of random length in
+/// [3, max_cycle_len] attached at random existing vertices.
+/// Exactly `blocks` BCCs; used as a known-answer fixture.
+EdgeList random_cactus(vid blocks, vid max_cycle_len, std::uint64_t seed);
+
+/// Woo-Sahni style dense instance: retain `permille`/1000 of K_n's
+/// edges, chosen uniformly (permille in [1, 1000]).
+EdgeList dense_retain(vid n, unsigned permille, std::uint64_t seed);
+
+/// R-MAT recursive-matrix graph on 2^scale vertices with roughly
+/// edge_factor * 2^scale distinct edges (skewed degrees, may be
+/// disconnected) — the scale-free family used by later SMP graph
+/// studies from the same group.  Quadrant probabilities default to the
+/// common (0.45, 0.15, 0.15, 0.25).
+EdgeList rmat(unsigned scale, eid edge_factor, std::uint64_t seed,
+              double a = 0.45, double b = 0.15, double c = 0.15);
+
+/// Wheel: hub 0 joined to an (n-1)-cycle; biconnected for n >= 4.
+EdgeList wheel(vid n);
+
+/// Complete bipartite K_{a,b}; biconnected for a, b >= 2.
+EdgeList complete_bipartite(vid a, vid b);
+
+/// Barbell: two k-cliques joined by a path of `path_len` edges
+/// (2 clique blocks + path_len bridge blocks for k >= 3,
+/// path_len >= 1).
+EdgeList barbell(vid k, vid path_len);
+
+}  // namespace parbcc::gen

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+/// \file io.hpp
+/// Plain-text edge-list serialization.
+///
+/// Format (whitespace separated, '#' starts a comment line):
+///   n m
+///   u v          (m lines, 0-based endpoints)
+///
+/// This is deliberately minimal: the paper's inputs are synthetic, and
+/// the examples use files only to show round-tripping a workload.
+
+namespace parbcc::io {
+
+void write_edge_list(std::ostream& os, const EdgeList& g);
+void write_edge_list_file(const std::string& path, const EdgeList& g);
+
+/// Throws std::runtime_error on malformed input.
+EdgeList read_edge_list(std::istream& is);
+EdgeList read_edge_list_file(const std::string& path);
+
+/// DIMACS challenge format: "c" comments, one "p edge <n> <m>" header,
+/// then m lines "e <u> <v>" with 1-based endpoints.
+void write_dimacs(std::ostream& os, const EdgeList& g);
+EdgeList read_dimacs(std::istream& is);
+
+/// METIS graph format (unweighted, fmt field absent or 0): header
+/// "<n> <m>", then line i lists the 1-based neighbours of vertex i;
+/// every edge appears in both endpoint lines.  Self-loops are not
+/// representable and are rejected on write.
+void write_metis(std::ostream& os, const EdgeList& g);
+EdgeList read_metis(std::istream& is);
+
+}  // namespace parbcc::io

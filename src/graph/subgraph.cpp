@@ -1,0 +1,45 @@
+#include "graph/subgraph.hpp"
+
+namespace parbcc {
+
+Subgraph extract_edges(const EdgeList& g, std::span<const eid> edges) {
+  Subgraph out;
+  std::vector<vid> compact(g.n, kNoVertex);
+  out.edge_of.reserve(edges.size());
+  out.graph.edges.reserve(edges.size());
+  const auto map = [&](vid v) {
+    if (compact[v] == kNoVertex) {
+      compact[v] = static_cast<vid>(out.vertex_of.size());
+      out.vertex_of.push_back(v);
+    }
+    return compact[v];
+  };
+  for (const eid e : edges) {
+    const vid u = map(g.edges[e].u);
+    const vid v = map(g.edges[e].v);
+    out.graph.edges.push_back({u, v});
+    out.edge_of.push_back(e);
+  }
+  out.graph.n = static_cast<vid>(out.vertex_of.size());
+  return out;
+}
+
+Subgraph extract_label(const EdgeList& g, std::span<const vid> labels,
+                       vid label) {
+  std::vector<eid> selected;
+  for (eid e = 0; e < g.m(); ++e) {
+    if (labels[e] == label) selected.push_back(e);
+  }
+  return extract_edges(g, selected);
+}
+
+std::vector<eid> degrees(const EdgeList& g) {
+  std::vector<eid> deg(g.n, 0);
+  for (const Edge& e : g.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+}  // namespace parbcc

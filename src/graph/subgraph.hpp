@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+/// \file subgraph.hpp
+/// Subgraph extraction with vertex relabeling — shared by the
+/// disconnected-graph dispatcher, the certificate validator and the
+/// examples, which all need to lift an edge subset into a compact
+/// standalone graph and map results back.
+
+namespace parbcc {
+
+struct Subgraph {
+  /// The extracted graph over compact vertex ids [0, sub.n).
+  EdgeList graph;
+  /// original vertex id per compact id.
+  std::vector<vid> vertex_of;
+  /// original edge id per extracted edge.
+  std::vector<eid> edge_of;
+};
+
+/// Extract the subgraph induced by the given edges (vertices are those
+/// incident to at least one selected edge, numbered by first
+/// appearance).
+Subgraph extract_edges(const EdgeList& g, std::span<const eid> edges);
+
+/// Extract the subgraph of all edges whose label matches `label`.
+Subgraph extract_label(const EdgeList& g, std::span<const vid> labels,
+                       vid label);
+
+/// Degree of every vertex (each parallel edge and both self-loop ends
+/// counted).
+std::vector<eid> degrees(const EdgeList& g);
+
+}  // namespace parbcc

@@ -1,0 +1,243 @@
+#include "listrank/list_ranking.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace parbcc {
+
+void list_rank_sequential(const vid* succ, vid* rank, std::size_t n,
+                          vid head) {
+  if (n == 0) return;
+  vid v = head;
+  for (std::size_t r = 0; r < n; ++r) {
+    rank[v] = static_cast<vid>(r);
+    v = succ[v];
+    if (v == kNoVertex) {
+      if (r + 1 != n) {
+        throw std::invalid_argument(
+            "list_rank_sequential: list does not cover all nodes");
+      }
+      return;
+    }
+  }
+  throw std::invalid_argument("list_rank_sequential: list has a cycle");
+}
+
+void list_rank_wyllie(Executor& ex, const vid* succ, vid* rank, std::size_t n,
+                      vid head) {
+  if (n == 0) return;
+  if (n == 1) {
+    rank[head] = 0;
+    return;
+  }
+  // Pointer jumping computes distance-to-tail; two buffers per array
+  // keep every round race-free (reads from generation g, writes g+1).
+  std::vector<vid> dist_a(n), dist_b(n);
+  std::vector<vid> next_a(succ, succ + n), next_b(n);
+  ex.parallel_for(n, [&](std::size_t i) {
+    dist_a[i] = (succ[i] == kNoVertex) ? 0 : 1;
+  });
+
+  vid* dist = dist_a.data();
+  vid* dist_nx = dist_b.data();
+  vid* next = next_a.data();
+  vid* next_nx = next_b.data();
+
+  // ceil(log2(n)) rounds suffice: the hop length doubles every round.
+  for (std::size_t span = 1; span < n; span *= 2) {
+    ex.parallel_for(n, [&](std::size_t i) {
+      const vid nx = next[i];
+      if (nx == kNoVertex) {
+        dist_nx[i] = dist[i];
+        next_nx[i] = kNoVertex;
+      } else {
+        dist_nx[i] = dist[i] + dist[nx];
+        next_nx[i] = next[nx];
+      }
+    });
+    std::swap(dist, dist_nx);
+    std::swap(next, next_nx);
+  }
+
+  const vid total = dist[head];  // = n - 1: head's distance to the tail
+  ex.parallel_for(n, [&](std::size_t i) {
+    rank[i] = total - dist[i];
+  });
+}
+
+void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
+                  vid head, std::uint64_t seed) {
+  if (n == 0) return;
+  const int p = ex.threads();
+  // Target sublists: enough to balance the walks even when splitters
+  // land unevenly; the classic recommendation is Theta(p log n).
+  std::size_t want = static_cast<std::size_t>(p) * 16 + 8;
+  want = std::min(want, n);
+  if (p == 1 || n < 2048) {
+    list_rank_sequential(succ, rank, n, head);
+    return;
+  }
+
+  // --- Select splitters (deterministic from `seed`). -----------------
+  BitVector is_splitter(n);
+  std::vector<vid> splitters;
+  splitters.reserve(want + 1);
+  is_splitter.set(head);
+  splitters.push_back(head);
+  for (std::size_t k = 0; splitters.size() < want; ++k) {
+    const vid v = static_cast<vid>(splitmix64(seed + k) % n);
+    if (!is_splitter.get(v)) {
+      is_splitter.set(v);
+      splitters.push_back(v);
+    }
+    if (k > 4 * want) break;  // collisions ate the budget; fewer is fine
+  }
+  const std::size_t s = splitters.size();
+
+  // splitter_index[v] = k for splitters[k] == v.
+  std::vector<vid> splitter_index(n, kNoVertex);
+  for (std::size_t k = 0; k < s; ++k) {
+    splitter_index[splitters[k]] = static_cast<vid>(k);
+  }
+
+  // --- Parallel sublist walks. ---------------------------------------
+  // Each splitter owns the chain up to (excluding) the next splitter.
+  std::vector<vid> sublist(n);      // sublist id per node
+  std::vector<vid> local_rank(n);   // rank within the sublist
+  std::vector<vid> next_splitter(s, kNoVertex);
+  std::vector<vid> sublist_len(s, 0);
+
+  ex.parallel_for_dynamic(s, 1, [&](std::size_t k) {
+    vid v = splitters[k];
+    vid local = 0;
+    for (;;) {
+      sublist[v] = static_cast<vid>(k);
+      local_rank[v] = local++;
+      const vid w = succ[v];
+      if (w == kNoVertex) {
+        next_splitter[k] = kNoVertex;
+        break;
+      }
+      if (is_splitter.get(w)) {
+        next_splitter[k] = w;
+        break;
+      }
+      v = w;
+    }
+    sublist_len[k] = local;
+  });
+
+  // --- Sequential prefix over the s sublists in list order. ----------
+  std::vector<vid> offset(s, 0);
+  {
+    vid running = 0;
+    vid k = splitter_index[head];
+    std::size_t guard = 0;
+    for (;;) {
+      offset[k] = running;
+      running += sublist_len[k];
+      const vid nxt = next_splitter[k];
+      if (nxt == kNoVertex) break;
+      k = splitter_index[nxt];
+      if (++guard > s) {
+        throw std::invalid_argument("list_rank_hj: splitter chain has a cycle");
+      }
+    }
+    if (running != n) {
+      throw std::invalid_argument(
+          "list_rank_hj: list does not cover all nodes");
+    }
+  }
+
+  // --- Final parallel combine. ---------------------------------------
+  ex.parallel_for(n, [&](std::size_t i) {
+    rank[i] = offset[sublist[i]] + local_rank[i];
+  });
+}
+
+void list_rank_independent_set(Executor& ex, const vid* succ, vid* rank,
+                               std::size_t n, vid head, std::uint64_t seed) {
+  if (n == 0) return;
+  if (ex.threads() == 1 || n < 2048) {
+    list_rank_sequential(succ, rank, n, head);
+    return;
+  }
+
+  // Doubly linked working copy; dist[i] = hops from i to cur_succ[i].
+  std::vector<vid> cur_succ(succ, succ + n);
+  std::vector<vid> pred(n, kNoVertex);
+  std::vector<vid> dist(n, 1);
+  ex.parallel_for(n, [&](std::size_t i) {
+    if (cur_succ[i] != kNoVertex) pred[cur_succ[i]] = static_cast<vid>(i);
+  });
+
+  std::vector<vid> live;
+  live.reserve(n);
+  for (vid i = 0; i < n; ++i) live.push_back(i);
+
+  // Removal log: (node, predecessor, hops predecessor -> node).
+  struct Removal {
+    vid node;
+    vid pred;
+    vid hops;
+  };
+  std::vector<Removal> log;
+  log.reserve(n);
+  std::vector<std::uint8_t> coin(n);
+  std::vector<std::uint8_t> spliced(n, 0);
+
+  std::uint64_t round = 0;
+  while (live.size() > 1) {
+    ++round;
+    ex.parallel_for(live.size(), [&](std::size_t k) {
+      const vid i = live[k];
+      coin[i] = splitmix64(seed ^ (round << 32) ^ i) & 1;
+    });
+    // Select: coin(i)=1 and coin(pred)=0 (head has no pred: never
+    // selected, so it survives to the end).  The selected set is
+    // independent, so each splice touches only unselected neighbours.
+    std::vector<vid> batch;
+    for (const vid i : live) {
+      if (i == head || coin[i] == 0) continue;
+      const vid p = pred[i];
+      if (coin[p] == 1) continue;
+      batch.push_back(i);
+    }
+    // Record the log serially (order within a round is irrelevant),
+    // then apply the splices in parallel.
+    const std::size_t log_base = log.size();
+    for (const vid i : batch) {
+      log.push_back({i, pred[i], dist[pred[i]]});
+    }
+    ex.parallel_for(batch.size(), [&](std::size_t k) {
+      const vid i = batch[k];
+      const vid p = pred[i];
+      const vid s = cur_succ[i];
+      cur_succ[p] = s;
+      dist[p] += dist[i];
+      if (s != kNoVertex) pred[s] = p;
+      spliced[i] = 1;
+    });
+    (void)log_base;
+    std::vector<vid> next;
+    next.reserve(live.size());
+    for (const vid i : live) {
+      if (!spliced[i]) next.push_back(i);
+    }
+    live = std::move(next);
+  }
+
+  // Replay: the head has rank 0; every spliced node sits `hops` after
+  // its predecessor-at-splice-time (whose rank is known by then,
+  // because predecessors are spliced strictly later or never).
+  rank[head] = 0;
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    rank[it->node] = rank[it->pred] + it->hops;
+  }
+}
+
+}  // namespace parbcc

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+/// \file sparse_table.hpp
+/// Parallel-built sparse table for idempotent range queries (min/max).
+///
+/// Tarjan-Vishkin reduces low(v)/high(v) to range minima/maxima over
+/// the preorder-indexed array of per-vertex local values: v's subtree
+/// is exactly the preorder interval [pre(v), pre(v) + size(v)).  The
+/// table costs O(n log n) space and build work — one of the overheads
+/// TV-opt removes by aggregating along tree levels instead (see
+/// eulertour/tree_computations.hpp), which the ablation bench measures.
+
+namespace parbcc {
+
+template <class T, class Combine>
+class SparseTable {
+ public:
+  SparseTable() = default;
+
+  /// Build over a[0, n).  `combine(x, y)` must be associative and
+  /// idempotent (min, max).
+  SparseTable(Executor& ex, const T* a, std::size_t n,
+              Combine combine = Combine{})
+      : n_(n), combine_(combine) {
+    if (n == 0) return;
+    levels_ = static_cast<std::size_t>(std::bit_width(n));  // floor(log2 n)+1
+    table_.resize(levels_ * n);
+    ex.parallel_for(n, [&](std::size_t i) { table_[i] = a[i]; });
+    for (std::size_t k = 1; k < levels_; ++k) {
+      const std::size_t half = std::size_t{1} << (k - 1);
+      const T* prev = table_.data() + (k - 1) * n;
+      T* cur = table_.data() + k * n;
+      const std::size_t count = n - (std::size_t{1} << k) + 1;
+      ex.parallel_for(count, [&, prev, cur, half](std::size_t i) {
+        cur[i] = combine_(prev[i], prev[i + half]);
+      });
+    }
+  }
+
+  /// Combined value over the inclusive range [l, r]; requires l <= r < n.
+  T query(std::size_t l, std::size_t r) const {
+    const std::size_t len = r - l + 1;
+    const std::size_t k = static_cast<std::size_t>(std::bit_width(len)) - 1;
+    const T* row = table_.data() + k * n_;
+    return combine_(row[l], row[r + 1 - (std::size_t{1} << k)]);
+  }
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t levels_ = 0;
+  Combine combine_{};
+  std::vector<T> table_;
+};
+
+template <class T>
+struct MinCombine {
+  T operator()(T a, T b) const { return a < b ? a : b; }
+};
+template <class T>
+struct MaxCombine {
+  T operator()(T a, T b) const { return a > b ? a : b; }
+};
+
+template <class T>
+using MinTable = SparseTable<T, MinCombine<T>>;
+template <class T>
+using MaxTable = SparseTable<T, MaxCombine<T>>;
+
+}  // namespace parbcc

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/padded.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file segmented_scan.hpp
+/// Segmented prefix sums — the variant of the prefix-computation
+/// primitive (Helman-JáJá, paper reference [9]) that PRAM tree and
+/// list algorithms use to reduce over many independent sequences in
+/// one pass.
+///
+/// A set flag starts a new segment; the scan never crosses a flag.  The
+/// parallel version lifts the trick that (value, flag) pairs under
+///    (a, fa) . (b, fb) = (fb ? b : a + b, fa | fb)
+/// form an associative operator, so the blocked two-pass scheme from
+/// scan.hpp applies unchanged.
+
+namespace parbcc {
+
+/// out[i] = sum of in[j..i] where j is the latest index <= i with
+/// flags[j] set (or the segment start at 0).  `out` may alias `in`.
+template <class T>
+void segmented_inclusive_scan(Executor& ex, const T* in,
+                              const std::uint8_t* flags, T* out,
+                              std::size_t n) {
+  const int p = ex.threads();
+  if (p == 1 || n < 2048) {
+    T running{};
+    for (std::size_t i = 0; i < n; ++i) {
+      running = flags[i] ? in[i] : running + in[i];
+      out[i] = running;
+    }
+    return;
+  }
+
+  struct Carry {
+    T sum{};
+    bool flagged = false;
+  };
+  std::vector<Padded<Carry>> block(static_cast<std::size_t>(p));
+
+  ex.run([&](int tid) {
+    auto [begin, end] = Executor::block_range(n, p, tid);
+    // Pass 1: the block's combined (sum, flag) pair.
+    Carry acc;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (flags[i]) {
+        acc.sum = in[i];
+        acc.flagged = true;
+      } else {
+        acc.sum += in[i];
+      }
+    }
+    block[static_cast<std::size_t>(tid)].value = acc;
+    ex.barrier().wait();
+    if (tid == 0) {
+      // Exclusive scan of the block pairs with the segmented operator.
+      Carry running;
+      for (int t = 0; t < p; ++t) {
+        const Carry b = block[static_cast<std::size_t>(t)].value;
+        block[static_cast<std::size_t>(t)].value = running;
+        if (b.flagged) {
+          running = b;
+        } else {
+          running.sum += b.sum;
+        }
+      }
+    }
+    ex.barrier().wait();
+    // Pass 2: rescan seeded with the carry; a flag inside the block
+    // naturally discards it.
+    T running = block[static_cast<std::size_t>(tid)].value.sum;
+    for (std::size_t i = begin; i < end; ++i) {
+      running = flags[i] ? in[i] : running + in[i];
+      out[i] = running;
+    }
+  });
+}
+
+}  // namespace parbcc

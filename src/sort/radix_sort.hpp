@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+/// \file radix_sort.hpp
+/// Parallel LSD radix sort on 64-bit keys.
+///
+/// The Euler-tour construction sorts 2(n-1) arcs keyed by
+/// (min(u,v), max(u,v)); the keys are dense integers, so a stable
+/// counting-based radix sort beats comparison sorting by a wide margin
+/// and is the cache-friendly choice the paper's engineering favours.
+/// Passes are skipped above the highest set byte of the maximum key.
+
+namespace parbcc {
+
+/// Sort `keys` ascending.
+void radix_sort_u64(Executor& ex, std::vector<std::uint64_t>& keys);
+
+/// Sort `keys` ascending, carrying `vals` through the same permutation
+/// (stable).  Requires keys.size() == vals.size().
+void radix_sort_kv(Executor& ex, std::vector<std::uint64_t>& keys,
+                   std::vector<std::uint32_t>& vals);
+
+/// Same with a 64-bit payload (used by the CSR builder to carry
+/// (neighbour, edge-id) records through the by-source sort).
+void radix_sort_kv64(Executor& ex, std::vector<std::uint64_t>& keys,
+                     std::vector<std::uint64_t>& vals);
+
+}  // namespace parbcc

@@ -1,0 +1,76 @@
+#include "spanning/bfs_tree.hpp"
+
+#include <atomic>
+
+#include "util/padded.hpp"
+
+namespace parbcc {
+
+BfsTree bfs_tree(Executor& ex, const Csr& g, vid root) {
+  const vid n = g.num_vertices();
+  BfsTree out;
+  out.root = root;
+  out.parent.assign(n, kNoVertex);
+  out.parent_edge.assign(n, kNoEdge);
+  out.level.assign(n, kNoVertex);
+  if (n == 0) return out;
+
+  std::vector<std::atomic<vid>> parent(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    parent[v].store(kNoVertex, std::memory_order_relaxed);
+  });
+  parent[root].store(root, std::memory_order_relaxed);
+  out.level[root] = 0;
+
+  const int p = ex.threads();
+  std::vector<vid> frontier{root};
+  std::vector<Padded<std::vector<vid>>> local(static_cast<std::size_t>(p));
+
+  vid depth = 0;
+  vid reached = 1;
+  while (!frontier.empty()) {
+    ++depth;
+    for (auto& buf : local) buf.value.clear();
+
+    // Expand: each thread scans a slice of the frontier and claims
+    // undiscovered neighbours with a CAS on the parent slot.
+    ex.parallel_blocks(
+        frontier.size(), [&](int tid, std::size_t begin, std::size_t end) {
+          std::vector<vid>& next = local[static_cast<std::size_t>(tid)].value;
+          for (std::size_t k = begin; k < end; ++k) {
+            const vid v = frontier[k];
+            const auto nbrs = g.neighbors(v);
+            const auto eids = g.incident_edges(v);
+            for (std::size_t j = 0; j < nbrs.size(); ++j) {
+              const vid w = nbrs[j];
+              vid expected = kNoVertex;
+              if (parent[w].compare_exchange_strong(
+                      expected, v, std::memory_order_acq_rel)) {
+                out.parent_edge[w] = eids[j];
+                out.level[w] = depth;
+                next.push_back(w);
+              }
+            }
+          }
+        });
+
+    // Concatenate per-thread buffers into the next frontier.
+    std::size_t total = 0;
+    for (const auto& buf : local) total += buf.value.size();
+    frontier.clear();
+    frontier.reserve(total);
+    for (const auto& buf : local) {
+      frontier.insert(frontier.end(), buf.value.begin(), buf.value.end());
+    }
+    reached += static_cast<vid>(total);
+  }
+
+  ex.parallel_for(n, [&](std::size_t v) {
+    out.parent[v] = parent[v].load(std::memory_order_relaxed);
+  });
+  out.reached = reached;
+  out.num_levels = depth;  // last round discovered nothing: depth-1 levels past root
+  return out;
+}
+
+}  // namespace parbcc

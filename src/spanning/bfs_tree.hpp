@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+/// \file bfs_tree.hpp
+/// Parallel level-synchronous breadth-first-search tree.
+///
+/// TV-filter (paper Alg. 2, step 1) requires T to be a *BFS* tree:
+/// Lemma 1 — no ancestral relationship between the endpoints of a
+/// forest edge of G - T — holds only because BFS trees have no
+/// intra-tree edges spanning more than one level.  Level-synchronous
+/// expansion guarantees exact BFS levels: a vertex's parent is always
+/// on the previous level.
+///
+/// Runs in O(d) rounds of O((n+m)/p) work, which is the `O(d + log n)`
+/// term in Alg. 2's complexity and the reason the paper calls out the
+/// pathological chain case (see bench_pathological).
+
+namespace parbcc {
+
+struct BfsTree {
+  /// parent[v]; parent[root] == root; kNoVertex if unreachable.
+  std::vector<vid> parent;
+  /// parent_edge[v] = edge index of (v, parent[v]); kNoEdge for root
+  /// and unreachable vertices.
+  std::vector<eid> parent_edge;
+  /// BFS depth; kNoVertex for unreachable vertices, 0 for the root.
+  std::vector<vid> level;
+  vid root = 0;
+  /// Vertices reached (== n iff connected).
+  vid reached = 0;
+  /// Number of BFS levels (eccentricity of root + 1), 0 if n == 0.
+  vid num_levels = 0;
+};
+
+BfsTree bfs_tree(Executor& ex, const Csr& g, vid root);
+
+}  // namespace parbcc

@@ -1,0 +1,153 @@
+#include "spanning/boruvka_msf.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "connectivity/union_find.hpp"
+#include "scan/compact.hpp"
+#include "util/padded.hpp"
+
+namespace parbcc {
+namespace {
+
+constexpr std::uint64_t kInf = ~std::uint64_t{0};
+
+void atomic_min_u64(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
+                      std::span<const std::uint32_t> weights) {
+  if (edges.size() != weights.size()) {
+    throw std::invalid_argument("boruvka_msf: edges/weights size mismatch");
+  }
+  const std::size_t m = edges.size();
+
+  std::vector<std::atomic<vid>> label(n);
+  std::vector<std::atomic<std::uint64_t>> best(n);
+  std::vector<vid> target(n);
+  std::vector<eid> hook_edge(n, kNoEdge);
+  ex.parallel_for(n, [&](std::size_t v) {
+    label[v].store(static_cast<vid>(v), std::memory_order_relaxed);
+  });
+
+  const int p = ex.threads();
+  std::vector<Padded<bool>> thread_changed(static_cast<std::size_t>(p));
+
+  for (;;) {
+    // Phase 1: per-component minimum incident edge, keyed
+    // (weight, edge id) so ties break consistently — the property that
+    // limits hook cycles to mutual pairs.
+    ex.parallel_for(n, [&](std::size_t v) {
+      best[v].store(kInf, std::memory_order_relaxed);
+      target[v] = kNoVertex;
+    });
+    ex.parallel_for(m, [&](std::size_t e) {
+      const vid lu = label[edges[e].u].load(std::memory_order_relaxed);
+      const vid lv = label[edges[e].v].load(std::memory_order_relaxed);
+      if (lu == lv) return;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(weights[e]) << 32) | e;
+      atomic_min_u64(best[lu], key);
+      atomic_min_u64(best[lv], key);
+    });
+
+    // Phase 2: each winning root records the root on the other side
+    // (labels are frozen until phase 3 writes).
+    ex.parallel_for(n, [&](std::size_t r) {
+      const std::uint64_t key = best[r].load(std::memory_order_relaxed);
+      if (key == kInf) return;
+      const eid e = static_cast<eid>(key & 0xffffffffu);
+      const vid lu = label[edges[e].u].load(std::memory_order_relaxed);
+      const vid lv = label[edges[e].v].load(std::memory_order_relaxed);
+      target[r] = (lu == static_cast<vid>(r)) ? lv : lu;
+    });
+
+    // Phase 3: hook.  Mutual pairs (r <-> s) hook only the larger side
+    // so the pair contributes one edge and no cycle.
+    for (auto& c : thread_changed) c.value = false;
+    ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+      bool changed = false;
+      for (std::size_t r = begin; r < end; ++r) {
+        const vid s = target[r];
+        if (s == kNoVertex) continue;
+        if (target[s] == static_cast<vid>(r) && s > static_cast<vid>(r)) {
+          continue;  // the larger of the mutual pair hooks, not us
+        }
+        label[r].store(s, std::memory_order_relaxed);
+        hook_edge[r] = static_cast<eid>(
+            best[r].load(std::memory_order_relaxed) & 0xffffffffu);
+        changed = true;
+      }
+      if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
+    });
+
+    bool any = false;
+    for (const auto& c : thread_changed) any = any || c.value;
+    if (!any) break;
+
+    // Shortcut to fixpoint (hook chains may be several deep).
+    for (;;) {
+      std::vector<Padded<bool>> jumped(static_cast<std::size_t>(p));
+      ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+        bool changed = false;
+        for (std::size_t v = begin; v < end; ++v) {
+          const vid l = label[v].load(std::memory_order_relaxed);
+          const vid ll = label[l].load(std::memory_order_relaxed);
+          if (ll != l) {
+            label[v].store(ll, std::memory_order_relaxed);
+            changed = true;
+          }
+        }
+        if (changed) jumped[static_cast<std::size_t>(tid)].value = true;
+      });
+      bool any_jump = false;
+      for (const auto& j : jumped) any_jump = any_jump || j.value;
+      if (!any_jump) break;
+    }
+  }
+
+  MsfResult out;
+  out.tree_edges.resize(n);
+  const std::size_t count = pack_into(
+      ex, n, [&](std::size_t v) { return hook_edge[v] != kNoEdge; },
+      [&](std::size_t dst, std::size_t v) {
+        out.tree_edges[dst] = hook_edge[v];
+      });
+  out.tree_edges.resize(count);
+  out.num_components = static_cast<vid>(n - count);
+  for (const eid e : out.tree_edges) out.total_weight += weights[e];
+  return out;
+}
+
+MsfResult kruskal_msf(vid n, std::span<const Edge> edges,
+                      std::span<const std::uint32_t> weights) {
+  if (edges.size() != weights.size()) {
+    throw std::invalid_argument("kruskal_msf: edges/weights size mismatch");
+  }
+  std::vector<eid> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](eid a, eid b) {
+    return std::make_pair(weights[a], a) < std::make_pair(weights[b], b);
+  });
+  UnionFind uf(n);
+  MsfResult out;
+  for (const eid e : order) {
+    if (edges[e].u != edges[e].v && uf.unite(edges[e].u, edges[e].v)) {
+      out.tree_edges.push_back(e);
+      out.total_weight += weights[e];
+    }
+  }
+  out.num_components = static_cast<vid>(n - out.tree_edges.size());
+  std::sort(out.tree_edges.begin(), out.tree_edges.end());
+  return out;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+/// \file boruvka_msf.hpp
+/// Parallel minimum spanning forest by Borůvka rounds — the companion
+/// primitive study the paper cites ([4], Bader & Cong, "Fast
+/// shared-memory algorithms for computing the minimum spanning forest
+/// of sparse graphs", IPDPS 2004).
+///
+/// Each round every component finds its minimum-weight incident edge
+/// (atomic min over packed (weight, edge) keys), winners hook exactly
+/// as in the Shiloach-Vishkin spanning tree (CAS on the root, strictly
+/// decreasing labels), then labels shortcut.  Components at least halve
+/// per round, so there are O(log n) rounds of O(m) work.
+///
+/// Ties are broken by edge id, so the MSF weight is always minimal and
+/// the forest itself is unique when weights are distinct.
+
+namespace parbcc {
+
+struct MsfResult {
+  /// Indices of the forest edges (n - #components of them).
+  std::vector<eid> tree_edges;
+  /// Total weight of the forest.
+  std::uint64_t total_weight = 0;
+  vid num_components = 0;
+};
+
+/// Minimum spanning forest of (edges, weights) over n vertices.
+/// Requires weights[e] < 2^32 and edges.size() == weights.size().
+MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
+                      std::span<const std::uint32_t> weights);
+
+/// Sequential Kruskal (sort + union-find), the correctness oracle.
+MsfResult kruskal_msf(vid n, std::span<const Edge> edges,
+                      std::span<const std::uint32_t> weights);
+
+}  // namespace parbcc

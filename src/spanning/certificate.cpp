@@ -1,0 +1,103 @@
+#include "spanning/certificate.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "graph/csr.hpp"
+#include "spanning/sv_tree.hpp"
+#include "scan/compact.hpp"
+#include "util/padded.hpp"
+
+namespace parbcc {
+
+SparseCertificate sparse_certificate_edge(Executor& ex, const EdgeList& g,
+                                          unsigned k) {
+  if (k == 0) {
+    throw std::invalid_argument("sparse_certificate_edge: k >= 1");
+  }
+  SparseCertificate out;
+  out.forest_offsets.push_back(0);
+  std::vector<std::uint8_t> used(g.m(), 0);
+  std::vector<eid> candidates;
+  for (unsigned round = 0; round < k; ++round) {
+    pack_indices(ex, g.m(),
+                 [&](std::size_t e) { return used[e] == 0; }, candidates);
+    const SpanningForest forest =
+        sv_spanning_forest(ex, g.n, g.edges, candidates);
+    for (const eid e : forest.tree_edges) {
+      used[e] = 1;
+      out.edges.push_back(e);
+    }
+    out.forest_offsets.push_back(static_cast<eid>(out.edges.size()));
+  }
+  return out;
+}
+
+SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
+                                            unsigned k) {
+  if (k == 0) {
+    throw std::invalid_argument("sparse_certificate_vertex: k >= 1");
+  }
+  const Csr csr = Csr::build(ex, g);
+  SparseCertificate out;
+  out.forest_offsets.push_back(0);
+  std::vector<std::uint8_t> used(g.m(), 0);
+
+  const int p = ex.threads();
+  std::vector<std::atomic<vid>> parent(g.n);
+  std::vector<eid> parent_edge(g.n, kNoEdge);
+  std::vector<Padded<std::vector<vid>>> local(static_cast<std::size_t>(p));
+
+  for (unsigned round = 0; round < k; ++round) {
+    ex.parallel_for(g.n, [&](std::size_t v) {
+      parent[v].store(kNoVertex, std::memory_order_relaxed);
+      parent_edge[v] = kNoEdge;
+    });
+    // BFS forest over the unused edges: every still-unvisited vertex in
+    // id order seeds a level-synchronous traversal of its component.
+    for (vid r = 0; r < g.n; ++r) {
+      if (parent[r].load(std::memory_order_relaxed) != kNoVertex) continue;
+      parent[r].store(r, std::memory_order_relaxed);
+      std::vector<vid> frontier{r};
+      while (!frontier.empty()) {
+        for (auto& buf : local) buf.value.clear();
+        ex.parallel_blocks(
+            frontier.size(), [&](int tid, std::size_t begin,
+                                 std::size_t end) {
+              auto& next = local[static_cast<std::size_t>(tid)].value;
+              for (std::size_t i = begin; i < end; ++i) {
+                const vid v = frontier[i];
+                const auto nbrs = csr.neighbors(v);
+                const auto eids = csr.incident_edges(v);
+                for (std::size_t j = 0; j < nbrs.size(); ++j) {
+                  if (used[eids[j]]) continue;
+                  vid expected = kNoVertex;
+                  if (parent[nbrs[j]].compare_exchange_strong(
+                          expected, v, std::memory_order_acq_rel)) {
+                    // CAS winner is the sole writer of this slot.
+                    parent_edge[nbrs[j]] = eids[j];
+                    next.push_back(nbrs[j]);
+                  }
+                }
+              }
+            });
+        frontier.clear();
+        for (const auto& buf : local) {
+          frontier.insert(frontier.end(), buf.value.begin(),
+                          buf.value.end());
+        }
+      }
+    }
+    // Harvest this round's forest and retire its edges.
+    for (vid v = 0; v < g.n; ++v) {
+      if (parent_edge[v] != kNoEdge) {
+        used[parent_edge[v]] = 1;
+        out.edges.push_back(parent_edge[v]);
+      }
+    }
+    out.forest_offsets.push_back(static_cast<eid>(out.edges.size()));
+  }
+  return out;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file certificate.hpp
+/// Sparse connectivity certificates by successive spanning forests —
+/// the general principle behind TV-filter's edge filtering.
+///
+/// Let F1 be a spanning forest of G, F2 a spanning forest of G - F1,
+/// and so on.  Classic results:
+///
+///  - Nagamochi-Ibaraki / Thurimella: F1 u ... u Fk preserves
+///    k-EDGE-connectivity (for any choice of forests), with at most
+///    k(n-1) edges.
+///  - Cheriyan-Kanevsky-Maheshwari / Thurimella: if each Fi is a
+///    *BFS* forest, F1 u ... u Fk also preserves k-VERTEX-connectivity.
+///
+/// TV-filter (paper Alg. 2 and Theorem 2) is exactly the k = 2 BFS
+/// case plus a labeling argument: T u F keeps the whole biconnected
+/// component structure, not just the yes/no property.  This module
+/// exposes the construction for general k, so downstream users can
+/// sparsify before any connectivity-style computation.
+
+namespace parbcc {
+
+struct SparseCertificate {
+  /// Edge ids of F1 u ... u Fk, grouped by forest.
+  std::vector<eid> edges;
+  /// forest_offsets[i] .. forest_offsets[i+1] delimit Fi+1 in `edges`.
+  std::vector<eid> forest_offsets;
+
+  /// Materialize the certificate as its own EdgeList over g's vertices.
+  EdgeList subgraph(const EdgeList& g) const {
+    EdgeList out;
+    out.n = g.n;
+    out.edges.reserve(edges.size());
+    for (const eid e : edges) out.edges.push_back(g.edges[e]);
+    return out;
+  }
+};
+
+/// k successive spanning forests via Shiloach-Vishkin
+/// (k-edge-connectivity certificate; <= k(n-1) edges).
+SparseCertificate sparse_certificate_edge(Executor& ex, const EdgeList& g,
+                                          unsigned k);
+
+/// k successive *BFS* spanning forests (k-vertex-connectivity
+/// certificate).  Forest i is built by BFS restricted to the edges not
+/// used by forests 1..i-1, rooted per component.
+SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
+                                            unsigned k);
+
+}  // namespace parbcc

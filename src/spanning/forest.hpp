@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+/// \file forest.hpp
+/// Sequential spanning-forest reference and structural validators.
+///
+/// The sequential routines are oracles for the parallel spanning-tree
+/// algorithms, and the validators are shared by tests and by debug
+/// assertions inside the BCC drivers.
+
+namespace parbcc {
+
+/// Sequential DFS spanning forest; roots chosen in ascending id order.
+/// Returns indices into `edges` of the forest edges.
+std::vector<eid> sequential_spanning_forest(vid n, std::span<const Edge> edges);
+
+/// Sequential BFS rooted tree: parent array (parent[root] == root,
+/// kNoVertex when unreachable) and levels; oracle for bfs_tree.
+struct SeqBfsResult {
+  std::vector<vid> parent;
+  std::vector<vid> level;
+  vid reached = 0;
+};
+SeqBfsResult sequential_bfs(const Csr& g, vid root);
+
+/// True iff the given edge subset is acyclic (i.e. a forest) on n
+/// vertices.
+bool is_forest(vid n, std::span<const Edge> edges, std::span<const eid> subset);
+
+/// True iff `parent` encodes a tree rooted at `root` covering every
+/// vertex with parent != kNoVertex: exactly one self-parent (the root)
+/// and no cycles.
+bool is_valid_rooted_tree(std::span<const vid> parent, vid root);
+
+}  // namespace parbcc

@@ -1,0 +1,106 @@
+#include "spanning/sv_tree.hpp"
+
+#include <atomic>
+
+#include "scan/compact.hpp"
+#include "util/padded.hpp"
+
+namespace parbcc {
+namespace {
+
+/// Core graft-and-shortcut with hook recording.  `edge_at(k)` maps the
+/// dense iteration index k in [0, count) to an edge id in `edges`.
+template <class EdgeAt>
+SpanningForest sv_forest_impl(Executor& ex, vid n,
+                              std::span<const Edge> edges, std::size_t count,
+                              EdgeAt edge_at) {
+  std::vector<std::atomic<vid>> label(n);
+  std::vector<std::atomic<eid>> hook(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    label[v].store(static_cast<vid>(v), std::memory_order_relaxed);
+    hook[v].store(kNoEdge, std::memory_order_relaxed);
+  });
+
+  const int p = ex.threads();
+  std::vector<Padded<bool>> thread_changed(static_cast<std::size_t>(p));
+
+  for (;;) {
+    for (auto& c : thread_changed) c.value = false;
+
+    ex.parallel_blocks(count, [&](int tid, std::size_t begin,
+                                  std::size_t end) {
+      bool changed = false;
+      for (std::size_t k = begin; k < end; ++k) {
+        const eid i = edge_at(k);
+        const vid u = edges[i].u;
+        const vid v = edges[i].v;
+        vid du = label[u].load(std::memory_order_relaxed);
+        vid dv = label[v].load(std::memory_order_relaxed);
+        if (du == dv) continue;
+        if (du < dv) std::swap(du, dv);
+        vid expected = du;
+        if (label[du].compare_exchange_strong(expected, dv,
+                                              std::memory_order_acq_rel)) {
+          // This thread owns root du's single graft: record its edge.
+          hook[du].store(i, std::memory_order_relaxed);
+          changed = true;
+        }
+      }
+      if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
+    });
+
+    ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+      bool changed = false;
+      for (std::size_t v = begin; v < end; ++v) {
+        const vid l = label[v].load(std::memory_order_relaxed);
+        const vid ll = label[l].load(std::memory_order_relaxed);
+        if (ll != l) {
+          label[v].store(ll, std::memory_order_relaxed);
+          changed = true;
+        }
+      }
+      if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
+    });
+
+    bool any = false;
+    for (const auto& c : thread_changed) any = any || c.value;
+    if (!any) break;
+  }
+
+  SpanningForest out;
+  out.comp.resize(n);
+  ex.parallel_for(n, [&](std::size_t v) {
+    out.comp[v] = label[v].load(std::memory_order_relaxed);
+  });
+
+  // Forest edges: hooks of all grafted roots, compacted in vertex order.
+  out.tree_edges.resize(n);
+  const std::size_t tree_count = pack_into(
+      ex, n,
+      [&](std::size_t v) {
+        return hook[v].load(std::memory_order_relaxed) != kNoEdge;
+      },
+      [&](std::size_t dst, std::size_t v) {
+        out.tree_edges[dst] = hook[v].load(std::memory_order_relaxed);
+      });
+  out.tree_edges.resize(tree_count);
+  out.num_components = static_cast<vid>(n - tree_count);
+  return out;
+}
+
+}  // namespace
+
+SpanningForest sv_spanning_forest(Executor& ex, vid n,
+                                  std::span<const Edge> edges) {
+  return sv_forest_impl(ex, n, edges, edges.size(),
+                        [](std::size_t k) { return static_cast<eid>(k); });
+}
+
+SpanningForest sv_spanning_forest(Executor& ex, vid n,
+                                  std::span<const Edge> edges,
+                                  std::span<const eid> subset) {
+  return sv_forest_impl(ex, n, edges, subset.size(),
+                        [subset](std::size_t k) { return subset[k]; });
+}
+
+}  // namespace parbcc

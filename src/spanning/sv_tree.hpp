@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+/// \file sv_tree.hpp
+/// Spanning forest from Shiloach-Vishkin graft-and-shortcut, recording
+/// hook edges — TV step 1 ("a spanning tree algorithm derived from the
+/// Shiloach-Vishkin connected components algorithm").
+///
+/// Whenever a root is grafted (CAS-arbitrated, hence at most once), the
+/// edge that triggered the graft is recorded; the recorded edges form a
+/// spanning forest: each successful hook joins two previously separate
+/// trees, and the strictly-decreasing label order excludes cycles.
+
+namespace parbcc {
+
+struct SpanningForest {
+  /// Indices (into the input edge sequence) of the forest edges;
+  /// exactly n - num_components of them.
+  std::vector<eid> tree_edges;
+  /// Component label per vertex (minimum vertex id of the component).
+  std::vector<vid> comp;
+  vid num_components = 0;
+};
+
+/// Spanning forest over all edges.
+SpanningForest sv_spanning_forest(Executor& ex, vid n,
+                                  std::span<const Edge> edges);
+
+/// Spanning forest over the subset `subset` (edge indices into
+/// `edges`); returned tree_edges are indices into `edges`, not into
+/// `subset`.  Lets TV-filter build F over G - T without copying edges.
+SpanningForest sv_spanning_forest(Executor& ex, vid n,
+                                  std::span<const Edge> edges,
+                                  std::span<const eid> subset);
+
+}  // namespace parbcc

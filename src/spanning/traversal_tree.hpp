@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+/// \file traversal_tree.hpp
+/// Work-stealing graph-traversal rooted spanning tree — the algorithm
+/// TV-opt uses to merge the paper's Spanning-tree and Root-tree steps
+/// (after Bader & Cong, IPDPS 2004): parents are set directly during a
+/// parallel traversal, so no Euler-tour rooting pass is needed.
+///
+/// Each thread keeps a private stack of discovered vertices whose
+/// adjacency is still unscanned; idle threads steal half a victim's
+/// stack.  Vertex ownership is claimed by a CAS on the parent slot, so
+/// each vertex is discovered exactly once and the parent pointers form
+/// a tree rooted at `root` by construction (a vertex's parent is always
+/// discovered earlier).
+
+namespace parbcc {
+
+struct TraversalTree {
+  /// parent[v]; parent[root] == root; kNoVertex for vertices
+  /// unreachable from root.
+  std::vector<vid> parent;
+  /// parent_edge[v] = index of the edge (v, parent[v]) in the graph's
+  /// edge list; kNoEdge for the root and unreachable vertices.
+  std::vector<eid> parent_edge;
+  vid root = 0;
+  /// Number of vertices reached (== n iff the graph is connected).
+  vid reached = 0;
+};
+
+TraversalTree traversal_spanning_tree(Executor& ex, const Csr& g, vid root);
+
+}  // namespace parbcc

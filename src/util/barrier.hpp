@@ -1,0 +1,58 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/types.hpp"
+
+/// \file barrier.hpp
+/// Centralized sense-reversing spin barrier.
+///
+/// The paper implements its SMP algorithms with POSIX threads and
+/// "software-based barriers"; this is the standard centralized
+/// sense-reversing design: the last thread to arrive flips a global
+/// sense flag that all spinning threads are watching.  Arrival uses a
+/// single fetch_sub, so the barrier is O(p) traffic per episode and has
+/// no syscalls on the fast path; spinners yield to stay fair on
+/// machines with fewer cores than threads (like this container).
+
+namespace parbcc {
+
+class Barrier {
+ public:
+  explicit Barrier(int participants)
+      : participants_(participants), remaining_(participants), sense_(false) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Number of threads that must call wait() per episode.
+  int participants() const { return participants_; }
+
+  /// Block until all participants have arrived.
+  void wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arrival: reset the count and release everyone.
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      // Spin with a bounded busy phase, then yield: with oversubscribed
+      // threads a pure spin would livelock the only core.
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 64) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+ private:
+  const int participants_;
+  alignas(kCacheLine) std::atomic<int> remaining_;
+  alignas(kCacheLine) std::atomic<bool> sense_;
+};
+
+}  // namespace parbcc

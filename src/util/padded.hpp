@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+/// \file padded.hpp
+/// Cache-line padded wrapper for per-thread mutable state.
+///
+/// Arrays of per-thread counters/accumulators must not share cache
+/// lines, or the coherence traffic serializes the very loops we are
+/// trying to parallelize.  `Padded<T>` gives each element its own line.
+
+namespace parbcc {
+
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+static_assert(alignof(Padded<int>) == kCacheLine);
+static_assert(sizeof(Padded<char>) == kCacheLine);
+
+}  // namespace parbcc

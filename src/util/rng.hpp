@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Small deterministic PRNGs for workload generation.
+///
+/// Benchmarks and property tests must be reproducible across runs and
+/// thread counts, so graph generators take explicit 64-bit seeds and
+/// use these engines rather than std::random_device.  SplitMix64 seeds
+/// and also serves as a cheap stateless hash; Xoshiro256** is the
+/// workhorse stream generator.
+
+namespace parbcc {
+
+/// SplitMix64 step: also usable as an avalanche hash of `x`.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256** by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    // Expand the seed through SplitMix64 as the authors recommend.
+    std::uint64_t sm = seed;
+    for (auto& word : s_) {
+      sm += 0x9e3779b97f4a7c15ULL;
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw from [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) {
+    // 128-bit multiply keeps the mapping unbiased enough for workload
+    // generation (bias < 2^-64 per draw).
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace parbcc

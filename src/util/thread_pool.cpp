@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace parbcc {
+
+Executor::Executor(int threads) : threads_(threads), barrier_(threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("Executor: thread count must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int tid = 1; tid < threads; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Executor::run(const std::function<void(int)>& f) {
+  if (threads_ == 1) {
+    f(0);
+    return;
+  }
+  first_error_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(job_ == nullptr && "Executor::run is not reentrant");
+    job_ = &f;
+    pending_.store(threads_ - 1, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  // The caller participates as tid 0.
+  try {
+    f(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock,
+                [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  lock.unlock();
+  {
+    std::lock_guard<std::mutex> jl(mu_);
+    job_ = nullptr;
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void Executor::worker_loop(int tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    try {
+      (*job)(tid);
+    } catch (...) {
+      std::lock_guard<std::mutex> elock(error_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out wakes the caller.  The lock pairs with the
+      // caller's wait() so the notify cannot be lost.
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace parbcc

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/barrier.hpp"
+#include "util/types.hpp"
+
+/// \file thread_pool.hpp
+/// Persistent SPMD worker pool — the execution substrate for every
+/// parallel algorithm in parbcc.
+///
+/// The paper's implementations follow the classic SMP style: spawn p
+/// POSIX threads once, then run a sequence of data-parallel steps
+/// separated by software barriers.  `Executor` reproduces that model:
+///
+///   Executor ex(p);
+///   ex.run([&](int tid) {          // all p threads execute the body
+///     ... step 1, partitioned by tid ...
+///     ex.barrier().wait();
+///     ... step 2 ...
+///   });
+///
+/// The calling thread participates as tid 0, so `Executor(1)` runs
+/// everything inline with zero threading overhead — the p = 1 data
+/// points in the benchmarks measure pure algorithmic work.
+
+namespace parbcc {
+
+class Executor {
+ public:
+  /// Create a pool that runs SPMD regions with `threads` participants
+  /// (the caller plus `threads - 1` persistent workers).
+  explicit Executor(int threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Number of SPMD participants.
+  int threads() const { return threads_; }
+
+  /// The barrier shared by all participants of the current run().
+  /// Only meaningful inside the body passed to run().
+  Barrier& barrier() { return barrier_; }
+
+  /// Execute `f(tid)` on every participant and wait for all of them.
+  /// Not reentrant: the body must not call run() on the same Executor.
+  /// If any participant throws, one of the exceptions is rethrown on
+  /// the caller after every participant has finished.  The body must
+  /// not throw across a barrier it still owes other participants —
+  /// partition work so that throwing regions need no barrier.
+  void run(const std::function<void(int)>& f);
+
+  /// Half-open block of [0, n) owned by `tid` out of `p` under the
+  /// balanced static partition used throughout the library.
+  static std::pair<std::size_t, std::size_t> block_range(std::size_t n, int p,
+                                                         int tid) {
+    const std::size_t begin = n * static_cast<std::size_t>(tid) / p;
+    const std::size_t end = n * (static_cast<std::size_t>(tid) + 1) / p;
+    return {begin, end};
+  }
+
+  /// Statically partitioned parallel loop: `f(i)` for each i in [0, n).
+  template <class F>
+  void parallel_for(std::size_t n, F&& f) {
+    if (threads_ == 1 || n < 2) {
+      for (std::size_t i = 0; i < n; ++i) f(i);
+      return;
+    }
+    run([&](int tid) {
+      auto [begin, end] = block_range(n, threads_, tid);
+      for (std::size_t i = begin; i < end; ++i) f(i);
+    });
+  }
+
+  /// Statically partitioned loop handing each thread its whole block:
+  /// `f(tid, begin, end)`.  Use when per-thread setup matters.
+  template <class F>
+  void parallel_blocks(std::size_t n, F&& f) {
+    if (threads_ == 1) {
+      f(0, std::size_t{0}, n);
+      return;
+    }
+    run([&](int tid) {
+      auto [begin, end] = block_range(n, threads_, tid);
+      f(tid, begin, end);
+    });
+  }
+
+  /// Dynamically scheduled loop over chunks of `grain` indices; use for
+  /// irregular per-index work (e.g. vertices with skewed degrees).
+  template <class F>
+  void parallel_for_dynamic(std::size_t n, std::size_t grain, F&& f) {
+    if (threads_ == 1 || n < 2) {
+      for (std::size_t i = 0; i < n; ++i) f(i);
+      return;
+    }
+    if (grain == 0) grain = 1;
+    std::atomic<std::size_t> next{0};
+    run([&](int) {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) break;
+        const std::size_t end = std::min(begin + grain, n);
+        for (std::size_t i = begin; i < end; ++i) f(i);
+      }
+    });
+  }
+
+ private:
+  void worker_loop(int tid);
+
+  const int threads_;
+  Barrier barrier_;
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+
+  std::atomic<int> pending_{0};
+  std::condition_variable done_cv_;
+  std::mutex done_mu_;
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace parbcc

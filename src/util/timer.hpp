@@ -1,0 +1,35 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.hpp
+/// Wall-clock timing used by the per-step breakdowns (paper Fig. 4).
+
+namespace parbcc {
+
+/// Monotonic wall-clock stopwatch measured in seconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// seconds() followed by reset(): elapsed time of the step just run.
+  double lap() {
+    const auto now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parbcc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental integer types shared by every parbcc subsystem.
+///
+/// Vertices and edges are 32-bit: the paper's largest instance is 1M
+/// vertices / 20M edges, and the auxiliary graph built by the
+/// Tarjan-Vishkin label-edge step has at most n + m vertices and 3m
+/// staged edges, all comfortably below 2^32.  32-bit ids halve the
+/// memory traffic of the bandwidth-bound parallel loops.
+
+namespace parbcc {
+
+/// Vertex identifier, 0-based.
+using vid = std::uint32_t;
+/// Edge identifier (index into an edge list), 0-based.
+using eid = std::uint32_t;
+
+/// Sentinel for "no vertex" (also used for unset parents).
+inline constexpr vid kNoVertex = std::numeric_limits<vid>::max();
+/// Sentinel for "no edge".
+inline constexpr eid kNoEdge = std::numeric_limits<eid>::max();
+
+/// Destination cache line size used for padding shared mutable state.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace parbcc

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/bcc.hpp"
+#include "core/hopcroft_tarjan.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+/// Named graph families for the big equivalence sweep.
+EdgeList make_graph(const std::string& family, int seed) {
+  const auto s = static_cast<std::uint64_t>(seed);
+  if (family == "sparse_random") {
+    return gen::random_connected_gnm(800, 1600, s);
+  }
+  if (family == "dense_random") {
+    return gen::random_connected_gnm(300, 4000, s);
+  }
+  if (family == "tree_random") {
+    return gen::random_connected_gnm(1000, 999, s);
+  }
+  if (family == "cactus") {
+    return gen::random_cactus(60, 9, s);
+  }
+  if (family == "clique_chain") {
+    return gen::clique_chain(10 + static_cast<vid>(seed), 5);
+  }
+  if (family == "cycle_chain") {
+    return gen::cycle_chain(20, 3 + static_cast<vid>(seed % 4));
+  }
+  if (family == "torus") {
+    return gen::grid_torus(8, 9 + static_cast<vid>(seed));
+  }
+  if (family == "path") {
+    return gen::path(500);
+  }
+  if (family == "star") {
+    return gen::star(500);
+  }
+  if (family == "complete") {
+    return gen::complete(40);
+  }
+  ADD_FAILURE() << "unknown family " << family;
+  return {};
+}
+
+class BccEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<BccAlgorithm, std::string, int, int>> {};
+
+TEST_P(BccEquivalence, MatchesSequentialTarjanAsPartition) {
+  const auto [algorithm, family, seed, threads] = GetParam();
+  const EdgeList g = make_graph(family, seed);
+
+  Executor ex(threads);
+  BccOptions opt;
+  opt.algorithm = algorithm;
+  opt.compute_cut_info = true;
+  const BccResult par = biconnected_components(ex, g, opt);
+
+  const Csr csr = Csr::build(ex, g);
+  const BccResult seq = hopcroft_tarjan_bcc(g, csr, true);
+
+  ASSERT_EQ(par.num_components, seq.num_components);
+  EXPECT_TRUE(
+      testutil::same_partition(par.edge_component, seq.edge_component));
+  EXPECT_EQ(par.is_articulation, seq.is_articulation);
+  EXPECT_EQ(par.bridges, seq.bridges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BccEquivalence,
+    ::testing::Combine(
+        ::testing::Values(BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt,
+                          BccAlgorithm::kTvFilter),
+        ::testing::Values("sparse_random", "dense_random", "tree_random",
+                          "cactus", "clique_chain", "cycle_chain", "torus",
+                          "path", "star", "complete"),
+        ::testing::Values(1, 2),
+        ::testing::Values(1, 4)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + std::get<1>(info.param) + "_s" +
+             std::to_string(std::get<2>(info.param)) + "_t" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+class BccSeedSweep
+    : public ::testing::TestWithParam<std::tuple<BccAlgorithm, int>> {};
+
+TEST_P(BccSeedSweep, RandomGraphsManySeeds) {
+  const auto [algorithm, seed] = GetParam();
+  // Mix of densities keyed off the seed.
+  const vid n = 200 + 37 * static_cast<vid>(seed);
+  const eid m = n + static_cast<eid>((seed % 5) * n);
+  const EdgeList g =
+      gen::random_connected_gnm(n, std::max<eid>(m, n - 1), seed);
+
+  Executor ex(3);
+  BccOptions opt;
+  opt.algorithm = algorithm;
+  const BccResult par = biconnected_components(ex, g, opt);
+  const testutil::RefBcc ref = testutil::reference_bcc(g);
+  ASSERT_EQ(par.num_components, ref.count);
+  EXPECT_TRUE(testutil::same_partition(par.edge_component, ref.edge_comp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BccSeedSweep,
+    ::testing::Combine(::testing::Values(BccAlgorithm::kTvSmp,
+                                         BccAlgorithm::kTvOpt,
+                                         BccAlgorithm::kTvFilter,
+                                         BccAlgorithm::kAuto),
+                       ::testing::Range(0, 12)));
+
+TEST(BccParallel, RootChoiceDoesNotChangeThePartition) {
+  const EdgeList g = gen::random_connected_gnm(400, 1200, 5);
+  Executor ex(4);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvFilter;
+  opt.root = 0;
+  const BccResult a = biconnected_components(ex, g, opt);
+  opt.root = 237;
+  const BccResult b = biconnected_components(ex, g, opt);
+  EXPECT_EQ(a.num_components, b.num_components);
+  EXPECT_TRUE(testutil::same_partition(a.edge_component, b.edge_component));
+}
+
+TEST(BccParallel, TvSmpRankerVariantsAgree) {
+  const EdgeList g = gen::random_connected_gnm(300, 900, 8);
+  Executor ex(4);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvSmp;
+  BccResult base;
+  bool first = true;
+  for (const ListRanker ranker :
+       {ListRanker::kSequential, ListRanker::kWyllie,
+        ListRanker::kHelmanJaja}) {
+    for (const ArcSort sort : {ArcSort::kSampleSort, ArcSort::kCountingSort}) {
+      opt.ranker = ranker;
+      opt.arc_sort = sort;
+      const BccResult r = biconnected_components(ex, g, opt);
+      if (first) {
+        base = r;
+        first = false;
+      } else {
+        ASSERT_EQ(r.num_components, base.num_components);
+        EXPECT_TRUE(testutil::same_partition(r.edge_component,
+                                             base.edge_component));
+      }
+    }
+  }
+}
+
+TEST(BccParallel, StepTimesArePopulated) {
+  const EdgeList g = gen::random_connected_gnm(2000, 8000, 2);
+  Executor ex(2);
+  for (const BccAlgorithm algorithm :
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+    BccOptions opt;
+    opt.algorithm = algorithm;
+    const BccResult r = biconnected_components(ex, g, opt);
+    EXPECT_GT(r.times.total, 0.0) << to_string(algorithm);
+    EXPECT_GT(r.times.accounted(), 0.0) << to_string(algorithm);
+    EXPECT_LE(r.times.accounted(), r.times.total * 1.5)
+        << to_string(algorithm);
+    if (algorithm == BccAlgorithm::kTvFilter) {
+      EXPECT_GT(r.times.filtering, 0.0);
+    } else {
+      EXPECT_EQ(r.times.filtering, 0.0);
+    }
+  }
+}
+
+TEST(BccParallel, AutoPicksFilterForDenseAndOptForSparse) {
+  Executor ex(2);
+  // Dense: m > 4n.
+  const EdgeList dense = gen::random_connected_gnm(200, 1000, 1);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kAuto;
+  const BccResult rd = biconnected_components(ex, dense, opt);
+  EXPECT_GT(rd.times.filtering, 0.0);
+  // Sparse: m <= 4n -> TV-opt, no filtering step.
+  const EdgeList sparse = gen::random_connected_gnm(200, 600, 1);
+  const BccResult rs = biconnected_components(ex, sparse, opt);
+  EXPECT_EQ(rs.times.filtering, 0.0);
+}
+
+}  // namespace
+}  // namespace parbcc

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "connectivity/union_find.hpp"
+#include "core/augmentation.hpp"
+#include "core/bcc.hpp"
+#include "core/block_cut_tree.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+BccResult solve(Executor& ex, const EdgeList& g) {
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kAuto;
+  return biconnected_components(ex, g, opt);
+}
+
+TEST(BlockCutTree, CliqueChainShape) {
+  Executor ex(2);
+  const EdgeList g = gen::clique_chain(4, 4);
+  const BccResult r = solve(ex, g);
+  const BlockCutTree tree = build_block_cut_tree(ex, g, r);
+  EXPECT_EQ(tree.num_blocks, 4u);
+  EXPECT_EQ(tree.num_cut_nodes, 3u);
+  // A chain of blocks: 2 leaves, 2 interior blocks, 6 tree edges.
+  EXPECT_EQ(tree.edges.size(), 6u);
+  vid leaves = 0;
+  for (vid b = 0; b < tree.num_blocks; ++b) leaves += tree.is_leaf_block(b);
+  EXPECT_EQ(leaves, 2u);
+  // Each block of a 4-clique has 4 vertices.
+  for (vid b = 0; b < tree.num_blocks; ++b) {
+    EXPECT_EQ(tree.vertices_of_block(b).size(), 4u);
+  }
+}
+
+TEST(BlockCutTree, StarShape) {
+  Executor ex(1);
+  const EdgeList g = gen::star(6);
+  const BccResult r = solve(ex, g);
+  const BlockCutTree tree = build_block_cut_tree(ex, g, r);
+  EXPECT_EQ(tree.num_blocks, 5u);
+  EXPECT_EQ(tree.num_cut_nodes, 1u);
+  EXPECT_EQ(tree.cut_vertex[0], 0u);
+  EXPECT_EQ(tree.edges.size(), 5u);
+  for (vid b = 0; b < tree.num_blocks; ++b) {
+    EXPECT_TRUE(tree.is_leaf_block(b));
+  }
+}
+
+TEST(BlockCutTree, BiconnectedGraphIsOneBlockNoCuts) {
+  Executor ex(2);
+  const EdgeList g = gen::grid_torus(4, 4);
+  const BccResult r = solve(ex, g);
+  const BlockCutTree tree = build_block_cut_tree(ex, g, r);
+  EXPECT_EQ(tree.num_blocks, 1u);
+  EXPECT_EQ(tree.num_cut_nodes, 0u);
+  EXPECT_TRUE(tree.edges.empty());
+  EXPECT_EQ(tree.vertices_of_block(0).size(), g.n);
+}
+
+TEST(BlockCutTree, EdgesConnectBlocksToTheirCutVertices) {
+  Executor ex(2);
+  const EdgeList g = gen::random_connected_gnm(300, 360, 4);
+  const BccResult r = solve(ex, g);
+  const BlockCutTree tree = build_block_cut_tree(ex, g, r);
+  // Validate each tree edge against raw membership.
+  for (const Edge& e : tree.edges) {
+    const vid block = e.u;
+    const vid cut = tree.cut_vertex[e.v - tree.num_blocks];
+    const auto members = tree.vertices_of_block(block);
+    EXPECT_TRUE(std::find(members.begin(), members.end(), cut) !=
+                members.end());
+  }
+  // Tree edge count = total cut-vertex memberships.
+  std::size_t expected = 0;
+  for (vid b = 0; b < tree.num_blocks; ++b) {
+    for (const vid v : tree.vertices_of_block(b)) {
+      expected += r.is_articulation[v] ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(tree.edges.size(), expected);
+  // The block-cut structure of a connected graph is a tree: edges =
+  // nodes - 1 over blocks + cut nodes.
+  EXPECT_EQ(tree.edges.size(), tree.num_blocks + tree.num_cut_nodes - 1u);
+}
+
+TEST(BlockCutTree, RequiresCutInfo) {
+  Executor ex(1);
+  const EdgeList g = gen::cycle(4);
+  BccOptions opt;
+  opt.compute_cut_info = false;
+  const BccResult r = biconnected_components(ex, g, opt);
+  EXPECT_THROW(build_block_cut_tree(ex, g, r), std::invalid_argument);
+}
+
+void expect_biconnected_after_augmentation(Executor& ex, EdgeList g) {
+  const BccResult before = solve(ex, g);
+  const auto added = biconnectivity_augmentation(ex, g, before);
+  for (const Edge& e : added) g.edges.push_back(e);
+  const BccResult after = solve(ex, g);
+  EXPECT_EQ(after.num_components, 1u)
+      << "still " << after.num_components << " blocks after adding "
+      << added.size() << " edges";
+  for (const auto a : after.is_articulation) EXPECT_EQ(a, 0);
+}
+
+TEST(Augmentation, AlreadyBiconnectedAddsNothing) {
+  Executor ex(2);
+  const EdgeList g = gen::cycle(12);
+  const BccResult r = solve(ex, g);
+  EXPECT_TRUE(biconnectivity_augmentation(ex, g, r).empty());
+}
+
+TEST(Augmentation, PathBecomesBiconnected) {
+  Executor ex(2);
+  expect_biconnected_after_augmentation(ex, gen::path(30));
+}
+
+TEST(Augmentation, StarBecomesBiconnected) {
+  Executor ex(2);
+  expect_biconnected_after_augmentation(ex, gen::star(20));
+}
+
+TEST(Augmentation, CliqueChainBecomesBiconnected) {
+  Executor ex(2);
+  expect_biconnected_after_augmentation(ex, gen::clique_chain(6, 5));
+}
+
+TEST(Augmentation, CactusBecomesBiconnected) {
+  Executor ex(2);
+  expect_biconnected_after_augmentation(ex, gen::random_cactus(25, 6, 3));
+}
+
+TEST(Augmentation, DisconnectedWithIsolatedVertices) {
+  Executor ex(2);
+  // Two triangles, a path, and two isolated vertices.
+  EdgeList g(12, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {6, 7},
+                  {7, 8}});
+  expect_biconnected_after_augmentation(ex, g);
+}
+
+TEST(Augmentation, SparseRandomGraphsSweep) {
+  Executor ex(2);
+  for (const int seed : {1, 2, 3, 4, 5}) {
+    expect_biconnected_after_augmentation(
+        ex, gen::random_gnm(150, 170, seed));
+  }
+}
+
+TEST(Augmentation, RejectsTinyGraphs) {
+  Executor ex(1);
+  const EdgeList g(2, {{0, 1}});
+  const BccResult r = solve(ex, g);
+  EXPECT_THROW(biconnectivity_augmentation(ex, g, r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parbcc

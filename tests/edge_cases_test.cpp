@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/bcc.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+const BccAlgorithm kAll[] = {BccAlgorithm::kSequential, BccAlgorithm::kTvSmp,
+                             BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
+                             BccAlgorithm::kAuto};
+
+BccResult solve(const EdgeList& g, BccAlgorithm algorithm, int threads = 2) {
+  Executor ex(threads);
+  BccOptions opt;
+  opt.algorithm = algorithm;
+  return biconnected_components(ex, g, opt);
+}
+
+TEST(EdgeCases, EmptyGraph) {
+  const EdgeList g(0, {});
+  for (const auto algorithm : kAll) {
+    const BccResult r = solve(g, algorithm);
+    EXPECT_EQ(r.num_components, 0u);
+    EXPECT_TRUE(r.edge_component.empty());
+    EXPECT_TRUE(r.bridges.empty());
+  }
+}
+
+TEST(EdgeCases, SingleVertexNoEdges) {
+  const EdgeList g(1, {});
+  for (const auto algorithm : kAll) {
+    const BccResult r = solve(g, algorithm);
+    EXPECT_EQ(r.num_components, 0u);
+    EXPECT_EQ(r.is_articulation, std::vector<std::uint8_t>{0});
+  }
+}
+
+TEST(EdgeCases, ManyIsolatedVertices) {
+  const EdgeList g(50, {});
+  for (const auto algorithm : kAll) {
+    const BccResult r = solve(g, algorithm);
+    EXPECT_EQ(r.num_components, 0u);
+  }
+}
+
+TEST(EdgeCases, SingleEdge) {
+  const EdgeList g(2, {{0, 1}});
+  for (const auto algorithm : kAll) {
+    const BccResult r = solve(g, algorithm);
+    EXPECT_EQ(r.num_components, 1u);
+    EXPECT_EQ(r.bridges.size(), 1u);
+    EXPECT_EQ(r.is_articulation, (std::vector<std::uint8_t>{0, 0}));
+  }
+}
+
+TEST(EdgeCases, TwoVerticesParallelEdges) {
+  const EdgeList g(2, {{0, 1}, {1, 0}, {0, 1}});
+  for (const auto algorithm : kAll) {
+    const BccResult r = solve(g, algorithm);
+    EXPECT_EQ(r.num_components, 1u) << to_string(algorithm);
+    EXPECT_TRUE(r.bridges.empty()) << to_string(algorithm);
+  }
+}
+
+TEST(EdgeCases, SelfLoopsGetOwnComponents) {
+  // Triangle with two self-loops sprinkled in.
+  const EdgeList g(3, {{0, 1}, {1, 1}, {1, 2}, {2, 0}, {0, 0}});
+  for (const auto algorithm : kAll) {
+    const BccResult r = solve(g, algorithm);
+    EXPECT_EQ(r.num_components, 3u) << to_string(algorithm);
+    // Triangle edges share one label; each loop is alone.
+    EXPECT_EQ(r.edge_component[0], r.edge_component[2]);
+    EXPECT_EQ(r.edge_component[0], r.edge_component[3]);
+    EXPECT_NE(r.edge_component[1], r.edge_component[0]);
+    EXPECT_NE(r.edge_component[4], r.edge_component[0]);
+    EXPECT_NE(r.edge_component[1], r.edge_component[4]);
+    // Loops are not bridges and do not articulate.
+    EXPECT_TRUE(r.bridges.empty()) << to_string(algorithm);
+    EXPECT_EQ(r.is_articulation, (std::vector<std::uint8_t>{0, 0, 0}));
+  }
+}
+
+TEST(EdgeCases, DisconnectedMixtureAllAlgorithmsAgree) {
+  // Triangle, path, isolated vertices, 4-cycle.
+  EdgeList g(13, {{0, 1},
+                  {1, 2},
+                  {2, 0},
+                  {3, 4},
+                  {4, 5},
+                  {7, 8},
+                  {8, 9},
+                  {9, 10},
+                  {10, 7}});
+  const testutil::RefBcc ref = testutil::reference_bcc(g);
+  for (const auto algorithm : kAll) {
+    const BccResult r = solve(g, algorithm);
+    ASSERT_EQ(r.num_components, ref.count) << to_string(algorithm);
+    EXPECT_TRUE(testutil::same_partition(r.edge_component, ref.edge_comp))
+        << to_string(algorithm);
+    EXPECT_EQ(r.is_articulation, testutil::brute_force_articulation(g))
+        << to_string(algorithm);
+  }
+}
+
+TEST(EdgeCases, ManySmallComponents) {
+  // 30 disjoint triangles.
+  EdgeList g(90, {});
+  for (vid b = 0; b < 30; ++b) {
+    const vid base = 3 * b;
+    g.add_edge(base, base + 1);
+    g.add_edge(base + 1, base + 2);
+    g.add_edge(base + 2, base);
+  }
+  for (const auto algorithm : kAll) {
+    const BccResult r = solve(g, algorithm);
+    EXPECT_EQ(r.num_components, 30u) << to_string(algorithm);
+  }
+}
+
+TEST(EdgeCases, InvalidInputsThrow) {
+  Executor ex(1);
+  EdgeList bad(2, {{0, 5}});
+  EXPECT_THROW(biconnected_components(ex, bad, {}), std::invalid_argument);
+  EdgeList ok(3, {{0, 1}});
+  BccOptions opt;
+  opt.root = 9;
+  EXPECT_THROW(biconnected_components(ex, ok, opt), std::invalid_argument);
+}
+
+TEST(EdgeCases, RootInsideResultIsRespected) {
+  const EdgeList g = gen::cycle(8);
+  Executor ex(2);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvOpt;
+  opt.root = 5;
+  const BccResult r = biconnected_components(ex, g, opt);
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(EdgeCases, HighThreadOversubscription) {
+  // More threads than vertices in some components.
+  const EdgeList g = gen::random_gnm(64, 80, 9);
+  const testutil::RefBcc ref = testutil::reference_bcc(g);
+  for (const auto algorithm :
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+    const BccResult r = solve(g, algorithm, /*threads=*/16);
+    ASSERT_EQ(r.num_components, ref.count) << to_string(algorithm);
+    EXPECT_TRUE(testutil::same_partition(r.edge_component, ref.edge_comp));
+  }
+}
+
+TEST(EdgeCases, ThreadsOptionConvenienceOverload) {
+  const EdgeList g = gen::cycle(64);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvOpt;
+  opt.threads = 4;
+  const BccResult r = biconnected_components(g, opt);
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace parbcc

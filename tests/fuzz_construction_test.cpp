@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bcc.hpp"
+#include "core/incremental.hpp"
+#include "core/validate.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+/// Construction-based fuzzing: graphs are assembled from operations
+/// whose effect on the block structure is known exactly (each operation
+/// glues one fresh block onto an anchor vertex), so the expected number
+/// of blocks, bridges, cut vertices and components is tracked on the
+/// side with no reference algorithm in the loop at all.
+
+namespace parbcc {
+namespace {
+
+struct Builder {
+  EdgeList g;
+  std::vector<vid> blocks_of;  // per vertex
+  vid blocks = 0;
+  vid bridges = 0;
+  vid components = 0;
+  Xoshiro256 rng;
+
+  explicit Builder(std::uint64_t seed) : rng(seed) { g.n = 0; }
+
+  vid fresh_vertex() {
+    blocks_of.push_back(0);
+    return g.n++;
+  }
+
+  /// Anchor for a new block: either an existing vertex (growing its
+  /// component) or a fresh one (starting a new component).
+  vid pick_anchor() {
+    if (g.n == 0 || rng.below(5) == 0) {
+      ++components;
+      return fresh_vertex();
+    }
+    return static_cast<vid>(rng.below(g.n));
+  }
+
+  void add_bridge() {
+    const vid a = pick_anchor();
+    const vid b = fresh_vertex();
+    g.add_edge(a, b);
+    ++blocks;
+    ++bridges;
+    ++blocks_of[a];
+    ++blocks_of[b];
+  }
+
+  void add_cycle(vid len) {
+    const vid a = pick_anchor();
+    vid prev = a;
+    for (vid i = 1; i < len; ++i) {
+      const vid v = fresh_vertex();
+      g.add_edge(prev, v);
+      ++blocks_of[v];
+      prev = v;
+    }
+    g.add_edge(prev, a);
+    ++blocks;
+    ++blocks_of[a];
+    // Interior vertices got counted once per incident edge pair; fix:
+    // they belong to exactly this one block.
+    for (vid v = g.n - (len - 1); v < g.n; ++v) blocks_of[v] = 1;
+  }
+
+  void add_clique(vid size) {
+    const vid a = pick_anchor();
+    std::vector<vid> members{a};
+    for (vid i = 1; i < size; ++i) members.push_back(fresh_vertex());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        g.add_edge(members[i], members[j]);
+      }
+    }
+    ++blocks;
+    ++blocks_of[a];
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      blocks_of[members[i]] = 1;
+    }
+  }
+
+  void add_isolated() {
+    fresh_vertex();
+    ++components;
+  }
+
+  vid expected_cuts() const {
+    vid count = 0;
+    for (const vid b : blocks_of) count += b >= 2 ? 1 : 0;
+    return count;
+  }
+};
+
+class FuzzParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzParam, TrackedStructureMatchesEveryAlgorithm) {
+  const int seed = GetParam();
+  Builder b(static_cast<std::uint64_t>(seed) * 77 + 5);
+  const int ops = 60;
+  for (int k = 0; k < ops; ++k) {
+    switch (b.rng.below(4)) {
+      case 0:
+        b.add_bridge();
+        break;
+      case 1:
+        b.add_cycle(static_cast<vid>(3 + b.rng.below(6)));
+        break;
+      case 2:
+        b.add_clique(static_cast<vid>(3 + b.rng.below(4)));
+        break;
+      default:
+        b.add_isolated();
+        break;
+    }
+  }
+
+  Executor ex(3);
+  for (const BccAlgorithm algorithm :
+       {BccAlgorithm::kSequential, BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt,
+        BccAlgorithm::kTvFilter}) {
+    BccOptions opt;
+    opt.algorithm = algorithm;
+    const BccResult r = biconnected_components(ex, b.g, opt);
+    ASSERT_EQ(r.num_components, b.blocks) << to_string(algorithm);
+    ASSERT_EQ(r.bridges.size(), b.bridges) << to_string(algorithm);
+    vid cuts = 0;
+    for (const auto a : r.is_articulation) cuts += a;
+    ASSERT_EQ(cuts, b.expected_cuts()) << to_string(algorithm);
+    ASSERT_TRUE(validate_bcc(ex, b.g, r).ok) << to_string(algorithm);
+  }
+
+  // The incremental structure, fed the edges in shuffled order, must
+  // land on the same final answers.
+  auto edges = b.g.edges;
+  std::shuffle(edges.begin(), edges.end(), b.rng);
+  IncrementalBiconnectivity inc(b.g.n);
+  for (const Edge& e : edges) inc.insert_edge(e.u, e.v);
+  EXPECT_EQ(inc.num_blocks(), b.blocks);
+  EXPECT_EQ(inc.num_bridges(), b.bridges);
+  EXPECT_EQ(inc.num_cut_vertices(), b.expected_cuts());
+  EXPECT_EQ(inc.num_components(), b.components);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzParam, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace parbcc

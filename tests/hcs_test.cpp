@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "connectivity/hcs.hpp"
+#include "connectivity/shiloach_vishkin.hpp"
+#include "graph/generators.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+TEST(HcsComponents, LabelIsComponentMinimum) {
+  Executor ex(4);
+  EdgeList g(5, {{2, 1}, {1, 0}, {4, 3}});
+  const auto labels = connected_components_hcs(ex, g);
+  EXPECT_EQ(labels, (std::vector<vid>{0, 0, 0, 3, 3}));
+}
+
+TEST(HcsComponents, EmptyAndIsolated) {
+  Executor ex(2);
+  EXPECT_TRUE(connected_components_hcs(ex, EdgeList(0, {})).empty());
+  const auto labels = connected_components_hcs(ex, EdgeList(3, {}));
+  EXPECT_EQ(labels, (std::vector<vid>{0, 1, 2}));
+}
+
+class HcsParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HcsParam, AgreesWithSvAndSequential) {
+  const auto [threads, seed] = GetParam();
+  Executor ex(threads);
+  const EdgeList g = gen::random_gnm(3000, 2500, seed);
+  const auto hcs = connected_components_hcs(ex, g);
+  const auto sv = connected_components_sv(ex, g);
+  const auto seq = connected_components_seq(g.n, g.edges);
+  EXPECT_EQ(hcs, seq);
+  EXPECT_EQ(sv, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HcsParam,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(HcsComponents, LongPathConverges) {
+  Executor ex(4);
+  const EdgeList g = gen::path(30000);
+  const auto labels = connected_components_hcs(ex, g);
+  for (const vid l : labels) ASSERT_EQ(l, 0u);
+}
+
+TEST(HcsComponents, StructuredFamilies) {
+  Executor ex(3);
+  for (const EdgeList& g :
+       {gen::grid_torus(10, 10), gen::complete(50), gen::star(100),
+        gen::clique_chain(8, 5)}) {
+    const auto labels = connected_components_hcs(ex, g);
+    for (const vid l : labels) ASSERT_EQ(l, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace parbcc

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "connectivity/union_find.hpp"
+#include "core/bcc.hpp"
+#include "core/incremental.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+/// From-scratch ground truth for the incremental structure's queries.
+struct Snapshot {
+  vid num_blocks;
+  vid num_bridges;
+  vid num_components;
+  std::vector<std::uint8_t> is_cut;
+  /// Vertex sets per block, for same_block queries.
+  std::vector<std::set<vid>> block_vertices;
+
+  explicit Snapshot(const EdgeList& g) {
+    Executor ex(1);
+    const BccResult r = biconnected_components(ex, g, {});
+    num_blocks = r.num_components;
+    num_bridges = static_cast<vid>(r.bridges.size());
+    is_cut = r.is_articulation;
+    block_vertices.resize(r.num_components);
+    for (eid e = 0; e < g.m(); ++e) {
+      block_vertices[r.edge_component[e]].insert(g.edges[e].u);
+      block_vertices[r.edge_component[e]].insert(g.edges[e].v);
+    }
+    // Components including isolated vertices.
+    num_components = 0;
+    {
+      UnionFind uf(g.n);
+      vid count = g.n;
+      for (const Edge& e : g.edges) {
+        if (e.u != e.v && uf.unite(e.u, e.v)) --count;
+      }
+      num_components = count;
+    }
+  }
+
+  bool same_block(vid u, vid v) const {
+    for (const auto& block : block_vertices) {
+      if (block.count(u) && block.count(v)) return true;
+    }
+    return false;
+  }
+};
+
+void expect_matches(IncrementalBiconnectivity& inc, const EdgeList& g,
+                    std::uint64_t query_seed) {
+  const Snapshot truth(g);
+  ASSERT_EQ(inc.num_blocks(), truth.num_blocks);
+  ASSERT_EQ(inc.num_bridges(), truth.num_bridges);
+  ASSERT_EQ(inc.num_components(), truth.num_components);
+  for (vid v = 0; v < g.n; ++v) {
+    ASSERT_EQ(inc.is_cut_vertex(v), truth.is_cut[v] != 0) << "v=" << v;
+  }
+  Xoshiro256 rng(query_seed);
+  for (int q = 0; q < 200; ++q) {
+    const vid u = static_cast<vid>(rng.below(g.n));
+    const vid v = static_cast<vid>(rng.below(g.n));
+    ASSERT_EQ(inc.same_block(u, v), truth.same_block(u, v))
+        << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(Incremental, HandDrivenScenario) {
+  IncrementalBiconnectivity inc(6);
+  EXPECT_EQ(inc.num_components(), 6u);
+  inc.insert_edge(0, 1);  // bridge
+  EXPECT_EQ(inc.num_blocks(), 1u);
+  EXPECT_EQ(inc.num_bridges(), 1u);
+  EXPECT_TRUE(inc.same_block(0, 1));
+  EXPECT_FALSE(inc.is_cut_vertex(0));
+
+  inc.insert_edge(1, 2);  // second bridge; 1 becomes a cut vertex
+  EXPECT_EQ(inc.num_blocks(), 2u);
+  EXPECT_TRUE(inc.is_cut_vertex(1));
+  EXPECT_FALSE(inc.same_block(0, 2));
+
+  inc.insert_edge(2, 0);  // closes the triangle
+  EXPECT_EQ(inc.num_blocks(), 1u);
+  EXPECT_EQ(inc.num_bridges(), 0u);
+  EXPECT_FALSE(inc.is_cut_vertex(1));
+  EXPECT_TRUE(inc.same_block(0, 2));
+
+  inc.insert_edge(2, 3);  // pendant bridge
+  inc.insert_edge(3, 4);
+  EXPECT_EQ(inc.num_blocks(), 3u);
+  EXPECT_EQ(inc.num_bridges(), 2u);
+  EXPECT_TRUE(inc.is_cut_vertex(2));
+  EXPECT_TRUE(inc.is_cut_vertex(3));
+
+  inc.insert_edge(4, 0);  // swallows everything into one block
+  EXPECT_EQ(inc.num_blocks(), 1u);
+  EXPECT_EQ(inc.num_bridges(), 0u);
+  EXPECT_EQ(inc.num_cut_vertices(), 0u);
+  EXPECT_TRUE(inc.same_block(3, 1));
+  EXPECT_FALSE(inc.same_block(3, 5));  // 5 still isolated
+  EXPECT_EQ(inc.num_components(), 2u);
+}
+
+TEST(Incremental, SelfLoopsAndParallelEdges) {
+  IncrementalBiconnectivity inc(3);
+  inc.insert_edge(0, 0);  // ignored
+  EXPECT_EQ(inc.num_blocks(), 0u);
+  inc.insert_edge(0, 1);
+  EXPECT_EQ(inc.num_bridges(), 1u);
+  inc.insert_edge(0, 1);  // doubled: no longer a bridge
+  EXPECT_EQ(inc.num_blocks(), 1u);
+  EXPECT_EQ(inc.num_bridges(), 0u);
+}
+
+class IncrementalParam
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IncrementalParam, MatchesRecomputeAfterEveryInsertion) {
+  const auto [n_arg, seed] = GetParam();
+  const vid n = static_cast<vid>(n_arg);
+  // Random insertion order over a random graph's edges.
+  EdgeList full = gen::random_gnm(n, 3 * n, seed);
+  Xoshiro256 rng(seed * 31 + 7);
+  std::shuffle(full.edges.begin(), full.edges.end(), rng);
+
+  IncrementalBiconnectivity inc(n);
+  EdgeList sofar(n, {});
+  for (eid e = 0; e < full.m(); ++e) {
+    inc.insert_edge(full.edges[e].u, full.edges[e].v);
+    sofar.edges.push_back(full.edges[e]);
+    // Checking every step is O(m^2); sample a prefix densely and then
+    // every 16th insertion.
+    if (e < 20 || e % 16 == 0 || e + 1 == full.m()) {
+      expect_matches(inc, sofar, e);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IncrementalParam,
+                         ::testing::Combine(::testing::Values(30, 80),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(Incremental, BridgeChainThenCollapse) {
+  const vid n = 2000;
+  IncrementalBiconnectivity inc(n);
+  for (vid v = 1; v < n; ++v) inc.insert_edge(v - 1, v);
+  EXPECT_EQ(inc.num_blocks(), n - 1);
+  EXPECT_EQ(inc.num_bridges(), n - 1);
+  EXPECT_EQ(inc.num_cut_vertices(), n - 2);
+  inc.insert_edge(n - 1, 0);  // one edge biconnects the whole ring
+  EXPECT_EQ(inc.num_blocks(), 1u);
+  EXPECT_EQ(inc.num_bridges(), 0u);
+  EXPECT_EQ(inc.num_cut_vertices(), 0u);
+  EXPECT_TRUE(inc.same_block(17, 1234));
+}
+
+TEST(Incremental, RejectsOutOfRange) {
+  IncrementalBiconnectivity inc(3);
+  EXPECT_THROW(inc.insert_edge(0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parbcc

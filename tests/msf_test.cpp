@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spanning/boruvka_msf.hpp"
+#include "spanning/forest.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+std::vector<std::uint32_t> random_weights(eid m, std::uint64_t seed,
+                                          std::uint32_t bound = 1000000) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> w(m);
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(bound));
+  return w;
+}
+
+TEST(Kruskal, HandCheckedTriangle) {
+  EdgeList g(3, {{0, 1}, {1, 2}, {2, 0}});
+  const std::vector<std::uint32_t> w = {5, 2, 9};
+  const MsfResult r = kruskal_msf(g.n, g.edges, w);
+  EXPECT_EQ(r.total_weight, 7u);
+  EXPECT_EQ(r.tree_edges, (std::vector<eid>{0, 1}));
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+class MsfParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MsfParam, BoruvkaMatchesKruskalWeight) {
+  const auto [threads, seed] = GetParam();
+  Executor ex(threads);
+  const EdgeList g = gen::random_gnm(2000, 6000, seed);
+  const auto w = random_weights(g.m(), seed * 7 + 1);
+  const MsfResult par = boruvka_msf(ex, g.n, g.edges, w);
+  const MsfResult seq = kruskal_msf(g.n, g.edges, w);
+  EXPECT_EQ(par.total_weight, seq.total_weight);
+  EXPECT_EQ(par.num_components, seq.num_components);
+  EXPECT_EQ(par.tree_edges.size(), seq.tree_edges.size());
+  // The forest must actually be a maximal forest.
+  EXPECT_TRUE(is_forest(g.n, g.edges, par.tree_edges));
+}
+
+TEST_P(MsfParam, DistinctWeightsGiveTheUniqueMsf) {
+  const auto [threads, seed] = GetParam();
+  Executor ex(threads);
+  const EdgeList g = gen::random_connected_gnm(800, 3000, seed);
+  // Distinct weights: identity permutation of ids shuffled.
+  std::vector<std::uint32_t> w(g.m());
+  for (eid e = 0; e < g.m(); ++e) w[e] = e;
+  Xoshiro256 rng(seed + 3);
+  std::shuffle(w.begin(), w.end(), rng);
+  MsfResult par = boruvka_msf(ex, g.n, g.edges, w);
+  const MsfResult seq = kruskal_msf(g.n, g.edges, w);
+  std::sort(par.tree_edges.begin(), par.tree_edges.end());
+  EXPECT_EQ(par.tree_edges, seq.tree_edges);  // unique MSF: exact match
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MsfParam,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(Boruvka, UniformWeightsReduceToSpanningForest) {
+  Executor ex(4);
+  const EdgeList g = gen::random_gnm(1000, 1500, 5);
+  const std::vector<std::uint32_t> w(g.m(), 7);
+  const MsfResult r = boruvka_msf(ex, g.n, g.edges, w);
+  EXPECT_TRUE(is_forest(g.n, g.edges, r.tree_edges));
+  EXPECT_EQ(r.num_components, testutil::component_count(g));
+  EXPECT_EQ(r.total_weight, 7u * r.tree_edges.size());
+}
+
+TEST(Boruvka, EmptyAndSingletonInputs) {
+  Executor ex(2);
+  EdgeList empty(0, {});
+  const MsfResult r0 =
+      boruvka_msf(ex, empty.n, empty.edges, std::vector<std::uint32_t>{});
+  EXPECT_EQ(r0.num_components, 0u);
+  EdgeList lone(4, {});
+  const MsfResult r1 =
+      boruvka_msf(ex, lone.n, lone.edges, std::vector<std::uint32_t>{});
+  EXPECT_EQ(r1.num_components, 4u);
+  EXPECT_TRUE(r1.tree_edges.empty());
+}
+
+TEST(Boruvka, ParallelEdgesPickTheCheaper) {
+  Executor ex(2);
+  EdgeList g(2, {{0, 1}, {0, 1}});
+  const std::vector<std::uint32_t> w = {9, 3};
+  const MsfResult r = boruvka_msf(ex, g.n, g.edges, w);
+  ASSERT_EQ(r.tree_edges.size(), 1u);
+  EXPECT_EQ(r.tree_edges[0], 1u);
+  EXPECT_EQ(r.total_weight, 3u);
+}
+
+TEST(Boruvka, MismatchedSizesThrow) {
+  Executor ex(1);
+  EdgeList g(2, {{0, 1}});
+  EXPECT_THROW(
+      boruvka_msf(ex, g.n, g.edges, std::vector<std::uint32_t>{1, 2}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parbcc

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "scan/segmented_scan.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+class SegScanParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(SegScanParam, MatchesSerialReference) {
+  const auto [n, threads, seg_percent] = GetParam();
+  Executor ex(threads);
+  Xoshiro256 rng(n * 13 + threads + seg_percent);
+  std::vector<std::uint64_t> in(n);
+  std::vector<std::uint8_t> flags(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = rng.below(100);
+    flags[i] = rng.below(100) < static_cast<std::uint64_t>(seg_percent);
+  }
+  std::vector<std::uint64_t> out(n);
+  segmented_inclusive_scan(ex, in.data(), flags.data(), out.data(), n);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running = flags[i] ? in[i] : running + in[i];
+    ASSERT_EQ(out[i], running) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SegScanParam,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 100, 2047, 2048,
+                                                      100000),
+                       ::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(0, 3, 50, 100)));
+
+TEST(SegmentedScan, NoFlagsEqualsPlainScan) {
+  Executor ex(4);
+  const std::size_t n = 50000;
+  std::vector<std::uint64_t> in(n, 1);
+  std::vector<std::uint8_t> flags(n, 0);
+  std::vector<std::uint64_t> out(n);
+  segmented_inclusive_scan(ex, in.data(), flags.data(), out.data(), n);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i + 1);
+}
+
+TEST(SegmentedScan, EveryIndexFlaggedIsIdentity) {
+  Executor ex(4);
+  const std::size_t n = 30000;
+  std::vector<std::uint64_t> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = i * 3;
+  std::vector<std::uint8_t> flags(n, 1);
+  std::vector<std::uint64_t> out(n);
+  segmented_inclusive_scan(ex, in.data(), flags.data(), out.data(), n);
+  EXPECT_EQ(out, in);
+}
+
+TEST(SegmentedScan, InPlaceAliasing) {
+  Executor ex(3);
+  const std::size_t n = 10000;
+  std::vector<std::uint64_t> data(n, 2);
+  std::vector<std::uint8_t> flags(n, 0);
+  for (std::size_t i = 0; i < n; i += 100) flags[i] = 1;
+  auto expect = data;
+  {
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      running = flags[i] ? data[i] : running + data[i];
+      expect[i] = running;
+    }
+  }
+  segmented_inclusive_scan(ex, data.data(), flags.data(), data.data(), n);
+  EXPECT_EQ(data, expect);
+}
+
+}  // namespace
+}  // namespace parbcc

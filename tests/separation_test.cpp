@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "connectivity/union_find.hpp"
+#include "core/bcc.hpp"
+#include "core/separation.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+/// Brute force: remove v, union the rest, test a-b connectivity.
+bool brute_separates(const EdgeList& g, vid v, vid a, vid b) {
+  UnionFind uf(g.n);
+  for (const Edge& e : g.edges) {
+    if (e.u == v || e.v == v || e.u == e.v) continue;
+    uf.unite(e.u, e.v);
+  }
+  // Must be connected before removal for "separates" to mean anything;
+  // the index itself returns false for already-disconnected pairs, and
+  // so do we by checking with v present.
+  UnionFind whole(g.n);
+  for (const Edge& e : g.edges) {
+    if (e.u != e.v) whole.unite(e.u, e.v);
+  }
+  if (!whole.same(a, b)) return false;
+  return !uf.same(a, b);
+}
+
+SeparationIndex make_index(Executor& ex, const EdgeList& g) {
+  BccOptions opt;
+  const BccResult r = biconnected_components(ex, g, opt);
+  return SeparationIndex(ex, g, r);
+}
+
+TEST(Separation, TwoTrianglesAndABridge) {
+  Executor ex(2);
+  //     0        4
+  //    / \      / \.
+  //   1---2 -- 3---5
+  EdgeList g(6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}});
+  const SeparationIndex index = make_index(ex, g);
+  EXPECT_TRUE(index.separates(2, 0, 4));
+  EXPECT_TRUE(index.separates(3, 0, 4));
+  EXPECT_TRUE(index.separates(2, 1, 3));
+  EXPECT_FALSE(index.separates(4, 3, 5));  // triangle survives
+  EXPECT_FALSE(index.separates(0, 1, 2));
+  EXPECT_FALSE(index.separates(3, 0, 2));  // same side of the cut
+  EXPECT_TRUE(index.connected(0, 5));
+}
+
+TEST(Separation, DisconnectedPairsNeverSeparated) {
+  Executor ex(2);
+  EdgeList g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  const SeparationIndex index = make_index(ex, g);
+  EXPECT_FALSE(index.connected(0, 3));
+  EXPECT_FALSE(index.separates(1, 0, 3));
+  EXPECT_TRUE(index.connected(3, 5));
+}
+
+TEST(Separation, IsolatedVertices) {
+  Executor ex(1);
+  EdgeList g(4, {{0, 1}});
+  const SeparationIndex index = make_index(ex, g);
+  EXPECT_FALSE(index.connected(0, 2));
+  EXPECT_FALSE(index.separates(1, 0, 2));
+  EXPECT_TRUE(index.connected(2, 2));
+}
+
+TEST(Separation, PathInteriorSeparatesEnds) {
+  Executor ex(2);
+  const EdgeList g = gen::path(10);
+  const SeparationIndex index = make_index(ex, g);
+  for (vid v = 1; v < 9; ++v) {
+    EXPECT_TRUE(index.separates(v, 0, 9)) << v;
+    EXPECT_TRUE(index.separates(v, v - 1, v + 1)) << v;
+  }
+  EXPECT_FALSE(index.separates(5, 0, 4));
+  EXPECT_FALSE(index.separates(5, 6, 9));
+}
+
+TEST(Separation, RejectsDegenerateQueries) {
+  Executor ex(1);
+  const EdgeList g = gen::cycle(4);
+  const SeparationIndex index = make_index(ex, g);
+  EXPECT_THROW(index.separates(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(index.separates(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(index.separates(9, 0, 1), std::invalid_argument);
+  EXPECT_FALSE(index.separates(2, 1, 1));
+}
+
+class SeparationParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeparationParam, MatchesBruteForceOnRandomGraphs) {
+  const int seed = GetParam();
+  Executor ex(3);
+  // Sparse enough to have many cut vertices and some disconnection.
+  const EdgeList g = gen::random_gnm(120, 140, seed);
+  const SeparationIndex index = make_index(ex, g);
+  Xoshiro256 rng(seed * 5 + 2);
+  for (int q = 0; q < 400; ++q) {
+    const vid v = static_cast<vid>(rng.below(g.n));
+    const vid a = static_cast<vid>(rng.below(g.n));
+    const vid b = static_cast<vid>(rng.below(g.n));
+    if (v == a || v == b) continue;
+    ASSERT_EQ(index.separates(v, a, b), brute_separates(g, v, a, b))
+        << "v=" << v << " a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SeparationParam, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace parbcc

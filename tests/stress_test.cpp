@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/bcc.hpp"
+#include "core/validate.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+#include "util/thread_pool.hpp"
+
+/// Larger-scale property sweeps: the certificate validator replaces the
+/// brute-force oracles, so these run at sizes where the O(n*m)
+/// references would take minutes.
+
+namespace parbcc {
+namespace {
+
+void check(Executor& ex, const EdgeList& g, BccAlgorithm algorithm) {
+  BccOptions opt;
+  opt.algorithm = algorithm;
+  const BccResult r = biconnected_components(ex, g, opt);
+  const ValidationReport report = validate_bcc(ex, g, r);
+  ASSERT_TRUE(report.ok) << to_string(algorithm) << ": " << report.message;
+}
+
+class StressParam
+    : public ::testing::TestWithParam<std::tuple<BccAlgorithm, int>> {};
+
+TEST_P(StressParam, MediumRandomGraphsValidate) {
+  const auto [algorithm, seed] = GetParam();
+  Executor ex(4);
+  const vid n = 20000;
+  const eid m = static_cast<eid>((1 + seed % 4)) * 2 * n;
+  check(ex, gen::random_connected_gnm(n, m, seed), algorithm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StressParam,
+    ::testing::Combine(::testing::Values(BccAlgorithm::kTvSmp,
+                                         BccAlgorithm::kTvOpt,
+                                         BccAlgorithm::kTvFilter),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(Stress, RmatSkewDegreesAllAlgorithms) {
+  Executor ex(4);
+  const EdgeList g = gen::rmat(14, 8, 3);  // 16k vertices, heavy skew
+  for (const BccAlgorithm algorithm :
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+    check(ex, g, algorithm);
+  }
+}
+
+TEST(Stress, LargeCactusTvFilter) {
+  Executor ex(4);
+  const EdgeList g = gen::random_cactus(5000, 12, 7);
+  check(ex, g, BccAlgorithm::kTvFilter);
+  check(ex, g, BccAlgorithm::kTvOpt);
+}
+
+TEST(Stress, WideShallowAndNarrowDeep) {
+  Executor ex(4);
+  // Wide: star-of-cliques; deep: long cycle.
+  EdgeList star_cliques(1 + 50 * 4, {});
+  for (vid b = 0; b < 50; ++b) {
+    const vid base = 1 + 4 * b;
+    for (vid i = 0; i < 4; ++i) {
+      for (vid j = i + 1; j < 4; ++j) {
+        star_cliques.add_edge(base + i, base + j);
+      }
+      star_cliques.add_edge(0, base + i);
+    }
+  }
+  check(ex, star_cliques, BccAlgorithm::kTvOpt);
+  check(ex, star_cliques, BccAlgorithm::kTvFilter);
+  check(ex, gen::cycle(100000), BccAlgorithm::kTvOpt);
+}
+
+TEST(Stress, CrossAlgorithmPartitionsIdentical) {
+  Executor ex(4);
+  const EdgeList g = gen::random_connected_gnm(30000, 150000, 9);
+  BccOptions opt;
+  opt.compute_cut_info = false;
+  opt.algorithm = BccAlgorithm::kTvSmp;
+  const BccResult a = biconnected_components(ex, g, opt);
+  opt.algorithm = BccAlgorithm::kTvOpt;
+  const BccResult b = biconnected_components(ex, g, opt);
+  opt.algorithm = BccAlgorithm::kTvFilter;
+  const BccResult c = biconnected_components(ex, g, opt);
+  ASSERT_EQ(a.num_components, b.num_components);
+  ASSERT_EQ(a.num_components, c.num_components);
+  EXPECT_TRUE(testutil::same_partition(a.edge_component, b.edge_component));
+  EXPECT_TRUE(testutil::same_partition(a.edge_component, c.edge_component));
+}
+
+TEST(Stress, RepeatedRunsAreDeterministicAtOneThread) {
+  Executor ex(1);
+  const EdgeList g = gen::random_connected_gnm(5000, 20000, 11);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvOpt;
+  const BccResult a = biconnected_components(ex, g, opt);
+  const BccResult b = biconnected_components(ex, g, opt);
+  EXPECT_EQ(a.edge_component, b.edge_component);  // exact, not just partition
+  EXPECT_EQ(a.bridges, b.bridges);
+}
+
+}  // namespace
+}  // namespace parbcc

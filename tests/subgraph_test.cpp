@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "core/bcc.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "test_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+TEST(Subgraph, ExtractEdgesRelabelsByFirstAppearance) {
+  EdgeList g(10, {{7, 3}, {3, 9}, {1, 2}});
+  const std::vector<eid> pick = {0, 1};
+  const Subgraph sub = extract_edges(g, pick);
+  EXPECT_EQ(sub.graph.n, 3u);
+  EXPECT_EQ(sub.vertex_of, (std::vector<vid>{7, 3, 9}));
+  EXPECT_EQ(sub.edge_of, (std::vector<eid>{0, 1}));
+  EXPECT_EQ(sub.graph.edges[0], (Edge{0, 1}));
+  EXPECT_EQ(sub.graph.edges[1], (Edge{1, 2}));
+}
+
+TEST(Subgraph, ExtractLabelPullsOneBlock) {
+  Executor ex(2);
+  const EdgeList g = gen::clique_chain(3, 4);
+  const BccResult r = biconnected_components(ex, g, {});
+  ASSERT_EQ(r.num_components, 3u);
+  for (vid b = 0; b < 3; ++b) {
+    const Subgraph sub = extract_label(g, r.edge_component, b);
+    EXPECT_EQ(sub.graph.n, 4u);
+    EXPECT_EQ(sub.graph.m(), 6u);
+    // Each extracted clique is itself biconnected.
+    const testutil::RefBcc ref = testutil::reference_bcc(sub.graph);
+    EXPECT_EQ(ref.count, 1u);
+  }
+}
+
+TEST(Subgraph, EmptySelection) {
+  const EdgeList g = gen::cycle(5);
+  const Subgraph sub = extract_edges(g, std::vector<eid>{});
+  EXPECT_EQ(sub.graph.n, 0u);
+  EXPECT_TRUE(sub.graph.edges.empty());
+}
+
+TEST(Subgraph, DegreesCountLoopsAndParallels) {
+  EdgeList g(3, {{0, 1}, {0, 1}, {2, 2}});
+  const auto deg = degrees(g);
+  EXPECT_EQ(deg, (std::vector<eid>{2, 2, 2}));
+}
+
+}  // namespace
+}  // namespace parbcc

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "eulertour/tree_aggregates.hpp"
+#include "eulertour/tree_computations.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+struct Fixture {
+  RootedSpanningTree tree;
+  ChildrenCsr children;
+  LevelStructure levels;
+
+  Fixture(Executor& ex, std::vector<vid> parent, vid root) {
+    tree.root = root;
+    tree.parent = std::move(parent);
+    children = build_children(ex, tree.parent, root);
+    levels = build_levels(ex, children, root);
+    preorder_and_size(ex, children, levels, root, tree.pre, tree.sub);
+  }
+};
+
+std::vector<vid> random_parents(vid n, std::uint64_t seed) {
+  std::vector<vid> parent(n);
+  parent[0] = 0;
+  Xoshiro256 rng(seed);
+  for (vid v = 1; v < n; ++v) parent[v] = static_cast<vid>(rng.below(v));
+  return parent;
+}
+
+TEST(TreeAggregates, SubtreeSumsHandChecked) {
+  Executor ex(2);
+  // 0 -> {1, 2}, 1 -> {3}.
+  Fixture fx(ex, {0, 0, 0, 1}, 0);
+  const std::vector<std::int64_t> w = {10, 20, 30, 40};
+  const auto sums = subtree_sums<std::int64_t>(ex, fx.tree, w);
+  EXPECT_EQ(sums, (std::vector<std::int64_t>{100, 60, 30, 40}));
+}
+
+TEST(TreeAggregates, RootPathSumsHandChecked) {
+  Executor ex(2);
+  // Path 0 - 1 - 2 - 3.
+  Fixture fx(ex, {0, 0, 1, 2}, 0);
+  const std::vector<std::int64_t> w = {1, 2, 4, 8};
+  const auto sums =
+      root_path_sums<std::int64_t>(ex, fx.tree, fx.levels.depth, w);
+  EXPECT_EQ(sums, (std::vector<std::int64_t>{1, 3, 7, 15}));
+}
+
+class AggParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AggParam, MatchesBruteForceOnRandomTrees) {
+  const auto [threads, n] = GetParam();
+  Executor ex(threads);
+  Fixture fx(ex, random_parents(static_cast<vid>(n), n * 3 + 1), 0);
+  Xoshiro256 rng(n + 5);
+  std::vector<std::int64_t> w(n);
+  for (auto& x : w) x = static_cast<std::int64_t>(rng.below(1000)) - 500;
+
+  const auto sub = subtree_sums<std::int64_t>(ex, fx.tree, w);
+  const auto path =
+      root_path_sums<std::int64_t>(ex, fx.tree, fx.levels.depth, w);
+
+  // Brute subtree sums: bottom-up accumulation.
+  std::vector<std::int64_t> expect_sub(w.begin(), w.end());
+  for (vid d = fx.levels.num_levels; d-- > 0;) {
+    for (const vid v : fx.levels.level(d)) {
+      if (v != 0) expect_sub[fx.tree.parent[v]] += expect_sub[v];
+    }
+  }
+  EXPECT_EQ(sub, expect_sub);
+
+  // Brute path sums: walk to the root.
+  for (vid v = 0; v < static_cast<vid>(n); ++v) {
+    std::int64_t acc = 0;
+    vid x = v;
+    for (;;) {
+      acc += w[x];
+      if (x == 0) break;
+      x = fx.tree.parent[x];
+    }
+    ASSERT_EQ(path[v], acc) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AggParam,
+                         ::testing::Combine(::testing::Values(1, 4),
+                                            ::testing::Values(1, 2, 50,
+                                                              20000)));
+
+TEST(TreeAggregates, UnsignedWraparoundIsWellDefined) {
+  Executor ex(2);
+  Fixture fx(ex, {0, 0, 1}, 0);
+  const std::vector<std::uint64_t> w = {1, ~std::uint64_t{0}, 2};
+  const auto path =
+      root_path_sums<std::uint64_t>(ex, fx.tree, fx.levels.depth, w);
+  EXPECT_EQ(path[1], 0u);       // 1 + (2^64 - 1) wraps to 0
+  EXPECT_EQ(path[2], 2u);
+}
+
+}  // namespace
+}  // namespace parbcc

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "eulertour/tree_contraction.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+using Op = ExpressionTree::Op;
+
+ExpressionTree tiny(Op root_op, std::uint64_t a, std::uint64_t b) {
+  ExpressionTree t;
+  t.left = {1, kNoVertex, kNoVertex};
+  t.right = {2, kNoVertex, kNoVertex};
+  t.parent = {0, 0, 0};
+  t.op = {root_op, root_op, root_op};
+  t.value = {0, a, b};
+  t.root = 0;
+  return t;
+}
+
+TEST(TreeContraction, SingleLeaf) {
+  ExpressionTree t;
+  t.left = {kNoVertex};
+  t.right = {kNoVertex};
+  t.parent = {0};
+  t.op = {Op::kAdd};
+  t.value = {42};
+  t.root = 0;
+  Executor ex(2);
+  EXPECT_EQ(evaluate_sequential(t), 42u);
+  EXPECT_EQ(evaluate_tree_contraction(ex, t), 42u);
+}
+
+TEST(TreeContraction, SingleOperation) {
+  Executor ex(2);
+  EXPECT_EQ(evaluate_tree_contraction(ex, tiny(Op::kAdd, 3, 4)), 7u);
+  EXPECT_EQ(evaluate_tree_contraction(ex, tiny(Op::kMul, 3, 4)), 12u);
+}
+
+TEST(TreeContraction, GeneratorsProduceFullBinaryTrees) {
+  for (const vid leaves : {vid{1}, vid{2}, vid{7}, vid{100}}) {
+    for (const ExpressionTree& t :
+         {random_expression_tree(leaves, 5), chain_expression_tree(leaves, 5)}) {
+      ASSERT_EQ(t.size(), 2 * leaves - 1);
+      vid leaf_count = 0;
+      for (vid v = 0; v < t.size(); ++v) {
+        if (t.is_leaf(v)) {
+          ++leaf_count;
+          ASSERT_EQ(t.right[v], kNoVertex);
+        } else {
+          ASSERT_NE(t.right[v], kNoVertex);
+          ASSERT_EQ(t.parent[t.left[v]], v);
+          ASSERT_EQ(t.parent[t.right[v]], v);
+        }
+      }
+      ASSERT_EQ(leaf_count, leaves);
+    }
+  }
+}
+
+class ContractionParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ContractionParam, MatchesSequentialOnRandomTrees) {
+  const auto [threads, leaves, seed] = GetParam();
+  Executor ex(threads);
+  const ExpressionTree t =
+      random_expression_tree(static_cast<vid>(leaves), seed);
+  EXPECT_EQ(evaluate_tree_contraction(ex, t), evaluate_sequential(t));
+}
+
+TEST_P(ContractionParam, MatchesSequentialOnChains) {
+  const auto [threads, leaves, seed] = GetParam();
+  Executor ex(threads);
+  const ExpressionTree t =
+      chain_expression_tree(static_cast<vid>(leaves), seed);
+  EXPECT_EQ(evaluate_tree_contraction(ex, t), evaluate_sequential(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ContractionParam,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(2, 3, 10, 1000, 50000),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(TreeContraction, DeepChainDoesNotOverflow) {
+  Executor ex(2);
+  const ExpressionTree t = chain_expression_tree(500000, 9);
+  EXPECT_EQ(evaluate_tree_contraction(ex, t), evaluate_sequential(t));
+}
+
+TEST(TreeContraction, EmptyTreeThrows) {
+  Executor ex(1);
+  ExpressionTree t;
+  EXPECT_THROW(evaluate_sequential(t), std::invalid_argument);
+  EXPECT_THROW(evaluate_tree_contraction(ex, t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parbcc
