@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dense.dir/bench_dense.cpp.o"
+  "CMakeFiles/bench_dense.dir/bench_dense.cpp.o.d"
+  "bench_dense"
+  "bench_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_families.dir/bench_families.cpp.o"
+  "CMakeFiles/bench_families.dir/bench_families.cpp.o.d"
+  "bench_families"
+  "bench_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_tool.dir/bcc_tool.cpp.o"
+  "CMakeFiles/bcc_tool.dir/bcc_tool.cpp.o.d"
+  "bcc_tool"
+  "bcc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_atlas.dir/component_atlas.cpp.o"
+  "CMakeFiles/component_atlas.dir/component_atlas.cpp.o.d"
+  "component_atlas"
+  "component_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planarity_prep.dir/planarity_prep.cpp.o"
+  "CMakeFiles/planarity_prep.dir/planarity_prep.cpp.o.d"
+  "planarity_prep"
+  "planarity_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planarity_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

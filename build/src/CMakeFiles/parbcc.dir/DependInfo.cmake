@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/connectivity/hcs.cpp" "src/CMakeFiles/parbcc.dir/connectivity/hcs.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/connectivity/hcs.cpp.o.d"
+  "/root/repo/src/connectivity/shiloach_vishkin.cpp" "src/CMakeFiles/parbcc.dir/connectivity/shiloach_vishkin.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/connectivity/shiloach_vishkin.cpp.o.d"
+  "/root/repo/src/core/articulation.cpp" "src/CMakeFiles/parbcc.dir/core/articulation.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/articulation.cpp.o.d"
+  "/root/repo/src/core/augmentation.cpp" "src/CMakeFiles/parbcc.dir/core/augmentation.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/augmentation.cpp.o.d"
+  "/root/repo/src/core/aux_graph.cpp" "src/CMakeFiles/parbcc.dir/core/aux_graph.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/aux_graph.cpp.o.d"
+  "/root/repo/src/core/bcc.cpp" "src/CMakeFiles/parbcc.dir/core/bcc.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/bcc.cpp.o.d"
+  "/root/repo/src/core/block_cut_tree.cpp" "src/CMakeFiles/parbcc.dir/core/block_cut_tree.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/block_cut_tree.cpp.o.d"
+  "/root/repo/src/core/chains.cpp" "src/CMakeFiles/parbcc.dir/core/chains.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/chains.cpp.o.d"
+  "/root/repo/src/core/ear_decomposition.cpp" "src/CMakeFiles/parbcc.dir/core/ear_decomposition.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/ear_decomposition.cpp.o.d"
+  "/root/repo/src/core/hopcroft_tarjan.cpp" "src/CMakeFiles/parbcc.dir/core/hopcroft_tarjan.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/hopcroft_tarjan.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/CMakeFiles/parbcc.dir/core/incremental.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/incremental.cpp.o.d"
+  "/root/repo/src/core/lowhigh.cpp" "src/CMakeFiles/parbcc.dir/core/lowhigh.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/lowhigh.cpp.o.d"
+  "/root/repo/src/core/separation.cpp" "src/CMakeFiles/parbcc.dir/core/separation.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/separation.cpp.o.d"
+  "/root/repo/src/core/st_numbering.cpp" "src/CMakeFiles/parbcc.dir/core/st_numbering.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/st_numbering.cpp.o.d"
+  "/root/repo/src/core/tv_core.cpp" "src/CMakeFiles/parbcc.dir/core/tv_core.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/tv_core.cpp.o.d"
+  "/root/repo/src/core/tv_filter.cpp" "src/CMakeFiles/parbcc.dir/core/tv_filter.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/tv_filter.cpp.o.d"
+  "/root/repo/src/core/tv_opt.cpp" "src/CMakeFiles/parbcc.dir/core/tv_opt.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/tv_opt.cpp.o.d"
+  "/root/repo/src/core/tv_smp.cpp" "src/CMakeFiles/parbcc.dir/core/tv_smp.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/tv_smp.cpp.o.d"
+  "/root/repo/src/core/two_edge_connected.cpp" "src/CMakeFiles/parbcc.dir/core/two_edge_connected.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/two_edge_connected.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/parbcc.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/core/validate.cpp.o.d"
+  "/root/repo/src/eulertour/euler_tour.cpp" "src/CMakeFiles/parbcc.dir/eulertour/euler_tour.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/eulertour/euler_tour.cpp.o.d"
+  "/root/repo/src/eulertour/tree_computations.cpp" "src/CMakeFiles/parbcc.dir/eulertour/tree_computations.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/eulertour/tree_computations.cpp.o.d"
+  "/root/repo/src/eulertour/tree_contraction.cpp" "src/CMakeFiles/parbcc.dir/eulertour/tree_contraction.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/eulertour/tree_contraction.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/parbcc.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/parbcc.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/parbcc.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/parbcc.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/graph/subgraph.cpp.o.d"
+  "/root/repo/src/listrank/list_ranking.cpp" "src/CMakeFiles/parbcc.dir/listrank/list_ranking.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/listrank/list_ranking.cpp.o.d"
+  "/root/repo/src/sort/radix_sort.cpp" "src/CMakeFiles/parbcc.dir/sort/radix_sort.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/sort/radix_sort.cpp.o.d"
+  "/root/repo/src/spanning/bfs_tree.cpp" "src/CMakeFiles/parbcc.dir/spanning/bfs_tree.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/spanning/bfs_tree.cpp.o.d"
+  "/root/repo/src/spanning/boruvka_msf.cpp" "src/CMakeFiles/parbcc.dir/spanning/boruvka_msf.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/spanning/boruvka_msf.cpp.o.d"
+  "/root/repo/src/spanning/certificate.cpp" "src/CMakeFiles/parbcc.dir/spanning/certificate.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/spanning/certificate.cpp.o.d"
+  "/root/repo/src/spanning/forest.cpp" "src/CMakeFiles/parbcc.dir/spanning/forest.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/spanning/forest.cpp.o.d"
+  "/root/repo/src/spanning/sv_tree.cpp" "src/CMakeFiles/parbcc.dir/spanning/sv_tree.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/spanning/sv_tree.cpp.o.d"
+  "/root/repo/src/spanning/traversal_tree.cpp" "src/CMakeFiles/parbcc.dir/spanning/traversal_tree.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/spanning/traversal_tree.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/parbcc.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/parbcc.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

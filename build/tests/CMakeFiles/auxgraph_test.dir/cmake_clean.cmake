@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auxgraph_test.dir/auxgraph_test.cpp.o"
+  "CMakeFiles/auxgraph_test.dir/auxgraph_test.cpp.o.d"
+  "auxgraph_test"
+  "auxgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auxgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

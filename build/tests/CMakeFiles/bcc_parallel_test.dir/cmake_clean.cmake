@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_parallel_test.dir/bcc_parallel_test.cpp.o"
+  "CMakeFiles/bcc_parallel_test.dir/bcc_parallel_test.cpp.o.d"
+  "bcc_parallel_test"
+  "bcc_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_seq_test.dir/bcc_seq_test.cpp.o"
+  "CMakeFiles/bcc_seq_test.dir/bcc_seq_test.cpp.o.d"
+  "bcc_seq_test"
+  "bcc_seq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

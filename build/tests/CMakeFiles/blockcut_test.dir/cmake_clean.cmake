@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockcut_test.dir/blockcut_test.cpp.o"
+  "CMakeFiles/blockcut_test.dir/blockcut_test.cpp.o.d"
+  "blockcut_test"
+  "blockcut_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockcut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_decomposition_test.dir/ear_decomposition_test.cpp.o"
+  "CMakeFiles/ear_decomposition_test.dir/ear_decomposition_test.cpp.o.d"
+  "ear_decomposition_test"
+  "ear_decomposition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eulertour_test.dir/eulertour_test.cpp.o"
+  "CMakeFiles/eulertour_test.dir/eulertour_test.cpp.o.d"
+  "eulertour_test"
+  "eulertour_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eulertour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_construction_test.dir/fuzz_construction_test.cpp.o"
+  "CMakeFiles/fuzz_construction_test.dir/fuzz_construction_test.cpp.o.d"
+  "fuzz_construction_test"
+  "fuzz_construction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_construction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_test.dir/hcs_test.cpp.o"
+  "CMakeFiles/hcs_test.dir/hcs_test.cpp.o.d"
+  "hcs_test"
+  "hcs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

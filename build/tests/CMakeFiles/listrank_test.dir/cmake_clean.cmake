@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listrank_test.dir/listrank_test.cpp.o"
+  "CMakeFiles/listrank_test.dir/listrank_test.cpp.o.d"
+  "listrank_test"
+  "listrank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listrank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowhigh_test.dir/lowhigh_test.cpp.o"
+  "CMakeFiles/lowhigh_test.dir/lowhigh_test.cpp.o.d"
+  "lowhigh_test"
+  "lowhigh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowhigh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msf_test.dir/msf_test.cpp.o"
+  "CMakeFiles/msf_test.dir/msf_test.cpp.o.d"
+  "msf_test"
+  "msf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

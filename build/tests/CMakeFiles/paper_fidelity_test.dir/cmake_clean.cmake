@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_fidelity_test.dir/paper_fidelity_test.cpp.o"
+  "CMakeFiles/paper_fidelity_test.dir/paper_fidelity_test.cpp.o.d"
+  "paper_fidelity_test"
+  "paper_fidelity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

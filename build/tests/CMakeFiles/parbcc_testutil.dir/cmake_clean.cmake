@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbcc_testutil.dir/test_util.cpp.o"
+  "CMakeFiles/parbcc_testutil.dir/test_util.cpp.o.d"
+  "libparbcc_testutil.a"
+  "libparbcc_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbcc_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparbcc_testutil.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmented_scan_test.dir/segmented_scan_test.cpp.o"
+  "CMakeFiles/segmented_scan_test.dir/segmented_scan_test.cpp.o.d"
+  "segmented_scan_test"
+  "segmented_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmented_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanning_test.dir/spanning_test.cpp.o"
+  "CMakeFiles/spanning_test.dir/spanning_test.cpp.o.d"
+  "spanning_test"
+  "spanning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_numbering_test.dir/st_numbering_test.cpp.o"
+  "CMakeFiles/st_numbering_test.dir/st_numbering_test.cpp.o.d"
+  "st_numbering_test"
+  "st_numbering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_numbering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

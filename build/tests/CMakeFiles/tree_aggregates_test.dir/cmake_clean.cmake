@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_aggregates_test.dir/tree_aggregates_test.cpp.o"
+  "CMakeFiles/tree_aggregates_test.dir/tree_aggregates_test.cpp.o.d"
+  "tree_aggregates_test"
+  "tree_aggregates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_aggregates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

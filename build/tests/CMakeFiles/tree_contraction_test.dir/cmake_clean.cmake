@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_contraction_test.dir/tree_contraction_test.cpp.o"
+  "CMakeFiles/tree_contraction_test.dir/tree_contraction_test.cpp.o.d"
+  "tree_contraction_test"
+  "tree_contraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_contraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

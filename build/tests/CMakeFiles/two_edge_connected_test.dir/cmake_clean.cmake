@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_edge_connected_test.dir/two_edge_connected_test.cpp.o"
+  "CMakeFiles/two_edge_connected_test.dir/two_edge_connected_test.cpp.o.d"
+  "two_edge_connected_test"
+  "two_edge_connected_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_edge_connected_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
