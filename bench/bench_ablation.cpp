@@ -26,6 +26,22 @@
 using namespace parbcc;
 using namespace parbcc::bench;
 
+namespace {
+
+/// Time `fn` PARBCC_REPS times; report min and median seconds.
+template <class F>
+RepStats timed_reps(F&& fn) {
+  std::vector<double> samples;
+  for (int rep = 0; rep < env_reps(); ++rep) {
+    Timer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  return rep_stats(samples);
+}
+
+}  // namespace
+
 int main() {
   const vid n = env_n(500000);
   const int p = env_threads();
@@ -33,59 +49,67 @@ int main() {
   const eid m = 8 * static_cast<eid>(n);
 
   print_header("A1 - rooting and low/high ablation");
-  std::printf("n = %u, m = %u, p = %d\n\n", n, m, p);
+  std::printf("n = %u, m = %u, p = %d, reps = %d\n\n", n, m, p, env_reps());
 
   Executor ex(p);
   const EdgeList g = gen::random_connected_gnm(n, m, seed);
   const SpanningForest forest = sv_spanning_forest(ex, g.n, g.edges);
 
   std::printf("(a) rooting the spanning tree\n");
-  std::printf("    %-44s %10s\n", "variant", "time(s)");
+  std::printf("    %-44s %10s %10s\n", "variant", "min(s)", "median(s)");
   for (const ArcSort sort : {ArcSort::kSampleSort, ArcSort::kCountingSort}) {
     for (const ListRanker ranker :
          {ListRanker::kSequential, ListRanker::kWyllie,
           ListRanker::kHelmanJaja}) {
-      Timer t;
-      const RootedSpanningTree tree = root_tree_via_euler_tour(
-          ex, g.n, g.edges, forest.tree_edges, 0, ranker, sort);
-      const double dt = t.seconds();
+      const RepStats st = timed_reps([&] {
+        const RootedSpanningTree tree = root_tree_via_euler_tour(
+            ex, g.n, g.edges, forest.tree_edges, 0, ranker, sort);
+        (void)tree;
+      });
       const char* sort_name =
           sort == ArcSort::kSampleSort ? "sample-sort" : "bucket";
       const char* rank_name = ranker == ListRanker::kSequential ? "sequential"
                               : ranker == ListRanker::kWyllie
                                   ? "Wyllie O(n log n)"
                                   : "Helman-JaJa";
-      std::printf("    euler tour (%-11s) + rank %-17s %10.3f\n", sort_name,
-                  rank_name, dt);
-      (void)tree;
+      std::printf("    euler tour (%-11s) + rank %-17s %10.3f %10.3f\n",
+                  sort_name, rank_name, st.min, st.median);
     }
   }
   {
-    Timer t;
+    const RepStats conv = timed_reps([&] { (void)Csr::build(ex, g); });
     const Csr csr = Csr::build(ex, g);
-    const double conv = t.lap();
-    const TraversalTree tt = traversal_spanning_tree(ex, csr, 0);
     RootedSpanningTree tree;
     tree.root = 0;
-    tree.parent = tt.parent;
-    tree.parent_edge = tt.parent_edge;
-    const ChildrenCsr children = build_children(ex, tree.parent, 0);
-    const LevelStructure levels = build_levels(ex, children, 0);
-    preorder_and_size(ex, children, levels, 0, tree.pre, tree.sub);
-    std::printf("    %-44s %10.3f  (+%.3f conversion)\n",
-                "traversal tree + level sweeps (TV-opt)", t.seconds(), conv);
+    const RepStats pipe = timed_reps([&] {
+      const TraversalTree tt = traversal_spanning_tree(ex, csr, 0);
+      tree.parent = tt.parent;
+      tree.parent_edge = tt.parent_edge;
+      const ChildrenCsr sweep_children = build_children(ex, tree.parent, 0);
+      const LevelStructure sweep_levels =
+          build_levels(ex, sweep_children, 0);
+      preorder_and_size(ex, sweep_children, sweep_levels, 0, tree.pre,
+                        tree.sub);
+    });
+    std::printf("    %-44s %10.3f %10.3f  (+%.3f conversion)\n",
+                "traversal tree + level sweeps (TV-opt)", pipe.min,
+                pipe.median, conv.min);
 
     std::printf("\n(b) low/high aggregation on the TV-opt tree\n");
+    const ChildrenCsr children = build_children(ex, tree.parent, 0);
+    const LevelStructure levels = build_levels(ex, children, 0);
     const std::vector<vid> owner = make_tree_owner(ex, g.m(), tree);
-    Timer t2;
-    const LowHigh rmq = compute_low_high_rmq(ex, g.edges, tree, owner);
-    const double rmq_t = t2.lap();
-    const LowHigh sweep = compute_low_high_levels(ex, g.edges, tree, owner,
-                                                  children, levels);
-    const double sweep_t = t2.lap();
-    std::printf("    %-44s %10.3f\n", "sparse-table RMQ (TV-SMP style)",
-                rmq_t);
-    std::printf("    %-44s %10.3f\n", "level sweeps (TV-opt style)", sweep_t);
+    LowHigh rmq, sweep;
+    const RepStats rmq_t =
+        timed_reps([&] { rmq = compute_low_high_rmq(ex, g.edges, tree, owner); });
+    const RepStats sweep_t = timed_reps([&] {
+      sweep = compute_low_high_levels(ex, g.edges, tree, owner, children,
+                                      levels);
+    });
+    std::printf("    %-44s %10.3f %10.3f\n", "sparse-table RMQ (TV-SMP style)",
+                rmq_t.min, rmq_t.median);
+    std::printf("    %-44s %10.3f %10.3f\n", "level sweeps (TV-opt style)",
+                sweep_t.min, sweep_t.median);
     if (rmq.low != sweep.low || rmq.high != sweep.high) {
       std::printf("!! low/high variants disagree\n");
       return 1;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,6 +21,9 @@
 ///   PARBCC_N        vertex count    (set 1000000 for paper scale)
 ///   PARBCC_THREADS  largest SPMD width in the sweeps (default 12)
 ///   PARBCC_SEED     workload seed
+///   PARBCC_REPS     repetitions per configuration (default 2); the
+///                   tables report the min, and the median when
+///                   reps >= 3 (min == median at 2 reps by convention)
 
 namespace parbcc::bench {
 
@@ -40,6 +44,33 @@ inline std::uint64_t env_seed(std::uint64_t fallback = 20050404) {
     return static_cast<std::uint64_t>(std::atoll(s));
   }
   return fallback;
+}
+
+inline int env_reps(int fallback = 2) {
+  if (const char* s = std::getenv("PARBCC_REPS")) {
+    return std::max(1, std::atoi(s));
+  }
+  return fallback;
+}
+
+/// Min and median of the repetitions of one configuration.  The min is
+/// the headline number (least-perturbed run, the usual convention for
+/// wall-clock microarch benchmarks); the median shows run-to-run noise.
+struct RepStats {
+  double min = 0;
+  double median = 0;
+};
+
+inline RepStats rep_stats(std::vector<double> samples) {
+  RepStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.min = samples.front();
+  const std::size_t h = samples.size() / 2;
+  out.median = samples.size() % 2 == 1
+                   ? samples[h]
+                   : 0.5 * (samples[h - 1] + samples[h]);
+  return out;
 }
 
 /// The paper's density sweep: multipliers of n, with 20n standing in

@@ -8,7 +8,8 @@
 //   - TV-opt takes roughly half the time of TV-SMP;
 //   - TV-filter is ~2x TV-opt at m = n log n, speedup up to 4.
 //
-// Environment: PARBCC_N, PARBCC_THREADS, PARBCC_SEED (see bench_common).
+// Environment: PARBCC_N, PARBCC_THREADS, PARBCC_SEED, PARBCC_REPS
+// (see bench_common).
 
 #include <algorithm>
 #include <cstdio>
@@ -22,8 +23,6 @@ using namespace parbcc::bench;
 
 namespace {
 
-constexpr int kReps = 2;
-
 vid expected_components(const EdgeList& g) {
   BccOptions o;
   o.algorithm = BccAlgorithm::kSequential;
@@ -31,22 +30,22 @@ vid expected_components(const EdgeList& g) {
   return biconnected_components(g, o).num_components;
 }
 
-double run_once(const EdgeList& g, BccAlgorithm algorithm, int threads,
-                vid expect) {
+RepStats run_reps(const EdgeList& g, BccAlgorithm algorithm, int threads,
+                  vid expect) {
   BccOptions opt;
   opt.algorithm = algorithm;
   opt.threads = threads;
   opt.compute_cut_info = false;
-  double best = 1e30;
-  for (int rep = 0; rep < kReps; ++rep) {
+  std::vector<double> samples;
+  for (int rep = 0; rep < env_reps(); ++rep) {
     const BccResult r = biconnected_components(g, opt);
     if (r.num_components != expect) {
       std::printf("!! component mismatch for %s\n", to_string(algorithm));
       std::exit(1);
     }
-    best = std::min(best, r.times.total);
+    samples.push_back(r.times.total);
   }
-  return best;
+  return rep_stats(samples);
 }
 
 }  // namespace
@@ -60,8 +59,11 @@ int main() {
   print_header(
       "Fig. 3 - execution time vs processors, random graphs, three "
       "densities");
-  std::printf("n = %u (paper: 1M; set PARBCC_N=1000000 for full scale)\n\n",
+  std::printf("n = %u (paper: 1M; set PARBCC_N=1000000 for full scale)\n",
               n);
+  std::printf("reps = %d (min reported; median rows when reps >= 3)\n\n",
+              env_reps());
+  const bool show_median = env_reps() >= 3;
 
   for (const eid mult : density_multipliers()) {
     const eid m = mult * static_cast<eid>(n);
@@ -70,37 +72,55 @@ int main() {
                 mult == 20 ? "  [~ n log n at n = 1M]" : "");
     const EdgeList g = gen::random_connected_gnm(n, m, seed + mult);
     const vid expect = expected_components(g);
-    const double seq = run_once(g, BccAlgorithm::kSequential, 1, expect);
+    const RepStats seq = run_reps(g, BccAlgorithm::kSequential, 1, expect);
 
-    std::printf("%-12s", "p");
+    std::printf("%-16s", "p");
     for (const int p : threads) std::printf("%10d", p);
-    std::printf("\n%-12s", "sequential");
+    std::printf("\n%-16s", "sequential");
     for (std::size_t i = 0; i < threads.size(); ++i) {
-      std::printf("%9.3fs", seq);
+      std::printf("%9.3fs", seq.min);
     }
     std::printf("\n");
+    if (show_median) {
+      std::printf("%-16s", "  (median)");
+      for (std::size_t i = 0; i < threads.size(); ++i) {
+        std::printf("%9.3fs", seq.median);
+      }
+      std::printf("\n");
+    }
 
     double smp_best = 1e30, opt_best = 1e30, filter_best = 1e30;
     for (const BccAlgorithm algorithm :
          {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt,
           BccAlgorithm::kTvFilter}) {
-      std::printf("%-12s", to_string(algorithm));
+      std::vector<RepStats> row;
       for (const int p : threads) {
-        const double t = run_once(g, algorithm, p, expect);
-        std::printf("%9.3fs", t);
-        if (algorithm == BccAlgorithm::kTvSmp) smp_best = std::min(smp_best, t);
-        if (algorithm == BccAlgorithm::kTvOpt) opt_best = std::min(opt_best, t);
+        const RepStats s = run_reps(g, algorithm, p, expect);
+        row.push_back(s);
+        if (algorithm == BccAlgorithm::kTvSmp) {
+          smp_best = std::min(smp_best, s.min);
+        }
+        if (algorithm == BccAlgorithm::kTvOpt) {
+          opt_best = std::min(opt_best, s.min);
+        }
         if (algorithm == BccAlgorithm::kTvFilter) {
-          filter_best = std::min(filter_best, t);
+          filter_best = std::min(filter_best, s.min);
         }
       }
+      std::printf("%-16s", to_string(algorithm));
+      for (const RepStats& s : row) std::printf("%9.3fs", s.min);
       std::printf("\n");
+      if (show_median) {
+        std::printf("%-16s", "  (median)");
+        for (const RepStats& s : row) std::printf("%9.3fs", s.median);
+        std::printf("\n");
+      }
     }
 
     std::printf(
         "[T1] best speedup vs sequential: TV-SMP %.2fx, TV-opt %.2fx, "
         "TV-filter %.2fx\n",
-        seq / smp_best, seq / opt_best, seq / filter_best);
+        seq.min / smp_best, seq.min / opt_best, seq.min / filter_best);
     std::printf("[T1] TV-SMP/TV-opt = %.2f, TV-opt/TV-filter = %.2f\n\n",
                 smp_best / opt_best, opt_best / filter_best);
   }

@@ -19,19 +19,28 @@ using namespace parbcc::bench;
 
 namespace {
 
-StepTimes run(const EdgeList& g, BccAlgorithm algorithm, int threads) {
+/// Breakdown of the fastest repetition, plus the min/median of the
+/// totals across all PARBCC_REPS repetitions.
+struct RepRun {
+  StepTimes best;
+  RepStats total;
+};
+
+RepRun run(const EdgeList& g, BccAlgorithm algorithm, int threads) {
   BccOptions opt;
   opt.algorithm = algorithm;
   opt.threads = threads;
   opt.compute_cut_info = false;
-  // Two repetitions; keep the faster run (less host noise).
-  StepTimes best;
-  best.total = 1e30;
-  for (int rep = 0; rep < 2; ++rep) {
+  RepRun out;
+  out.best.total = 1e30;
+  std::vector<double> totals;
+  for (int rep = 0; rep < env_reps(); ++rep) {
     const BccResult r = biconnected_components(g, opt);
-    if (r.times.total < best.total) best = r.times;
+    totals.push_back(r.times.total);
+    if (r.times.total < out.best.total) out.best = r.times;
   }
-  return best;
+  out.total = rep_stats(totals);
+  return out;
 }
 
 void print_row(const char* label, double a, double b, double c) {
@@ -46,15 +55,19 @@ int main() {
   const std::uint64_t seed = env_seed();
 
   print_header("Fig. 4 - per-step breakdown at p processors");
-  std::printf("n = %u, p = %d (paper: n = 1M, p = 12)\n\n", n, p);
+  std::printf("n = %u, p = %d (paper: n = 1M, p = 12), reps = %d\n\n", n, p,
+              env_reps());
 
   for (const eid mult : density_multipliers()) {
     const eid m = mult * static_cast<eid>(n);
     const EdgeList g = gen::random_connected_gnm(n, m, seed + mult);
 
-    const StepTimes smp = run(g, BccAlgorithm::kTvSmp, p);
-    const StepTimes opt = run(g, BccAlgorithm::kTvOpt, p);
-    const StepTimes filter = run(g, BccAlgorithm::kTvFilter, p);
+    const RepRun smp_run = run(g, BccAlgorithm::kTvSmp, p);
+    const RepRun opt_run = run(g, BccAlgorithm::kTvOpt, p);
+    const RepRun filter_run = run(g, BccAlgorithm::kTvFilter, p);
+    const StepTimes& smp = smp_run.best;
+    const StepTimes& opt = opt_run.best;
+    const StepTimes& filter = filter_run.best;
 
     std::printf("--- m = %u (= %un)   seconds per step\n", m,
                 static_cast<unsigned>(mult));
@@ -72,7 +85,10 @@ int main() {
     print_row("Connected-components", smp.connected_components,
               opt.connected_components, filter.connected_components);
     print_row("Filtering", smp.filtering, opt.filtering, filter.filtering);
-    print_row("TOTAL", smp.total, opt.total, filter.total);
+    print_row("TOTAL (min)", smp_run.total.min, opt_run.total.min,
+              filter_run.total.min);
+    print_row("TOTAL (median)", smp_run.total.median, opt_run.total.median,
+              filter_run.total.median);
     std::printf("\n");
   }
   return 0;

@@ -11,6 +11,7 @@
 // time spent filtering vs the time it saves in TV's core steps.
 
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "graph/csr.hpp"
@@ -28,7 +29,8 @@ int main() {
   const std::uint64_t seed = env_seed();
 
   print_header("T2 - edges filtered and time traded, density sweep");
-  std::printf("n = %u, p = %d\n\n", n, p);
+  std::printf("n = %u, p = %d, reps = %d (fastest run reported)\n\n", n, p,
+              env_reps());
   std::printf("%6s %12s %12s %12s %10s %12s %12s\n", "m/n", "m", "kept",
               "filtered", "bound", "filter(s)", "core-save(s)");
 
@@ -41,10 +43,17 @@ int main() {
     BccOptions opt;
     opt.threads = p;
     opt.compute_cut_info = false;
-    opt.algorithm = BccAlgorithm::kTvFilter;
-    const BccResult filt = biconnected_components(ex, g, opt);
-    opt.algorithm = BccAlgorithm::kTvOpt;
-    const BccResult tvopt = biconnected_components(ex, g, opt);
+    const auto fastest_of = [&](BccAlgorithm algorithm) {
+      opt.algorithm = algorithm;
+      BccResult best;
+      for (int rep = 0; rep < env_reps(); ++rep) {
+        BccResult r = biconnected_components(ex, g, opt);
+        if (rep == 0 || r.times.total < best.times.total) best = std::move(r);
+      }
+      return best;
+    };
+    const BccResult filt = fastest_of(BccAlgorithm::kTvFilter);
+    const BccResult tvopt = fastest_of(BccAlgorithm::kTvOpt);
 
     // Count kept edges exactly (T plus F).
     const Csr csr = Csr::build(ex, g);

@@ -265,7 +265,8 @@ bench/CMakeFiles/bench_primitives.dir/bench_primitives.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/util/barrier.hpp \
  /root/repo/src/connectivity/shiloach_vishkin.hpp \
  /root/repo/src/eulertour/tree_contraction.hpp \
- /root/repo/src/graph/csr.hpp /root/repo/src/graph/generators.hpp \
+ /root/repo/src/graph/csr.hpp /root/repo/src/util/uninit.hpp \
+ /root/repo/src/graph/generators.hpp \
  /root/repo/src/listrank/list_ranking.hpp /root/repo/src/scan/scan.hpp \
  /root/repo/src/util/padded.hpp /root/repo/src/sort/radix_sort.hpp \
  /root/repo/src/sort/sample_sort.hpp /root/repo/src/spanning/bfs_tree.hpp \

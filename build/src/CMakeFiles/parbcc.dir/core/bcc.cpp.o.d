@@ -225,10 +225,12 @@ src/CMakeFiles/parbcc.dir/core/bcc.cpp.o: /root/repo/src/core/bcc.cpp \
  /usr/include/c++/12/thread /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/barrier.hpp \
  /root/repo/src/util/types.hpp /root/repo/src/graph/edge_list.hpp \
+ /usr/include/c++/12/optional \
  /root/repo/src/connectivity/shiloach_vishkin.hpp \
  /root/repo/src/core/articulation.hpp /root/repo/src/core/drivers.hpp \
- /root/repo/src/core/hopcroft_tarjan.hpp /root/repo/src/graph/csr.hpp \
+ /root/repo/src/graph/csr.hpp /root/repo/src/util/uninit.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/hopcroft_tarjan.hpp

@@ -231,6 +231,7 @@ src/CMakeFiles/parbcc.dir/core/ear_decomposition.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/connectivity/union_find.hpp \
  /root/repo/src/eulertour/tree_computations.hpp /usr/include/c++/12/span \
- /root/repo/src/graph/csr.hpp /root/repo/src/rmq/lca.hpp \
- /root/repo/src/rmq/sparse_table.hpp /root/repo/src/scan/scan.hpp \
- /root/repo/src/util/padded.hpp /root/repo/src/spanning/bfs_tree.hpp
+ /root/repo/src/graph/csr.hpp /root/repo/src/util/uninit.hpp \
+ /root/repo/src/rmq/lca.hpp /root/repo/src/rmq/sparse_table.hpp \
+ /root/repo/src/scan/scan.hpp /root/repo/src/util/padded.hpp \
+ /root/repo/src/spanning/bfs_tree.hpp

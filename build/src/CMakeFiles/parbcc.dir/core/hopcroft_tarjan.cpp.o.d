@@ -226,9 +226,9 @@ src/CMakeFiles/parbcc.dir/core/hopcroft_tarjan.cpp.o: \
  /usr/include/c++/12/thread /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/barrier.hpp \
  /root/repo/src/util/types.hpp /root/repo/src/graph/edge_list.hpp \
- /root/repo/src/graph/csr.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/core/articulation.hpp \
- /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/graph/csr.hpp /root/repo/src/util/uninit.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/core/articulation.hpp /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -228,11 +228,11 @@ src/CMakeFiles/parbcc.dir/core/tv_filter.cpp.o: \
  /root/repo/src/core/drivers.hpp /root/repo/src/core/bcc_result.hpp \
  /root/repo/src/eulertour/euler_tour.hpp \
  /root/repo/src/eulertour/tree_computations.hpp \
- /root/repo/src/core/tv_core.hpp /root/repo/src/core/lowhigh.hpp \
- /root/repo/src/graph/csr.hpp /root/repo/src/scan/compact.hpp \
- /root/repo/src/scan/scan.hpp /root/repo/src/util/padded.hpp \
- /root/repo/src/spanning/bfs_tree.hpp /root/repo/src/spanning/sv_tree.hpp \
+ /root/repo/src/graph/csr.hpp /root/repo/src/util/uninit.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/tv_core.hpp \
+ /root/repo/src/core/lowhigh.hpp /root/repo/src/scan/compact.hpp \
+ /root/repo/src/scan/scan.hpp /root/repo/src/util/padded.hpp \
+ /root/repo/src/spanning/bfs_tree.hpp /root/repo/src/spanning/sv_tree.hpp

@@ -236,4 +236,5 @@ src/CMakeFiles/parbcc.dir/core/validate.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/connectivity/union_find.hpp \
- /root/repo/src/core/hopcroft_tarjan.hpp /root/repo/src/graph/csr.hpp
+ /root/repo/src/core/hopcroft_tarjan.hpp /root/repo/src/graph/csr.hpp \
+ /root/repo/src/util/uninit.hpp

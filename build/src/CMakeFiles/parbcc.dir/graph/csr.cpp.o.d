@@ -223,5 +223,8 @@ src/CMakeFiles/parbcc.dir/graph/csr.cpp.o: /root/repo/src/graph/csr.cpp \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/barrier.hpp \
- /root/repo/src/scan/scan.hpp /root/repo/src/util/padded.hpp \
+ /root/repo/src/util/uninit.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sort/radix_sort.hpp

@@ -225,4 +225,4 @@ src/CMakeFiles/parbcc.dir/spanning/bfs_tree.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/barrier.hpp \
- /root/repo/src/util/padded.hpp
+ /root/repo/src/util/uninit.hpp /root/repo/src/util/padded.hpp

@@ -225,5 +225,6 @@ src/CMakeFiles/parbcc.dir/spanning/certificate.cpp.o: \
  /usr/include/c++/12/thread /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/barrier.hpp \
  /root/repo/src/graph/csr.hpp /usr/include/c++/12/span \
- /root/repo/src/spanning/sv_tree.hpp /root/repo/src/scan/compact.hpp \
- /root/repo/src/scan/scan.hpp /root/repo/src/util/padded.hpp
+ /root/repo/src/util/uninit.hpp /root/repo/src/spanning/sv_tree.hpp \
+ /root/repo/src/scan/compact.hpp /root/repo/src/scan/scan.hpp \
+ /root/repo/src/util/padded.hpp

@@ -308,5 +308,6 @@ tests/CMakeFiles/bcc_parallel_test.dir/bcc_parallel_test.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/util/barrier.hpp \
  /root/repo/src/util/types.hpp /root/repo/src/graph/edge_list.hpp \
  /root/repo/src/core/hopcroft_tarjan.hpp /root/repo/src/graph/csr.hpp \
- /root/repo/src/graph/generators.hpp /root/repo/tests/test_util.hpp \
+ /root/repo/src/util/uninit.hpp /root/repo/src/graph/generators.hpp \
+ /root/repo/tests/test_util.hpp \
  /root/repo/src/connectivity/union_find.hpp

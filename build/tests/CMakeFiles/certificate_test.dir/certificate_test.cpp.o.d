@@ -310,5 +310,5 @@ tests/CMakeFiles/certificate_test.dir/certificate_test.cpp.o: \
  /root/repo/src/graph/generators.hpp \
  /root/repo/src/spanning/certificate.hpp \
  /root/repo/src/spanning/forest.hpp /root/repo/src/graph/csr.hpp \
- /root/repo/tests/test_util.hpp \
+ /root/repo/src/util/uninit.hpp /root/repo/tests/test_util.hpp \
  /root/repo/src/connectivity/union_find.hpp

@@ -312,4 +312,5 @@ tests/CMakeFiles/eulertour_test.dir/eulertour_test.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/util/barrier.hpp \
  /root/repo/src/util/types.hpp /root/repo/src/graph/edge_list.hpp \
  /root/repo/src/graph/generators.hpp /root/repo/src/spanning/forest.hpp \
- /root/repo/src/graph/csr.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/graph/csr.hpp /root/repo/src/util/uninit.hpp \
+ /root/repo/src/util/rng.hpp

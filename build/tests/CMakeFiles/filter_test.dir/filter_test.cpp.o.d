@@ -311,8 +311,9 @@ tests/CMakeFiles/filter_test.dir/filter_test.cpp.o: \
  /root/repo/src/core/bcc.hpp /root/repo/src/core/bcc_result.hpp \
  /root/repo/src/eulertour/euler_tour.hpp \
  /root/repo/src/eulertour/tree_computations.hpp \
- /root/repo/src/graph/csr.hpp /root/repo/src/graph/generators.hpp \
- /root/repo/src/scan/compact.hpp /root/repo/src/scan/scan.hpp \
- /root/repo/src/util/padded.hpp /root/repo/src/spanning/bfs_tree.hpp \
- /root/repo/src/spanning/sv_tree.hpp /root/repo/tests/test_util.hpp \
+ /root/repo/src/graph/csr.hpp /root/repo/src/util/uninit.hpp \
+ /root/repo/src/graph/generators.hpp /root/repo/src/scan/compact.hpp \
+ /root/repo/src/scan/scan.hpp /root/repo/src/util/padded.hpp \
+ /root/repo/src/spanning/bfs_tree.hpp /root/repo/src/spanning/sv_tree.hpp \
+ /root/repo/tests/test_util.hpp \
  /root/repo/src/connectivity/union_find.hpp

@@ -308,6 +308,6 @@ tests/CMakeFiles/graph_test.dir/graph_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/util/barrier.hpp \
- /root/repo/src/graph/generators.hpp /root/repo/src/graph/io.hpp \
- /root/repo/tests/test_util.hpp \
+ /root/repo/src/util/uninit.hpp /root/repo/src/graph/generators.hpp \
+ /root/repo/src/graph/io.hpp /root/repo/tests/test_util.hpp \
  /root/repo/src/connectivity/union_find.hpp

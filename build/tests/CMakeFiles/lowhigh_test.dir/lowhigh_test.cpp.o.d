@@ -310,4 +310,5 @@ tests/CMakeFiles/lowhigh_test.dir/lowhigh_test.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/util/barrier.hpp \
  /root/repo/src/util/types.hpp /root/repo/src/graph/edge_list.hpp \
  /root/repo/src/core/tv_core.hpp /root/repo/src/graph/generators.hpp \
- /root/repo/src/spanning/forest.hpp /root/repo/src/graph/csr.hpp
+ /root/repo/src/spanning/forest.hpp /root/repo/src/graph/csr.hpp \
+ /root/repo/src/util/uninit.hpp

@@ -306,5 +306,5 @@ tests/CMakeFiles/msf_test.dir/msf_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/util/barrier.hpp \
  /root/repo/src/spanning/forest.hpp /root/repo/src/graph/csr.hpp \
- /root/repo/tests/test_util.hpp \
+ /root/repo/src/util/uninit.hpp /root/repo/tests/test_util.hpp \
  /root/repo/src/connectivity/union_find.hpp /root/repo/src/util/rng.hpp

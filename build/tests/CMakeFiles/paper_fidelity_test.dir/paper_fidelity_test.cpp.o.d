@@ -309,5 +309,5 @@ tests/CMakeFiles/paper_fidelity_test.dir/paper_fidelity_test.cpp.o: \
  /root/repo/src/core/aux_graph.hpp /root/repo/src/core/lowhigh.hpp \
  /root/repo/src/eulertour/tree_computations.hpp \
  /root/repo/src/core/tv_core.hpp /root/repo/src/graph/csr.hpp \
- /root/repo/src/graph/generators.hpp /root/repo/src/spanning/bfs_tree.hpp \
- /root/repo/tests/test_util.hpp
+ /root/repo/src/util/uninit.hpp /root/repo/src/graph/generators.hpp \
+ /root/repo/src/spanning/bfs_tree.hpp /root/repo/tests/test_util.hpp

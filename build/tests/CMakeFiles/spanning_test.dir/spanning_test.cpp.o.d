@@ -309,7 +309,8 @@ tests/CMakeFiles/spanning_test.dir/spanning_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/util/barrier.hpp \
  /root/repo/src/connectivity/union_find.hpp /root/repo/src/graph/csr.hpp \
- /root/repo/src/graph/generators.hpp /root/repo/src/spanning/bfs_tree.hpp \
- /root/repo/src/spanning/forest.hpp /root/repo/src/spanning/sv_tree.hpp \
+ /root/repo/src/util/uninit.hpp /root/repo/src/graph/generators.hpp \
+ /root/repo/src/spanning/bfs_tree.hpp /root/repo/src/spanning/forest.hpp \
+ /root/repo/src/spanning/sv_tree.hpp \
  /root/repo/src/spanning/traversal_tree.hpp \
  /root/repo/tests/test_util.hpp

@@ -1,6 +1,7 @@
 #include "core/bcc.hpp"
 
 #include <atomic>
+#include <optional>
 #include <stdexcept>
 
 #include "connectivity/shiloach_vishkin.hpp"
@@ -46,11 +47,32 @@ BccResult run_connected(Executor& ex, const EdgeList& g,
   throw std::logic_error("run_connected: unexpected algorithm");
 }
 
+/// As run_connected, but with a shared conversion cache for the
+/// adjacency-hungry drivers; TV-SMP never needs (or pays for) it.
+BccResult run_connected(Executor& ex, const PreparedGraph& pg,
+                        const BccOptions& opt, BccAlgorithm algorithm) {
+  switch (algorithm) {
+    case BccAlgorithm::kTvSmp:
+      return tv_smp_bcc(ex, pg.graph(), opt);
+    case BccAlgorithm::kTvOpt:
+      return tv_opt_bcc(ex, pg, opt);
+    case BccAlgorithm::kTvFilter:
+      return tv_filter_bcc(ex, pg, opt);
+    case BccAlgorithm::kSequential:
+    case BccAlgorithm::kAuto:
+      break;
+  }
+  throw std::logic_error("run_connected: unexpected algorithm");
+}
+
 /// Parallel path for general (possibly disconnected) inputs: decompose
 /// into connected components, relabel each as a compact subproblem, and
 /// solve them one after another (each solve is internally parallel).
+/// `pg`, when non-null, is a conversion cache for `g` itself; it only
+/// applies on the connected fast path (subproblems are relabeled graphs
+/// with their own adjacency).
 BccResult run_general(Executor& ex, const EdgeList& g, const BccOptions& opt,
-                      BccAlgorithm algorithm) {
+                      BccAlgorithm algorithm, const PreparedGraph* pg) {
   const vid n = g.n;
   const eid m = g.m();
 
@@ -60,7 +82,13 @@ BccResult run_general(Executor& ex, const EdgeList& g, const BccOptions& opt,
   if (k <= 1) {
     BccOptions connected_opt = opt;
     if (connected_opt.root >= n) connected_opt.root = 0;
-    return run_connected(ex, g, connected_opt, algorithm);
+    if (algorithm == BccAlgorithm::kTvSmp) {
+      // TV-SMP runs on the raw edge list; never build adjacency for it.
+      return run_connected(ex, g, connected_opt, algorithm);
+    }
+    if (pg) return run_connected(ex, *pg, connected_opt, algorithm);
+    const PreparedGraph built(ex, g);
+    return run_connected(ex, built, connected_opt, algorithm);
   }
 
   // Bucket vertices and edges by component (counting sort).
@@ -162,11 +190,27 @@ BccResult biconnected_components(Executor& ex, const EdgeList& g,
 
   const BccAlgorithm algorithm =
       resolve(options.algorithm, work.n, work.m());
+
+  // A caller-supplied adjacency applies only when `work` is the exact
+  // graph it was built from (stripping self-loops renumbers edges).
+  std::optional<PreparedGraph> built;
+  const PreparedGraph* pg = nullptr;
+  if (options.prebuilt_csr && !has_loops &&
+      options.prebuilt_csr->num_vertices() == work.n &&
+      options.prebuilt_csr->num_edges() == work.m()) {
+    built.emplace(work, *options.prebuilt_csr);
+    pg = &*built;
+  }
+
   if (algorithm == BccAlgorithm::kSequential) {
-    const Csr csr = Csr::build(ex, work);
-    result = hopcroft_tarjan_bcc(work, csr, /*compute_cut_info=*/false);
+    if (!pg) {
+      built.emplace(ex, work);
+      pg = &*built;
+    }
+    result = hopcroft_tarjan_bcc(work, pg->csr(), /*compute_cut_info=*/false);
+    result.times.conversion = pg->conversion_seconds();
   } else {
-    result = run_general(ex, work, options, algorithm);
+    result = run_general(ex, work, options, algorithm, pg);
   }
 
   if (has_loops) {

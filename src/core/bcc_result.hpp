@@ -11,6 +11,8 @@
 
 namespace parbcc {
 
+class Csr;
+
 /// Which implementation to run (paper nomenclature).
 enum class BccAlgorithm {
   /// Hopcroft-Tarjan DFS, the paper's "best sequential implementation".
@@ -65,6 +67,13 @@ struct BccOptions {
   ListRanker ranker = ListRanker::kHelmanJaja;
   /// Arc-sorting strategy for TV-SMP's Euler-tour step.
   ArcSort arc_sort = ArcSort::kSampleSort;
+  /// Adjacency the caller already holds for the input graph, so the
+  /// dispatcher never rebuilds it (StepTimes::conversion then reports
+  /// 0).  Must be the Csr::build of exactly the edge list passed in;
+  /// ignored when it cannot apply (size mismatch, input with
+  /// self-loops, or a disconnected input that is decomposed into
+  /// relabeled subproblems).
+  const Csr* prebuilt_csr = nullptr;
 };
 
 /// Biconnected components of a graph, as a labeling of its edges.

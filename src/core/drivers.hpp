@@ -1,8 +1,10 @@
 #pragma once
 
 #include "core/bcc_result.hpp"
+#include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 /// \file drivers.hpp
 /// The three parallel biconnected-components drivers.  Each assumes a
@@ -13,19 +15,62 @@
 
 namespace parbcc {
 
+/// An edge list together with its adjacency structure (CSR), built at
+/// most once and shared by every consumer.  The edge-list -> adjacency
+/// conversion is the representation-discrepancy cost the paper's §1
+/// highlights; it is charged to whoever triggers the build and recorded
+/// here so drivers can report it in StepTimes::conversion without ever
+/// rebuilding the CSR.  The referenced edge list must outlive the
+/// PreparedGraph.
+class PreparedGraph {
+ public:
+  /// Convert `g`, recording the wall-clock conversion cost.
+  PreparedGraph(Executor& ex, const EdgeList& g) : graph_(&g) {
+    Timer timer;
+    owned_ = Csr::build(ex, g);
+    csr_ = &owned_;
+    conversion_seconds_ = timer.seconds();
+  }
+
+  /// Adopt a caller-built adjacency (no conversion charged).  `csr`
+  /// must be the adjacency of exactly `g`, e.g. from a prior
+  /// Csr::build on the same edge list.
+  PreparedGraph(const EdgeList& g, const Csr& csr)
+      : graph_(&g), csr_(&csr) {}
+
+  PreparedGraph(const PreparedGraph&) = delete;
+  PreparedGraph& operator=(const PreparedGraph&) = delete;
+
+  const EdgeList& graph() const { return *graph_; }
+  const Csr& csr() const { return *csr_; }
+  /// Seconds spent building the CSR (0 when the caller supplied it).
+  double conversion_seconds() const { return conversion_seconds_; }
+
+ private:
+  const EdgeList* graph_;
+  const Csr* csr_ = nullptr;
+  Csr owned_;
+  double conversion_seconds_ = 0;
+};
+
 /// Direct SMP emulation of Tarjan-Vishkin (paper §3.1): SV spanning
 /// tree, sort-built Euler tour, list-ranked rooting, RMQ low/high.
+/// Works on the raw edge list; it never needs (or charges) adjacency.
 BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt);
 
 /// Optimized adaptation (paper §3.2): work-stealing rooted spanning
 /// tree (merging Spanning-tree and Root-tree), DFS-order tree
 /// computations via level sweeps and prefix sums.
 BccResult tv_opt_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt);
+BccResult tv_opt_bcc(Executor& ex, const PreparedGraph& pg,
+                     const BccOptions& opt);
 
 /// The paper's Alg. 2: BFS tree T, spanning forest F of G - T, TV-opt
 /// machinery on T u F (at most 2(n-1) edges), condition-1 labels for
 /// the filtered edges.
 BccResult tv_filter_bcc(Executor& ex, const EdgeList& g,
+                        const BccOptions& opt);
+BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,
                         const BccOptions& opt);
 
 }  // namespace parbcc

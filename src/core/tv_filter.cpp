@@ -13,15 +13,21 @@ namespace parbcc {
 
 BccResult tv_filter_bcc(Executor& ex, const EdgeList& g,
                         const BccOptions& opt) {
+  // Representation conversion, as in TV-opt.
+  const PreparedGraph pg(ex, g);
+  return tv_filter_bcc(ex, pg, opt);
+}
+
+BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,
+                        const BccOptions& opt) {
+  const EdgeList& g = pg.graph();
+  const Csr& csr = pg.csr();
   BccResult result;
+  result.times.conversion = pg.conversion_seconds();
   Timer total;
   Timer step;
   const vid n = g.n;
   const eid m = g.m();
-
-  // Representation conversion, as in TV-opt.
-  const Csr csr = Csr::build(ex, g);
-  result.times.conversion = step.lap();
 
   // Alg. 2 step 1: T must be a BFS tree (Lemma 1 needs its level
   // structure).
@@ -117,7 +123,7 @@ BccResult tv_filter_bcc(Executor& ex, const EdgeList& g,
   result.times.filtering += step.lap();
 
   result.num_components = normalize_labels(result.edge_component);
-  result.times.total = total.seconds();
+  result.times.total = total.seconds() + result.times.conversion;
   return result;
 }
 

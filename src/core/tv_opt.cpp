@@ -10,14 +10,20 @@
 namespace parbcc {
 
 BccResult tv_opt_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
-  BccResult result;
-  Timer total;
-  Timer step;
-
   // Representation conversion: the work-stealing traversal needs an
   // adjacency structure; TV-SMP works on the raw edge list.
-  const Csr csr = Csr::build(ex, g);
-  result.times.conversion = step.lap();
+  const PreparedGraph pg(ex, g);
+  return tv_opt_bcc(ex, pg, opt);
+}
+
+BccResult tv_opt_bcc(Executor& ex, const PreparedGraph& pg,
+                     const BccOptions& opt) {
+  const EdgeList& g = pg.graph();
+  const Csr& csr = pg.csr();
+  BccResult result;
+  result.times.conversion = pg.conversion_seconds();
+  Timer total;
+  Timer step;
 
   // Merged Spanning-tree + Root-tree: the traversal sets parents
   // directly.
@@ -51,7 +57,7 @@ BccResult tv_opt_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
   result.times.connected_components = core_times.connected_components;
 
   result.num_components = normalize_labels(result.edge_component);
-  result.times.total = total.seconds();
+  result.times.total = total.seconds() + result.times.conversion;
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/uninit.hpp"
 
 /// \file csr.hpp
 /// Compressed sparse row adjacency built in parallel from an edge list.
@@ -13,10 +14,16 @@
 /// Each undirected edge {u, v} contributes the arc u->v to u's row and
 /// v->u to v's row; every arc remembers the index of the edge it came
 /// from so per-edge results (BCC labels) can be read off during
-/// traversals.  With more than one build thread the order of arcs
-/// within a row is nondeterministic — no algorithm in this library
-/// depends on adjacency order, and tests compare label partitions, not
-/// labels.
+/// traversals.  The builder is a counting scatter: arcs are grouped by
+/// contiguous vertex bucket via per-thread (thread block, bucket)
+/// histograms and a prefix sum, then each bucket's arcs are placed into
+/// their final rows by a thread-private counting sort — no 64-bit key
+/// sort, no per-vertex atomics.  Degenerately sparse inputs (arcs <<
+/// vertices) fall back to a by-source radix sort whose passes cover
+/// only the significant bytes of the largest vertex id.  The order of
+/// arcs within a row depends on the thread count — no algorithm in
+/// this library depends on adjacency order, and tests compare label
+/// partitions, not labels.
 
 namespace parbcc {
 
@@ -45,9 +52,12 @@ class Csr {
  private:
   vid n_ = 0;
   eid m_ = 0;
-  std::vector<eid> offsets_;  // n + 1
-  std::vector<vid> nbrs_;     // 2m
-  std::vector<eid> eids_;     // 2m
+  // uvector: every element is written by the builder before any read,
+  // so the zero-fill of an ordinary vector resize (an extra pass over
+  // ~16m bytes) is skipped.
+  uvector<eid> offsets_;  // n + 1
+  uvector<vid> nbrs_;     // 2m
+  uvector<eid> eids_;     // 2m
 };
 
 }  // namespace parbcc

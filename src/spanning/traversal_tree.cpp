@@ -78,6 +78,12 @@ TraversalTree traversal_spanning_tree(Executor& ex, const Csr& g, vid root) {
         std::int64_t discovered = 0;
         for (std::size_t k = 0; k < nbrs.size(); ++k) {
           const vid w = nbrs[k];
+          // Cheap load filters the common already-claimed case before
+          // paying for a lock-prefixed CAS (dense graphs lose most
+          // races: 2m - (n-1) arcs see a claimed endpoint).
+          if (parent[w].load(std::memory_order_relaxed) != kNoVertex) {
+            continue;
+          }
           vid expected = kNoVertex;
           if (parent[w].compare_exchange_strong(expected, v,
                                                 std::memory_order_acq_rel)) {

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+/// \file uninit.hpp
+/// std::vector without the memset: an allocator adaptor whose
+/// value-less construct() default-initializes, leaving primitive
+/// elements uninitialized.  For multi-hundred-MB scratch and output
+/// buffers that are fully overwritten before first read (CSR rows,
+/// staged arc records), the zero-fill an ordinary vector(n) pays is a
+/// complete extra memory pass.
+
+namespace parbcc {
+
+template <class T, class A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  template <class U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <class U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* ptr, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+/// Vector whose sized construction / resize leaves primitives
+/// uninitialized.  Only use when every element is written before read.
+template <class T>
+using uvector = std::vector<T, DefaultInitAllocator<T>>;
+
+}  // namespace parbcc

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/bcc.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+/// Naive sequential adjacency: per-vertex vector of (neighbor, edge id)
+/// pairs, in edge-list order.  Deliberately the dumbest possible
+/// construction so it shares nothing with the bucket-scatter builder.
+std::vector<std::vector<std::pair<vid, eid>>> reference_adjacency(
+    const EdgeList& g) {
+  std::vector<std::vector<std::pair<vid, eid>>> adj(g.n);
+  for (eid e = 0; e < g.m(); ++e) {
+    adj[g.edges[e].u].push_back({g.edges[e].v, e});
+    adj[g.edges[e].v].push_back({g.edges[e].u, e});
+  }
+  return adj;
+}
+
+/// Csr row contents must match the reference as multisets: the builder
+/// is free to order a row however it likes (the order depends on the
+/// thread count), but not to drop, duplicate, or misattribute an arc.
+void expect_csr_matches(Executor& ex, const EdgeList& g) {
+  const Csr csr = Csr::build(ex, g);
+  const auto ref = reference_adjacency(g);
+
+  ASSERT_EQ(csr.num_vertices(), g.n);
+  ASSERT_EQ(csr.num_edges(), g.m());
+  ASSERT_EQ(csr.offsets().size(), static_cast<std::size_t>(g.n) + 1);
+  EXPECT_EQ(csr.offsets()[0], 0u);
+  EXPECT_EQ(csr.offsets()[g.n], 2 * g.m());
+
+  std::vector<eid> eid_count(g.m(), 0);
+  for (vid v = 0; v < g.n; ++v) {
+    ASSERT_EQ(csr.offsets()[v + 1] - csr.offsets()[v], ref[v].size())
+        << "degree mismatch at v=" << v;
+    const auto nbrs = csr.neighbors(v);
+    const auto eids = csr.incident_edges(v);
+    ASSERT_EQ(nbrs.size(), eids.size());
+    std::vector<std::pair<vid, eid>> row;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      row.push_back({nbrs[k], eids[k]});
+      ASSERT_LT(eids[k], g.m());
+      // The arc must carry the id of an edge that actually joins
+      // v and nbrs[k] (multigraph-safe: ids distinguish copies).
+      const Edge& e = g.edges[eids[k]];
+      EXPECT_TRUE((e.u == v && e.v == nbrs[k]) ||
+                  (e.v == v && e.u == nbrs[k]))
+          << "arc (" << v << "," << nbrs[k] << ") carries edge " << eids[k];
+      ++eid_count[eids[k]];
+    }
+    std::vector<std::pair<vid, eid>> want = ref[v];
+    std::sort(row.begin(), row.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(row, want) << "row multiset mismatch at v=" << v;
+  }
+  // Every edge id appears exactly twice across all rows (once per
+  // endpoint), i.e. eids_ is a permutation of each id duplicated.
+  for (eid e = 0; e < g.m(); ++e) {
+    EXPECT_EQ(eid_count[e], 2u) << "edge " << e;
+  }
+}
+
+void expect_csr_matches_all_widths(const EdgeList& g) {
+  for (int p : {1, 4, 12}) {
+    SCOPED_TRACE("threads=" + std::to_string(p));
+    Executor ex(p);
+    expect_csr_matches(ex, g);
+  }
+}
+
+TEST(CsrBuild, RandomGnmSmall) {
+  // Small enough for the sequential path (num_arcs <= 2^13).
+  expect_csr_matches_all_widths(gen::random_gnm(200, 900, 1));
+}
+
+TEST(CsrBuild, RandomGnmScatter) {
+  // Large enough to take the parallel bucket-scatter path.
+  expect_csr_matches_all_widths(gen::random_gnm(20000, 120000, 2));
+}
+
+TEST(CsrBuild, RandomGnmDense) {
+  expect_csr_matches_all_widths(gen::random_gnm(2000, 60000, 3));
+}
+
+TEST(CsrBuild, SparseTriggersRadixFallback) {
+  // num_arcs = 2m < n/4 forces the trimmed-pass radix path.
+  expect_csr_matches_all_widths(gen::random_gnm(100000, 9000, 4));
+}
+
+TEST(CsrBuild, StarAllArcsOneVertex) {
+  // One vertex owns half of all arcs: stresses bucket skew.
+  expect_csr_matches_all_widths(gen::star(5001));
+}
+
+TEST(CsrBuild, ChainUniformDegree) {
+  expect_csr_matches_all_widths(gen::path(30000));
+}
+
+TEST(CsrBuild, MultigraphParallelEdges) {
+  // Parallel copies must keep distinct edge ids per arc.
+  EdgeList g(6, {{0, 1}, {0, 1}, {0, 1}, {1, 2}, {2, 0}, {2, 0},
+                 {3, 4}, {4, 3}, {3, 4}, {4, 5}});
+  expect_csr_matches_all_widths(g);
+}
+
+TEST(CsrBuild, EmptyAndEdgelessGraphs) {
+  expect_csr_matches_all_widths(EdgeList(0, {}));
+  expect_csr_matches_all_widths(EdgeList(57, {}));
+}
+
+TEST(CsrBuild, SingleEdge) {
+  expect_csr_matches_all_widths(EdgeList(2, {{0, 1}}));
+}
+
+TEST(CsrBuild, RejectsSelfLoops) {
+  Executor ex(4);
+  EdgeList g(3, {{0, 1}, {2, 2}});
+  EXPECT_THROW(Csr::build(ex, g), std::invalid_argument);
+}
+
+TEST(CsrBuild, PrebuiltCsrSkipsConversion) {
+  const EdgeList g = gen::random_gnm(4000, 24000, 7);
+  Executor ex(4);
+  const Csr csr = Csr::build(ex, g);
+
+  BccOptions opt;
+  opt.threads = 4;
+  BccOptions with_csr = opt;
+  with_csr.prebuilt_csr = &csr;
+
+  const BccResult base = biconnected_components(ex, g, opt);
+  const BccResult cached = biconnected_components(ex, g, with_csr);
+  EXPECT_EQ(cached.num_components, base.num_components);
+  EXPECT_EQ(cached.edge_component, base.edge_component);
+  EXPECT_EQ(cached.times.conversion, 0.0);
+}
+
+TEST(CsrBuild, PrebuiltCsrIgnoredOnMismatch) {
+  // A CSR of some other graph must be rejected, not trusted.
+  const EdgeList g = gen::random_gnm(3000, 12000, 8);
+  const EdgeList other = gen::random_gnm(3000, 9000, 9);
+  Executor ex(4);
+  const Csr wrong = Csr::build(ex, other);
+
+  BccOptions opt;
+  opt.threads = 4;
+  opt.prebuilt_csr = &wrong;
+  const BccResult got = biconnected_components(ex, g, opt);
+  const BccResult want = biconnected_components(ex, g, BccOptions{});
+  EXPECT_EQ(got.num_components, want.num_components);
+}
+
+}  // namespace
+}  // namespace parbcc

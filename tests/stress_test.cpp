@@ -90,6 +90,19 @@ TEST(Stress, CrossAlgorithmPartitionsIdentical) {
   EXPECT_TRUE(testutil::same_partition(a.edge_component, c.edge_component));
 }
 
+TEST(Stress, FullWidthAllAlgorithms) {
+  // Full SPMD width (oversubscribed on small hosts, which only widens
+  // the interleaving space): the race surface the sanitize-smoke suite
+  // is pointed at — work-stealing traversal, CSR bucket scatter, SV
+  // hooks under 12-way contention.
+  Executor ex(12);
+  const EdgeList g = gen::random_connected_gnm(20000, 120000, 13);
+  for (const BccAlgorithm algorithm :
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+    check(ex, g, algorithm);
+  }
+}
+
 TEST(Stress, RepeatedRunsAreDeterministicAtOneThread) {
   Executor ex(1);
   const EdgeList g = gen::random_connected_gnm(5000, 20000, 11);
