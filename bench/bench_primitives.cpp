@@ -12,6 +12,7 @@
 
 #include "connectivity/hcs.hpp"
 #include "connectivity/shiloach_vishkin.hpp"
+#include "core/bcc.hpp"
 #include "eulertour/tree_contraction.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
@@ -24,6 +25,7 @@
 #include "spanning/traversal_tree.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 namespace {
 
@@ -271,5 +273,107 @@ void BM_CsrBuild(benchmark::State& state) {
                           static_cast<std::int64_t>(g.m()));
 }
 BENCHMARK(BM_CsrBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// --- Arena vs heap scratch, and warm vs cold solve contexts. ----------
+// The Workspace exists so that steady-state solves stop paying the
+// allocate + fault + memset tax on their O(n + m) temporaries; these
+// benches measure exactly that tax at both the primitive level (a bare
+// scratch acquisition) and the whole-solve level (BccContext reuse).
+
+void BM_ScratchHeapVector(benchmark::State& state) {
+  // What every primitive did before the arena: a fresh zero-filled
+  // vector per call.  Touch one byte per page so lazily-mapped pages
+  // are actually materialized, as a real consumer would.
+  const std::size_t n = kArray;
+  for (auto _ : state) {
+    std::vector<vid> scratch(n);
+    benchmark::DoNotOptimize(scratch.data());
+    for (std::size_t i = 0; i < n; i += 1024) scratch[i] = 1;
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScratchHeapVector)->Unit(benchmark::kMillisecond);
+
+void BM_ScratchWorkspaceFrame(benchmark::State& state) {
+  // The same acquisition through a warm Workspace: a pointer bump into
+  // already-mapped pages, uninitialized by contract.
+  const std::size_t n = kArray;
+  Workspace ws;
+  {
+    Workspace::Frame prime(ws);
+    ws.alloc<vid>(n);
+  }
+  for (auto _ : state) {
+    Workspace::Frame frame(ws);
+    const std::span<vid> scratch = ws.alloc<vid>(n);
+    benchmark::DoNotOptimize(scratch.data());
+    for (std::size_t i = 0; i < n; i += 1024) scratch[i] = 1;
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["reuse_hits"] =
+      benchmark::Counter(static_cast<double>(ws.reuse_hits()));
+}
+BENCHMARK(BM_ScratchWorkspaceFrame)->Unit(benchmark::kMillisecond);
+
+void BM_BccSolveColdContext(benchmark::State& state) {
+  // Every iteration pays the full first-solve cost: fresh arena growth,
+  // page faults, and the edge-list -> CSR conversion.
+  const int p = static_cast<int>(state.range(0));
+  const EdgeList& g = graph_fixture();
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvOpt;
+  opt.compute_cut_info = false;
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    BccContext ctx(p);
+    const BccResult r = biconnected_components(ctx, g, opt);
+    peak = r.peak_workspace_bytes;
+    benchmark::DoNotOptimize(r.num_components);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.m()));
+  state.counters["peak_ws_MB"] =
+      benchmark::Counter(static_cast<double>(peak) / (1024.0 * 1024.0));
+}
+BENCHMARK(BM_BccSolveColdContext)
+    ->Arg(1)
+    ->Arg(4)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BccSolveWarmContext(benchmark::State& state) {
+  // Steady state: the context solved this shape once before timing, so
+  // the arena performs zero growth and the conversion cache hits.
+  const int p = static_cast<int>(state.range(0));
+  const EdgeList& g = graph_fixture();
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvOpt;
+  opt.compute_cut_info = false;
+  BccContext ctx(p);
+  biconnected_components(ctx, g, opt);  // prime
+  const std::uint64_t growth = ctx.workspace().growth_count();
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    const BccResult r = biconnected_components(ctx, g, opt);
+    peak = r.peak_workspace_bytes;
+    benchmark::DoNotOptimize(r.num_components);
+  }
+  if (ctx.workspace().growth_count() != growth) {
+    state.SkipWithError("warm solve grew the arena");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.m()));
+  state.counters["peak_ws_MB"] =
+      benchmark::Counter(static_cast<double>(peak) / (1024.0 * 1024.0));
+}
+BENCHMARK(BM_BccSolveWarmContext)
+    ->Arg(1)
+    ->Arg(4)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate for parbcc: configure + build + full ctest on the regular
+# tree, then build a ThreadSanitizer tree and run the curated
+# `sanitize-smoke` label (lock-free CSR scatter, work-stealing
+# traversal, SV grafting, and the arena-backed context-reuse sweep, all
+# at 12-way SPMD width).  Exits non-zero on the first failure.
+#
+#   ./ci.sh              # full gate
+#   JOBS=4 ./ci.sh       # cap build/test parallelism
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> tier-1: configure (build/)"
+cmake -B build -S . >/dev/null
+
+echo "==> tier-1: build"
+cmake --build build -j "$JOBS"
+
+echo "==> tier-1: ctest"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> tsan: configure (build-tsan/, PARBCC_SANITIZE=thread)"
+cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
+
+echo "==> tsan: build smoke set"
+cmake --build build-tsan -j "$JOBS" --target stress_test csr_test workspace_test
+
+echo "==> tsan: ctest -L sanitize-smoke"
+ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure
+
+echo "==> ci.sh: all green"

@@ -7,7 +7,7 @@
 namespace parbcc {
 namespace {
 
-void atomic_min(std::atomic<vid>& slot, vid v) {
+void atomic_min(std::atomic_ref<vid> slot, vid v) {
   vid cur = slot.load(std::memory_order_relaxed);
   while (v < cur &&
          !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -16,34 +16,39 @@ void atomic_min(std::atomic<vid>& slot, vid v) {
 
 }  // namespace
 
-std::vector<vid> connected_components_hcs(Executor& ex, vid n,
-                                          std::span<const Edge> edges) {
-  std::vector<std::atomic<vid>> label(n);
-  std::vector<std::atomic<vid>> best(n);  // per-root minimum seen this round
+void connected_components_hcs(Executor& ex, Workspace& ws, vid n,
+                              std::span<const Edge> edges,
+                              std::span<vid> label) {
+  Workspace::Frame frame(ws);
+  std::span<vid> best = ws.alloc<vid>(n);  // per-root minimum seen this round
   ex.parallel_for(n, [&](std::size_t v) {
-    label[v].store(static_cast<vid>(v), std::memory_order_relaxed);
+    label[v] = static_cast<vid>(v);
   });
 
   const std::size_t m = edges.size();
   const int p = ex.threads();
-  std::vector<Padded<bool>> thread_changed(static_cast<std::size_t>(p));
+  std::span<Padded<bool>> thread_changed =
+      ws.alloc<Padded<bool>>(static_cast<std::size_t>(p));
+  std::span<Padded<bool>> jumped =
+      ws.alloc<Padded<bool>>(static_cast<std::size_t>(p));
 
   for (;;) {
     ex.parallel_for(n, [&](std::size_t v) {
-      best[v].store(label[v].load(std::memory_order_relaxed),
-                    std::memory_order_relaxed);
+      best[v] = label[v];
     });
 
     // Gather: every edge offers each endpoint's label to the other
     // endpoint's current root.
     ex.parallel_for(m, [&](std::size_t i) {
-      const vid du = label[edges[i].u].load(std::memory_order_relaxed);
-      const vid dv = label[edges[i].v].load(std::memory_order_relaxed);
+      const vid du =
+          std::atomic_ref(label[edges[i].u]).load(std::memory_order_relaxed);
+      const vid dv =
+          std::atomic_ref(label[edges[i].v]).load(std::memory_order_relaxed);
       if (du == dv) return;
       if (dv < du) {
-        atomic_min(best[du], dv);
+        atomic_min(std::atomic_ref(best[du]), dv);
       } else {
-        atomic_min(best[dv], du);
+        atomic_min(std::atomic_ref(best[dv]), du);
       }
     });
 
@@ -54,10 +59,9 @@ std::vector<vid> connected_components_hcs(Executor& ex, vid n,
     ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
       bool changed = false;
       for (std::size_t v = begin; v < end; ++v) {
-        const vid b = best[v].load(std::memory_order_relaxed);
-        if (b < label[v].load(std::memory_order_relaxed) &&
-            label[v].load(std::memory_order_relaxed) == static_cast<vid>(v)) {
-          label[v].store(b, std::memory_order_relaxed);
+        const vid b = best[v];
+        if (b < label[v] && label[v] == static_cast<vid>(v)) {
+          label[v] = b;
           changed = true;
         }
       }
@@ -67,14 +71,16 @@ std::vector<vid> connected_components_hcs(Executor& ex, vid n,
     // Shortcut to fixpoint (full pointer jumping, HCS style).
     for (;;) {
       bool any_jump = false;
-      std::vector<Padded<bool>> jumped(static_cast<std::size_t>(p));
+      for (auto& j : jumped) j.value = false;
       ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
         bool changed = false;
         for (std::size_t v = begin; v < end; ++v) {
-          const vid l = label[v].load(std::memory_order_relaxed);
-          const vid ll = label[l].load(std::memory_order_relaxed);
+          const vid l =
+              std::atomic_ref(label[v]).load(std::memory_order_relaxed);
+          const vid ll =
+              std::atomic_ref(label[l]).load(std::memory_order_relaxed);
           if (ll != l) {
-            label[v].store(ll, std::memory_order_relaxed);
+            std::atomic_ref(label[v]).store(ll, std::memory_order_relaxed);
             changed = true;
           }
         }
@@ -88,12 +94,19 @@ std::vector<vid> connected_components_hcs(Executor& ex, vid n,
     for (const auto& c : thread_changed) any = any || c.value;
     if (!any) break;
   }
+}
 
+std::vector<vid> connected_components_hcs(Executor& ex, Workspace& ws, vid n,
+                                          std::span<const Edge> edges) {
   std::vector<vid> out(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    out[v] = label[v].load(std::memory_order_relaxed);
-  });
+  connected_components_hcs(ex, ws, n, edges, out);
   return out;
+}
+
+std::vector<vid> connected_components_hcs(Executor& ex, vid n,
+                                          std::span<const Edge> edges) {
+  Workspace ws;
+  return connected_components_hcs(ex, ws, n, edges);
 }
 
 }  // namespace parbcc

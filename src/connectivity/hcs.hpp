@@ -6,6 +6,7 @@
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file hcs.hpp
 /// Connected components in the style of Hirschberg, Chandra and
@@ -20,10 +21,21 @@
 /// deterministically at the cost of heavier rounds.  Both produce the
 /// same labels (component minima), so they are interchangeable and
 /// directly comparable in the primitive benchmarks.
+///
+/// The per-root minimum slots and convergence flags are Workspace
+/// scratch; labels are CASed in place through std::atomic_ref.
 
 namespace parbcc {
 
-/// Component labels: label[v] == minimum vertex id of v's component.
+/// Component labels written into `label` (size n): label[v] == minimum
+/// vertex id of v's component.
+void connected_components_hcs(Executor& ex, Workspace& ws, vid n,
+                              std::span<const Edge> edges,
+                              std::span<vid> label);
+
+std::vector<vid> connected_components_hcs(Executor& ex, Workspace& ws, vid n,
+                                          std::span<const Edge> edges);
+
 std::vector<vid> connected_components_hcs(Executor& ex, vid n,
                                           std::span<const Edge> edges);
 

@@ -8,16 +8,18 @@
 
 namespace parbcc {
 
-std::vector<vid> connected_components_sv(Executor& ex, vid n,
-                                         std::span<const Edge> edges) {
-  std::vector<std::atomic<vid>> label(n);
+void connected_components_sv(Executor& ex, Workspace& ws, vid n,
+                             std::span<const Edge> edges,
+                             std::span<vid> label) {
   ex.parallel_for(n, [&](std::size_t v) {
-    label[v].store(static_cast<vid>(v), std::memory_order_relaxed);
+    label[v] = static_cast<vid>(v);
   });
 
   const std::size_t m = edges.size();
   const int p = ex.threads();
-  std::vector<Padded<bool>> thread_changed(static_cast<std::size_t>(p));
+  Workspace::Frame frame(ws);
+  std::span<Padded<bool>> thread_changed =
+      ws.alloc<Padded<bool>>(static_cast<std::size_t>(p));
 
   for (;;) {
     for (auto& c : thread_changed) c.value = false;
@@ -30,14 +32,15 @@ std::vector<vid> connected_components_sv(Executor& ex, vid n,
       for (std::size_t i = begin; i < end; ++i) {
         const vid u = edges[i].u;
         const vid v = edges[i].v;
-        vid du = label[u].load(std::memory_order_relaxed);
-        vid dv = label[v].load(std::memory_order_relaxed);
+        vid du = std::atomic_ref(label[u]).load(std::memory_order_relaxed);
+        vid dv = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
         if (du == dv) continue;
         if (du < dv) std::swap(du, dv);
         // Hook root du onto the smaller label dv.
         vid expected = du;
-        if (label[du].compare_exchange_strong(expected, dv,
-                                              std::memory_order_relaxed)) {
+        if (std::atomic_ref(label[du])
+                .compare_exchange_strong(expected, dv,
+                                         std::memory_order_relaxed)) {
           changed = true;
         }
       }
@@ -48,10 +51,10 @@ std::vector<vid> connected_components_sv(Executor& ex, vid n,
     ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
       bool changed = false;
       for (std::size_t v = begin; v < end; ++v) {
-        const vid l = label[v].load(std::memory_order_relaxed);
-        const vid ll = label[l].load(std::memory_order_relaxed);
+        const vid l = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
+        const vid ll = std::atomic_ref(label[l]).load(std::memory_order_relaxed);
         if (ll != l) {
-          label[v].store(ll, std::memory_order_relaxed);
+          std::atomic_ref(label[v]).store(ll, std::memory_order_relaxed);
           changed = true;
         }
       }
@@ -62,12 +65,19 @@ std::vector<vid> connected_components_sv(Executor& ex, vid n,
     for (const auto& c : thread_changed) any = any || c.value;
     if (!any) break;
   }
+}
 
+std::vector<vid> connected_components_sv(Executor& ex, Workspace& ws, vid n,
+                                         std::span<const Edge> edges) {
   std::vector<vid> out(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    out[v] = label[v].load(std::memory_order_relaxed);
-  });
+  connected_components_sv(ex, ws, n, edges, out);
   return out;
+}
+
+std::vector<vid> connected_components_sv(Executor& ex, vid n,
+                                         std::span<const Edge> edges) {
+  Workspace ws;
+  return connected_components_sv(ex, ws, n, edges);
 }
 
 std::vector<vid> connected_components_seq(vid n, std::span<const Edge> edges) {
@@ -93,7 +103,7 @@ vid count_components(std::span<const vid> labels) {
   return count;
 }
 
-vid normalize_labels(std::vector<vid>& labels) {
+vid normalize_labels(std::span<vid> labels) {
   vid domain = 0;
   for (const vid l : labels) domain = std::max(domain, l + 1);
   std::vector<vid> remap(domain, kNoVertex);
@@ -103,6 +113,10 @@ vid normalize_labels(std::vector<vid>& labels) {
     l = remap[l];
   }
   return next;
+}
+
+vid normalize_labels(std::vector<vid>& labels) {
+  return normalize_labels(std::span<vid>(labels));
 }
 
 }  // namespace parbcc

@@ -6,6 +6,7 @@
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file shiloach_vishkin.hpp
 /// Parallel connected components by graft-and-shortcut, the SMP
@@ -17,11 +18,24 @@
 /// labels (CAS-arbitrated, so a root moves exactly once) and then
 /// pointer-jumps every label one step.  Labels decrease monotonically
 /// and path lengths halve per pass, giving O(log n) passes in practice.
+///
+/// The labels are updated in place through std::atomic_ref, so the
+/// output array doubles as the working array — no separate atomic
+/// vector and no copy-out pass; the only scratch is the O(p)
+/// convergence flags, drawn from the Workspace.
 
 namespace parbcc {
 
-/// Component labels for vertices [0, n): label[v] is the smallest-id
-/// convergence root of v's component, with label[root] == root.
+/// Component labels for vertices [0, n) written into `label` (size n):
+/// label[v] is the smallest-id convergence root of v's component, with
+/// label[root] == root.
+void connected_components_sv(Executor& ex, Workspace& ws, vid n,
+                             std::span<const Edge> edges,
+                             std::span<vid> label);
+
+std::vector<vid> connected_components_sv(Executor& ex, Workspace& ws, vid n,
+                                         std::span<const Edge> edges);
+
 std::vector<vid> connected_components_sv(Executor& ex, vid n,
                                          std::span<const Edge> edges);
 
@@ -41,5 +55,6 @@ vid count_components(std::span<const vid> labels);
 /// Order: by first appearance of each label, so results are
 /// deterministic given a deterministic labeling.
 vid normalize_labels(std::vector<vid>& labels);
+vid normalize_labels(std::span<vid> labels);
 
 }  // namespace parbcc

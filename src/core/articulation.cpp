@@ -1,65 +1,65 @@
 #include "core/articulation.hpp"
 
 #include <atomic>
+#include <span>
 
 #include "scan/compact.hpp"
 
 namespace parbcc {
 
-void annotate_cut_info(Executor& ex, const EdgeList& g, BccResult& result) {
+void annotate_cut_info(Executor& ex, Workspace& ws, const EdgeList& g,
+                       BccResult& result) {
   const vid n = g.n;
   const eid m = g.m();
   const vid k = result.num_components;
+  Workspace::Frame frame(ws);
 
   // --- Articulation points: incident to >= 2 distinct labels. --------
+  // The articulation flags are set in place on the result vector via
+  // atomic_ref; only the first-seen label per vertex needs scratch.
   result.is_articulation.assign(n, 0);
-  std::vector<std::atomic<vid>> first_label(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    first_label[v].store(kNoVertex, std::memory_order_relaxed);
-  });
-  std::vector<std::atomic<std::uint8_t>> art(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    art[v].store(0, std::memory_order_relaxed);
-  });
+  std::span<vid> first_label = ws.alloc<vid>(n);
+  ex.parallel_for(n, [&](std::size_t v) { first_label[v] = kNoVertex; });
 
   ex.parallel_for(m, [&](std::size_t e) {
     if (g.edges[e].u == g.edges[e].v) return;  // loops never articulate
     const vid label = result.edge_component[e];
     for (const vid v : {g.edges[e].u, g.edges[e].v}) {
       vid expected = kNoVertex;
-      if (!first_label[v].compare_exchange_strong(
-              expected, label, std::memory_order_acq_rel) &&
+      if (!std::atomic_ref(first_label[v])
+               .compare_exchange_strong(expected, label,
+                                        std::memory_order_acq_rel) &&
           expected != label) {
-        art[v].store(1, std::memory_order_relaxed);
+        std::atomic_ref(result.is_articulation[v])
+            .store(1, std::memory_order_relaxed);
       }
     }
   });
-  ex.parallel_for(n, [&](std::size_t v) {
-    result.is_articulation[v] = art[v].load(std::memory_order_relaxed);
-  });
 
   // --- Bridges: components of size one. -------------------------------
-  std::vector<std::atomic<eid>> comp_size(k);
-  ex.parallel_for(k, [&](std::size_t c) {
-    comp_size[c].store(0, std::memory_order_relaxed);
-  });
+  std::span<eid> comp_size = ws.alloc<eid>(k);
+  ex.parallel_for(k, [&](std::size_t c) { comp_size[c] = 0; });
   ex.parallel_for(m, [&](std::size_t e) {
-    comp_size[result.edge_component[e]].fetch_add(1,
-                                                  std::memory_order_relaxed);
+    std::atomic_ref(comp_size[result.edge_component[e]])
+        .fetch_add(1, std::memory_order_relaxed);
   });
   result.bridges.resize(m);
   const std::size_t bridge_count = pack_into(
-      ex, m,
+      ex, ws, m,
       [&](std::size_t e) {
         // A single-edge component that is not a self-loop is a bridge.
-        return comp_size[result.edge_component[e]].load(
-                   std::memory_order_relaxed) == 1 &&
+        return comp_size[result.edge_component[e]] == 1 &&
                g.edges[e].u != g.edges[e].v;
       },
       [&](std::size_t dst, std::size_t e) {
         result.bridges[dst] = static_cast<eid>(e);
       });
   result.bridges.resize(bridge_count);
+}
+
+void annotate_cut_info(Executor& ex, const EdgeList& g, BccResult& result) {
+  Workspace ws;
+  annotate_cut_info(ex, ws, g, result);
 }
 
 }  // namespace parbcc

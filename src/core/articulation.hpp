@@ -3,6 +3,7 @@
 #include "core/bcc_result.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file articulation.hpp
 /// Cut vertices and bridges derived from an edge labeling.
@@ -19,7 +20,10 @@ namespace parbcc {
 
 /// Fill result.is_articulation and result.bridges from
 /// result.edge_component (labels must be contiguous in
-/// [0, num_components)).
+/// [0, num_components)).  First-label and component-size side arrays
+/// are Workspace scratch.
+void annotate_cut_info(Executor& ex, Workspace& ws, const EdgeList& g,
+                       BccResult& result);
 void annotate_cut_info(Executor& ex, const EdgeList& g, BccResult& result);
 
 }  // namespace parbcc

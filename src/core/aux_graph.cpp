@@ -5,22 +5,24 @@
 
 namespace parbcc {
 
-AuxGraph build_aux_graph(Executor& ex, std::span<const Edge> edges,
+AuxGraph build_aux_graph(Executor& ex, Workspace& ws,
+                         std::span<const Edge> edges,
                          const RootedSpanningTree& tree,
                          std::span<const vid> tree_owner, const LowHigh& lh) {
   const std::size_t m = edges.size();
   const vid n = tree.n();
   AuxGraph out;
+  Workspace::Frame frame(ws);
 
   // --- Map edges to aux vertices (prefix sum over nontree flags). ----
   out.aux_id.resize(m);
   {
-    std::vector<vid> nontree_rank(m);
+    std::span<vid> nontree_rank = ws.alloc<vid>(m);
     ex.parallel_for(m, [&](std::size_t e) {
       nontree_rank[e] = tree_owner[e] == kNoVertex ? 1 : 0;
     });
-    const vid num_nontree =
-        exclusive_scan(ex, nontree_rank.data(), nontree_rank.data(), m, vid{0});
+    const vid num_nontree = exclusive_scan(ex, ws, nontree_rank.data(),
+                                           nontree_rank.data(), m, vid{0});
     out.num_vertices = n + num_nontree;
     ex.parallel_for(m, [&](std::size_t e) {
       out.aux_id[e] =
@@ -30,7 +32,8 @@ AuxGraph build_aux_graph(Executor& ex, std::span<const Edge> edges,
 
   // --- Stage candidate pairs: slot e, m+e, 2m+e per condition. -------
   const Edge kEmpty{kNoVertex, kNoVertex};
-  std::vector<Edge> staged(3 * m, kEmpty);
+  std::span<Edge> staged = ws.alloc<Edge>(3 * m);
+  ex.parallel_for(3 * m, [&](std::size_t i) { staged[i] = kEmpty; });
   ex.parallel_for(m, [&](std::size_t e) {
     const vid u = edges[e].u;
     const vid v = edges[e].v;
@@ -61,12 +64,19 @@ AuxGraph build_aux_graph(Executor& ex, std::span<const Edge> edges,
   // --- Compact into E'. -----------------------------------------------
   out.edges.resize(3 * m);
   const std::size_t count = pack_into(
-      ex, staged.size(),
+      ex, ws, staged.size(),
       [&](std::size_t i) { return staged[i].u != kNoVertex; },
       [&](std::size_t dst, std::size_t i) { out.edges[dst] = staged[i]; });
   out.edges.resize(count);
   out.edges.shrink_to_fit();
   return out;
+}
+
+AuxGraph build_aux_graph(Executor& ex, std::span<const Edge> edges,
+                         const RootedSpanningTree& tree,
+                         std::span<const vid> tree_owner, const LowHigh& lh) {
+  Workspace ws;
+  return build_aux_graph(ex, ws, edges, tree, tree_owner, lh);
 }
 
 }  // namespace parbcc

@@ -7,6 +7,7 @@
 #include "eulertour/tree_computations.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file aux_graph.hpp
 /// TV step 5 (Label-edge): build the auxiliary graph G' = (V', E')
@@ -18,6 +19,10 @@
 /// pairs are staged into a 3m-slot array — one m-slot region per R''c
 /// condition — and compacted with a prefix sum, so the construction is
 /// write-conflict free (EREW), matching Theorem 1.
+///
+/// The 3m-slot staging array and the nontree-rank prefix array — the
+/// largest per-solve scratch in the whole TV pipeline — come from the
+/// Workspace.
 
 namespace parbcc {
 
@@ -32,6 +37,10 @@ struct AuxGraph {
 
 /// `tree_owner[e]` = child endpoint if e is a tree edge else kNoVertex;
 /// `lh` from compute_low_high_*.
+AuxGraph build_aux_graph(Executor& ex, Workspace& ws,
+                         std::span<const Edge> edges,
+                         const RootedSpanningTree& tree,
+                         std::span<const vid> tree_owner, const LowHigh& lh);
 AuxGraph build_aux_graph(Executor& ex, std::span<const Edge> edges,
                          const RootedSpanningTree& tree,
                          std::span<const vid> tree_owner, const LowHigh& lh);

@@ -31,15 +31,21 @@ BccAlgorithm resolve(BccAlgorithm algorithm, vid n, eid m) {
   return m > 4ull * n ? BccAlgorithm::kTvFilter : BccAlgorithm::kTvOpt;
 }
 
-BccResult run_connected(Executor& ex, const EdgeList& g,
+/// Solve a connected, loop-free graph, building adjacency on demand
+/// for the drivers that need it.
+BccResult run_connected(Executor& ex, Workspace& ws, const EdgeList& g,
                         const BccOptions& opt, BccAlgorithm algorithm) {
   switch (algorithm) {
     case BccAlgorithm::kTvSmp:
-      return tv_smp_bcc(ex, g, opt);
-    case BccAlgorithm::kTvOpt:
-      return tv_opt_bcc(ex, g, opt);
-    case BccAlgorithm::kTvFilter:
-      return tv_filter_bcc(ex, g, opt);
+      return tv_smp_bcc(ex, ws, g, opt);
+    case BccAlgorithm::kTvOpt: {
+      const PreparedGraph pg(ex, ws, g);
+      return tv_opt_bcc(ex, ws, pg, opt);
+    }
+    case BccAlgorithm::kTvFilter: {
+      const PreparedGraph pg(ex, ws, g);
+      return tv_filter_bcc(ex, ws, pg, opt);
+    }
     case BccAlgorithm::kSequential:
     case BccAlgorithm::kAuto:
       break;
@@ -49,15 +55,15 @@ BccResult run_connected(Executor& ex, const EdgeList& g,
 
 /// As run_connected, but with a shared conversion cache for the
 /// adjacency-hungry drivers; TV-SMP never needs (or pays for) it.
-BccResult run_connected(Executor& ex, const PreparedGraph& pg,
+BccResult run_connected(Executor& ex, Workspace& ws, const PreparedGraph& pg,
                         const BccOptions& opt, BccAlgorithm algorithm) {
   switch (algorithm) {
     case BccAlgorithm::kTvSmp:
-      return tv_smp_bcc(ex, pg.graph(), opt);
+      return tv_smp_bcc(ex, ws, pg.graph(), opt);
     case BccAlgorithm::kTvOpt:
-      return tv_opt_bcc(ex, pg, opt);
+      return tv_opt_bcc(ex, ws, pg, opt);
     case BccAlgorithm::kTvFilter:
-      return tv_filter_bcc(ex, pg, opt);
+      return tv_filter_bcc(ex, ws, pg, opt);
     case BccAlgorithm::kSequential:
     case BccAlgorithm::kAuto:
       break;
@@ -70,13 +76,15 @@ BccResult run_connected(Executor& ex, const PreparedGraph& pg,
 /// solve them one after another (each solve is internally parallel).
 /// `pg`, when non-null, is a conversion cache for `g` itself; it only
 /// applies on the connected fast path (subproblems are relabeled graphs
-/// with their own adjacency).
-BccResult run_general(Executor& ex, const EdgeList& g, const BccOptions& opt,
-                      BccAlgorithm algorithm, const PreparedGraph* pg) {
+/// with their own adjacency).  `cache`, when non-null, is a context
+/// whose conversion cache may be used for `g` on that same fast path.
+BccResult run_general(Executor& ex, Workspace& ws, const EdgeList& g,
+                      const BccOptions& opt, BccAlgorithm algorithm,
+                      const PreparedGraph* pg, BccContext* cache) {
   const vid n = g.n;
   const eid m = g.m();
 
-  std::vector<vid> comp = connected_components_sv(ex, g);
+  std::vector<vid> comp = connected_components_sv(ex, ws, n, g.edges);
   const vid k = normalize_labels(comp);
 
   if (k <= 1) {
@@ -84,14 +92,20 @@ BccResult run_general(Executor& ex, const EdgeList& g, const BccOptions& opt,
     if (connected_opt.root >= n) connected_opt.root = 0;
     if (algorithm == BccAlgorithm::kTvSmp) {
       // TV-SMP runs on the raw edge list; never build adjacency for it.
-      return run_connected(ex, g, connected_opt, algorithm);
+      return run_connected(ex, ws, g, connected_opt, algorithm);
     }
-    if (pg) return run_connected(ex, *pg, connected_opt, algorithm);
-    const PreparedGraph built(ex, g);
-    return run_connected(ex, built, connected_opt, algorithm);
+    if (pg) return run_connected(ex, ws, *pg, connected_opt, algorithm);
+    if (cache) {
+      return run_connected(ex, ws, cache->prepare(g), connected_opt,
+                           algorithm);
+    }
+    const PreparedGraph built(ex, ws, g);
+    return run_connected(ex, ws, built, connected_opt, algorithm);
   }
 
-  // Bucket vertices and edges by component (counting sort).
+  // Bucket vertices and edges by component (counting sort).  This path
+  // is sequential bookkeeping over a rare input shape; the subproblem
+  // solves below still draw their scratch from the shared arena.
   std::vector<vid> vertex_offset(k + 1, 0);
   std::vector<vid> new_id(n);
   for (vid v = 0; v < n; ++v) ++vertex_offset[comp[v] + 1];
@@ -129,7 +143,7 @@ BccResult run_general(Executor& ex, const EdgeList& g, const BccOptions& opt,
     BccOptions sub_opt = opt;
     sub_opt.root = 0;
     sub_opt.compute_cut_info = false;
-    BccResult sub_result = run_connected(ex, sub, sub_opt, algorithm);
+    BccResult sub_result = run_connected(ex, ws, sub, sub_opt, algorithm);
     for (eid j = e_begin; j < e_end; ++j) {
       result.edge_component[edge_bucket[j]] =
           label_base + sub_result.edge_component[j - e_begin];
@@ -159,8 +173,11 @@ const char* to_string(BccAlgorithm algorithm) {
   return "unknown";
 }
 
-BccResult biconnected_components(Executor& ex, const EdgeList& g,
+BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
                                  const BccOptions& options) {
+  Executor& ex = ctx.executor();
+  Workspace& ws = ctx.workspace();
+
   for (const Edge& e : g.edges) {
     if (e.u >= g.n || e.v >= g.n) {
       throw std::invalid_argument(
@@ -174,6 +191,11 @@ BccResult biconnected_components(Executor& ex, const EdgeList& g,
   Timer total;
   BccResult result;
   if (g.n == 0) return result;
+
+  // Arena telemetry: peak is measured per solve, reuse hits as a delta
+  // so the result describes this call only.
+  ws.reset_peak();
+  const std::uint64_t reuse_before = ws.reuse_hits();
 
   // Self-loops never participate in biconnectivity: split them off as
   // their own components and solve the stripped graph.
@@ -202,15 +224,24 @@ BccResult biconnected_components(Executor& ex, const EdgeList& g,
     pg = &*built;
   }
 
+  // The context's conversion cache may only hold the caller's graph
+  // object: `stripped` is a local temporary and would dangle.
+  BccContext* cache = has_loops ? nullptr : &ctx;
+
   if (algorithm == BccAlgorithm::kSequential) {
     if (!pg) {
-      built.emplace(ex, work);
-      pg = &*built;
+      if (cache) {
+        pg = &cache->prepare(work);
+      } else {
+        built.emplace(ex, ws, work);
+        pg = &*built;
+      }
     }
-    result = hopcroft_tarjan_bcc(work, pg->csr(), /*compute_cut_info=*/false);
+    result = hopcroft_tarjan_bcc(ex, ws, work, pg->csr(),
+                                 /*compute_cut_info=*/false);
     result.times.conversion = pg->conversion_seconds();
   } else {
-    result = run_general(ex, work, options, algorithm, pg);
+    result = run_general(ex, ws, work, options, algorithm, pg, cache);
   }
 
   if (has_loops) {
@@ -227,16 +258,24 @@ BccResult biconnected_components(Executor& ex, const EdgeList& g,
   }
 
   if (options.compute_cut_info) {
-    annotate_cut_info(ex, g, result);
+    annotate_cut_info(ex, ws, g, result);
   }
   result.times.total = total.seconds();
+  result.peak_workspace_bytes = ws.peak_bytes();
+  result.arena_reuse_hits = ws.reuse_hits() - reuse_before;
   return result;
+}
+
+BccResult biconnected_components(Executor& ex, const EdgeList& g,
+                                 const BccOptions& options) {
+  BccContext ctx(ex);
+  return biconnected_components(ctx, g, options);
 }
 
 BccResult biconnected_components(const EdgeList& g,
                                  const BccOptions& options) {
-  Executor ex(options.threads < 1 ? 1 : options.threads);
-  return biconnected_components(ex, g, options);
+  BccContext ctx(options.threads < 1 ? 1 : options.threads);
+  return biconnected_components(ctx, g, options);
 }
 
 }  // namespace parbcc

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/bcc_context.hpp"
 #include "core/bcc_result.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
@@ -9,10 +10,12 @@
 /// undirected graph.
 ///
 ///   #include "core/bcc.hpp"
+///   parbcc::BccContext ctx(/*threads=*/8);
 ///   parbcc::BccOptions opt;
 ///   opt.algorithm = parbcc::BccAlgorithm::kTvFilter;
-///   opt.threads = 8;
-///   parbcc::BccResult r = parbcc::biconnected_components(graph, opt);
+///   parbcc::BccResult r = parbcc::biconnected_components(ctx, graph, opt);
+///   // ...further solves on ctx reuse the thread pool, the scratch
+///   // arena and (for the same graph object) the adjacency cache.
 ///
 /// The dispatcher accepts any undirected graph: disconnected inputs are
 /// decomposed into connected components first (each is solved with the
@@ -22,8 +25,15 @@
 
 namespace parbcc {
 
+/// Compute biconnected components inside a reusable solve session.
+/// All O(n + m) scratch is drawn from the context's arena; the result
+/// reports the arena high-water mark and reuse telemetry.
+BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
+                                 const BccOptions& options = {});
+
 /// Compute biconnected components using a caller-provided executor
-/// (its thread count wins over options.threads).
+/// (its thread count wins over options.threads).  Owns a transient
+/// context per call.
 BccResult biconnected_components(Executor& ex, const EdgeList& g,
                                  const BccOptions& options = {});
 

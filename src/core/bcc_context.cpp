@@ -1,0 +1,21 @@
+#include "core/bcc_context.hpp"
+
+namespace parbcc {
+
+const PreparedGraph& BccContext::prepare(const EdgeList& g) {
+  if (cache_ && cached_graph_ == &g && cached_n_ == g.n &&
+      cached_m_ == g.m()) {
+    // Repeat solve of the same graph: the conversion was already paid
+    // (and charged) by the build below; report it as free from now on.
+    cache_->waive_conversion_charge();
+    return *cache_;
+  }
+  cache_.reset();
+  cache_.emplace(*ex_, ws_, g);
+  cached_graph_ = &g;
+  cached_n_ = g.n;
+  cached_m_ = g.m();
+  return *cache_;
+}
+
+}  // namespace parbcc

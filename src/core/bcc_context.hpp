@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+
+#include "core/drivers.hpp"
+#include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
+
+/// \file bcc_context.hpp
+/// A reusable biconnected-components solve session.
+///
+/// One solve allocates O(n + m) of scratch across a dozen pipeline
+/// stages.  BccContext bundles the three things worth keeping warm
+/// between solves:
+///
+///  - an Executor (thread pool) — spawning p threads per call is the
+///    kind of overhead the paper's SMP methodology explicitly avoids;
+///  - a Workspace arena — after the first solve the arena owns the
+///    high-water capacity, so repeat solves allocate nothing from the
+///    system (BccResult::arena_reuse_hits makes this observable);
+///  - the edge-list -> adjacency conversion cache (PreparedGraph) —
+///    the representation-discrepancy cost of paper §1 is paid at most
+///    once per distinct input graph.
+///
+/// The context is single-threaded from the caller's perspective: one
+/// solve at a time, matching the Workspace single-orchestrator rule.
+
+namespace parbcc {
+
+class BccContext {
+ public:
+  /// Own an Executor with `threads` SPMD participants (>= 1).
+  explicit BccContext(int threads = 1)
+      : owned_(std::in_place, threads < 1 ? 1 : threads), ex_(&*owned_) {}
+
+  /// Borrow a caller-managed Executor (must outlive the context).
+  explicit BccContext(Executor& ex) : ex_(&ex) {}
+
+  BccContext(const BccContext&) = delete;
+  BccContext& operator=(const BccContext&) = delete;
+
+  Executor& executor() { return *ex_; }
+  Workspace& workspace() { return ws_; }
+
+  /// Adjacency for `g`, building it on first use and caching it keyed
+  /// on (&g, n, m).  On a cache hit the PreparedGraph's conversion
+  /// charge is waived, so StepTimes::conversion reports 0 for repeat
+  /// solves of the same graph.  The caller must not mutate the edges
+  /// of a cached graph in place; after doing so, call invalidate().
+  const PreparedGraph& prepare(const EdgeList& g);
+
+  /// Drop the conversion cache (keeps the Executor and the arena).
+  void invalidate() {
+    cache_.reset();
+    cached_graph_ = nullptr;
+  }
+
+ private:
+  std::optional<Executor> owned_;
+  Executor* ex_;
+  Workspace ws_;
+  std::optional<PreparedGraph> cache_;
+  const EdgeList* cached_graph_ = nullptr;
+  vid cached_n_ = 0;
+  eid cached_m_ = 0;
+};
+
+}  // namespace parbcc

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -92,6 +93,14 @@ struct BccResult {
   std::vector<eid> bridges;
   /// Per-step timing of the run.
   StepTimes times;
+  /// High-water mark of the context's Workspace arena during this solve
+  /// (bytes).  0 when the solve never touched the arena (e.g. serial
+  /// fast paths).
+  std::size_t peak_workspace_bytes = 0;
+  /// Arena allocations served from existing capacity during this solve.
+  /// On a warm BccContext every allocation is a hit; a cold context
+  /// additionally grows backing blocks (visible as hits < allocations).
+  std::uint64_t arena_reuse_hits = 0;
 };
 
 }  // namespace parbcc

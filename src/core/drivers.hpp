@@ -5,6 +5,7 @@
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/workspace.hpp"
 
 /// \file drivers.hpp
 /// The three parallel biconnected-components drivers.  Each assumes a
@@ -12,6 +13,9 @@
 /// dispatcher in bcc.hpp), fills edge_component with contiguous labels,
 /// num_components, and the per-step times of the paper's Fig. 4.
 /// Cut info (articulation points, bridges) is annotated by the caller.
+/// Every driver has a Workspace-threaded primary — all O(n + m)
+/// scratch along the pipeline is drawn from (and returned to) the
+/// caller's arena — plus a legacy overload owning a private arena.
 
 namespace parbcc {
 
@@ -24,7 +28,15 @@ namespace parbcc {
 /// PreparedGraph.
 class PreparedGraph {
  public:
-  /// Convert `g`, recording the wall-clock conversion cost.
+  /// Convert `g`, recording the wall-clock conversion cost.  The
+  /// builder's staging memory comes from `ws`.
+  PreparedGraph(Executor& ex, Workspace& ws, const EdgeList& g) : graph_(&g) {
+    Timer timer;
+    owned_ = Csr::build(ex, ws, g);
+    csr_ = &owned_;
+    conversion_seconds_ = timer.seconds();
+  }
+
   PreparedGraph(Executor& ex, const EdgeList& g) : graph_(&g) {
     Timer timer;
     owned_ = Csr::build(ex, g);
@@ -45,6 +57,9 @@ class PreparedGraph {
   const Csr& csr() const { return *csr_; }
   /// Seconds spent building the CSR (0 when the caller supplied it).
   double conversion_seconds() const { return conversion_seconds_; }
+  /// Charge the conversion to nobody: BccContext zeroes this on cache
+  /// hits so repeat solves report conversion = 0.
+  void waive_conversion_charge() { conversion_seconds_ = 0; }
 
  private:
   const EdgeList* graph_;
@@ -56,11 +71,15 @@ class PreparedGraph {
 /// Direct SMP emulation of Tarjan-Vishkin (paper §3.1): SV spanning
 /// tree, sort-built Euler tour, list-ranked rooting, RMQ low/high.
 /// Works on the raw edge list; it never needs (or charges) adjacency.
+BccResult tv_smp_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
+                     const BccOptions& opt);
 BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt);
 
 /// Optimized adaptation (paper §3.2): work-stealing rooted spanning
 /// tree (merging Spanning-tree and Root-tree), DFS-order tree
 /// computations via level sweeps and prefix sums.
+BccResult tv_opt_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
+                     const BccOptions& opt);
 BccResult tv_opt_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt);
 BccResult tv_opt_bcc(Executor& ex, const PreparedGraph& pg,
                      const BccOptions& opt);
@@ -68,6 +87,8 @@ BccResult tv_opt_bcc(Executor& ex, const PreparedGraph& pg,
 /// The paper's Alg. 2: BFS tree T, spanning forest F of G - T, TV-opt
 /// machinery on T u F (at most 2(n-1) edges), condition-1 labels for
 /// the filtered edges.
+BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
+                        const BccOptions& opt);
 BccResult tv_filter_bcc(Executor& ex, const EdgeList& g,
                         const BccOptions& opt);
 BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,

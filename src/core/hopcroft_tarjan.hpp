@@ -3,6 +3,8 @@
 #include "core/bcc_result.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
+#include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file hopcroft_tarjan.hpp
 /// Sequential biconnected components by depth-first search with an
@@ -18,6 +20,13 @@ namespace parbcc {
 /// Label the edges of `g` with biconnected component ids.
 /// `csr` must be the adjacency of `g`.  Fills edge_component,
 /// num_components and (optionally) cut info; times.total only.
+/// The DFS itself is sequential; `ex`/`ws` only serve the cut-info
+/// annotation, so callers that already hold an executor (the
+/// dispatcher, benchmarks) don't pay for a throwaway pool.
+BccResult hopcroft_tarjan_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
+                              const Csr& csr, bool compute_cut_info = true);
+BccResult hopcroft_tarjan_bcc(Executor& ex, const EdgeList& g, const Csr& csr,
+                              bool compute_cut_info = true);
 BccResult hopcroft_tarjan_bcc(const EdgeList& g, const Csr& csr,
                               bool compute_cut_info = true);
 

@@ -6,6 +6,7 @@
 #include "eulertour/tree_computations.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file lowhigh.hpp
 /// TV step 4: low(v) / high(v) values.
@@ -21,6 +22,9 @@
 ///  - kRmq (TV-SMP): scatter local values into preorder order and query
 ///    each subtree's interval on a sparse table — O(n log n) build.
 ///  - kLevelSweep (TV-opt): bottom-up min/max along tree levels — O(n).
+///
+/// The RMQ variant's preorder scatter buffers and the O(n log n) sparse
+/// tables themselves are Workspace scratch.
 
 namespace parbcc {
 
@@ -31,12 +35,17 @@ struct LowHigh {
 
 /// Sparse-table variant.  `tree_owner[e]` is the child endpoint of tree
 /// edge e, kNoVertex when e is a nontree edge.
+LowHigh compute_low_high_rmq(Executor& ex, Workspace& ws,
+                             std::span<const Edge> edges,
+                             const RootedSpanningTree& tree,
+                             std::span<const vid> tree_owner);
 LowHigh compute_low_high_rmq(Executor& ex, std::span<const Edge> edges,
                              const RootedSpanningTree& tree,
                              std::span<const vid> tree_owner);
 
 /// Level-sweep variant; `children`/`levels` come from the TV-opt
-/// rooting pipeline.
+/// rooting pipeline.  Aggregation runs in place over the result
+/// vectors, so no workspace scratch is needed.
 LowHigh compute_low_high_levels(Executor& ex, std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
                                 std::span<const vid> tree_owner,

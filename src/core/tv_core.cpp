@@ -23,7 +23,8 @@ std::vector<vid> make_tree_owner(Executor& ex, std::size_t num_edges,
   return owner;
 }
 
-std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
+std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
+                                std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
                                 std::span<const vid> tree_owner,
                                 LowHighMethod method,
@@ -36,7 +37,7 @@ std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
   LowHigh lh;
   switch (method) {
     case LowHighMethod::kRmq:
-      lh = compute_low_high_rmq(ex, edges, tree, tree_owner);
+      lh = compute_low_high_rmq(ex, ws, edges, tree, tree_owner);
       break;
     case LowHighMethod::kLevelSweep:
       if (children == nullptr || levels == nullptr) {
@@ -50,19 +51,33 @@ std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
   if (times) times->low_high = timer.lap();
 
   // Step 5: Label-edge (Alg. 1).
-  const AuxGraph aux = build_aux_graph(ex, edges, tree, tree_owner, lh);
+  const AuxGraph aux = build_aux_graph(ex, ws, edges, tree, tree_owner, lh);
   if (times) times->label_edge = timer.lap();
 
   // Step 6: connected components of G' via Shiloach-Vishkin, read back
-  // through each edge's aux image.
-  const std::vector<vid> aux_labels =
-      connected_components_sv(ex, aux.num_vertices, aux.edges);
+  // through each edge's aux image.  The aux label array is scratch —
+  // only its gather through aux_id survives.
+  Workspace::Frame frame(ws);
+  std::span<vid> aux_labels = ws.alloc<vid>(aux.num_vertices);
+  connected_components_sv(ex, ws, aux.num_vertices, aux.edges, aux_labels);
   std::vector<vid> labels(edges.size());
   ex.parallel_for(edges.size(), [&](std::size_t e) {
     labels[e] = aux_labels[aux.aux_id[e]];
   });
   if (times) times->connected_components = timer.lap();
   return labels;
+}
+
+std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
+                                const RootedSpanningTree& tree,
+                                std::span<const vid> tree_owner,
+                                LowHighMethod method,
+                                const ChildrenCsr* children,
+                                const LevelStructure* levels,
+                                TvCoreTimes* times) {
+  Workspace ws;
+  return tv_label_edges(ex, ws, edges, tree, tree_owner, method, children,
+                        levels, times);
 }
 
 }  // namespace parbcc

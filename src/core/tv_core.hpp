@@ -7,6 +7,7 @@
 #include "eulertour/tree_computations.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file tv_core.hpp
 /// The back half of Tarjan-Vishkin shared by TV-SMP, TV-opt and
@@ -37,6 +38,16 @@ std::vector<vid> make_tree_owner(Executor& ex, std::size_t num_edges,
 /// `children`/`levels` are required for kLevelSweep and ignored for
 /// kRmq.  Returns one label per edge; labels are auxiliary-graph root
 /// ids in [0, n + #nontree) — canonical as a partition, not as values.
+/// All intermediate arrays (low/high scatter, aux staging, aux
+/// component labels) are Workspace scratch.
+std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
+                                std::span<const Edge> edges,
+                                const RootedSpanningTree& tree,
+                                std::span<const vid> tree_owner,
+                                LowHighMethod method,
+                                const ChildrenCsr* children,
+                                const LevelStructure* levels,
+                                TvCoreTimes* times = nullptr);
 std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
                                 std::span<const vid> tree_owner,

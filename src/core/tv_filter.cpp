@@ -13,12 +13,19 @@ namespace parbcc {
 
 BccResult tv_filter_bcc(Executor& ex, const EdgeList& g,
                         const BccOptions& opt) {
+  Workspace ws;
   // Representation conversion, as in TV-opt.
-  const PreparedGraph pg(ex, g);
-  return tv_filter_bcc(ex, pg, opt);
+  const PreparedGraph pg(ex, ws, g);
+  return tv_filter_bcc(ex, ws, pg, opt);
 }
 
 BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,
+                        const BccOptions& opt) {
+  Workspace ws;
+  return tv_filter_bcc(ex, ws, pg, opt);
+}
+
+BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
                         const BccOptions& opt) {
   const EdgeList& g = pg.graph();
   const Csr& csr = pg.csr();
@@ -31,7 +38,7 @@ BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,
 
   // Alg. 2 step 1: T must be a BFS tree (Lemma 1 needs its level
   // structure).
-  const BfsTree bfs = bfs_tree(ex, csr, opt.root);
+  const BfsTree bfs = bfs_tree(ex, ws, csr, opt.root);
   if (bfs.reached != n) {
     throw std::invalid_argument("tv_filter_bcc: graph must be connected");
   }
@@ -42,31 +49,43 @@ BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,
   // always labeled by condition 1 with its tree twin's component, and
   // keeping it out of F preserves Lemma 1 (no ancestral relationship
   // between F-edge endpoints) on multigraph inputs.
-  std::vector<std::uint8_t> in_tree(m, 0);
-  ex.parallel_for(n, [&](std::size_t v) {
-    if (bfs.parent_edge[v] != kNoEdge) in_tree[bfs.parent_edge[v]] = 1;
-  });
-  std::vector<eid> candidates;
-  pack_indices(ex, m,
-               [&](std::size_t e) {
-                 if (in_tree[e]) return false;
-                 const vid u = g.edges[e].u;
-                 const vid v = g.edges[e].v;
-                 return bfs.parent[u] != v && bfs.parent[v] != u;
-               },
-               candidates);
-  const SpanningForest forest =
-      sv_spanning_forest(ex, n, g.edges, candidates);
+  // The tree-membership flags and the candidate list are dead once F
+  // is built, so they live in one workspace frame.
+  SpanningForest forest;
+  {
+    Workspace::Frame frame(ws);
+    std::span<std::uint8_t> in_tree = ws.alloc<std::uint8_t>(m);
+    ex.parallel_for(m, [&](std::size_t e) { in_tree[e] = 0; });
+    ex.parallel_for(n, [&](std::size_t v) {
+      if (bfs.parent_edge[v] != kNoEdge) in_tree[bfs.parent_edge[v]] = 1;
+    });
+    std::span<eid> candidates = ws.alloc<eid>(m);
+    const std::size_t num_candidates = pack_indices_span(
+        ex, ws, m,
+        [&](std::size_t e) {
+          if (in_tree[e]) return false;
+          const vid u = g.edges[e].u;
+          const vid v = g.edges[e].v;
+          return bfs.parent[u] != v && bfs.parent[v] != u;
+        },
+        candidates);
+    forest = sv_spanning_forest(ex, ws, n, g.edges,
+                                candidates.first(num_candidates));
+  }
   result.times.filtering = step.lap();
 
   // Assemble H = T u F, remembering each H edge's original id.  Tree
   // edges occupy slots [0, n-1) in a fixed per-vertex layout so the
-  // local parent_edge column is computable in parallel.
+  // local parent_edge column is computable in parallel.  The H edge
+  // list and its bookkeeping stay live until the final scatter, so
+  // their frame spans the rest of the solve.
   const std::size_t t_count = n - 1;
   const std::size_t h_count = t_count + forest.tree_edges.size();
-  std::vector<Edge> h_edges(h_count);
-  std::vector<eid> orig_of(h_count);
-  std::vector<std::uint8_t> in_h(m, 0);
+  Workspace::Frame frame(ws);
+  std::span<Edge> h_edges = ws.alloc<Edge>(h_count);
+  std::span<eid> orig_of = ws.alloc<eid>(h_count);
+  std::span<std::uint8_t> in_h = ws.alloc<std::uint8_t>(m);
+  ex.parallel_for(m, [&](std::size_t e) { in_h[e] = 0; });
 
   RootedSpanningTree tree;
   tree.root = opt.root;
@@ -89,7 +108,7 @@ BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,
   });
 
   // Rooted-tree computations over T (TV-opt pipeline).
-  const ChildrenCsr children = build_children(ex, tree.parent, tree.root);
+  const ChildrenCsr children = build_children(ex, ws, tree.parent, tree.root);
   const LevelStructure levels = build_levels(ex, children, tree.root);
   result.times.euler_tour = step.lap();
   preorder_and_size(ex, children, levels, tree.root, tree.pre, tree.sub);
@@ -99,7 +118,7 @@ BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,
   const std::vector<vid> owner = make_tree_owner(ex, h_count, tree);
   TvCoreTimes core_times;
   const std::vector<vid> h_labels =
-      tv_label_edges(ex, h_edges, tree, owner, LowHighMethod::kLevelSweep,
+      tv_label_edges(ex, ws, h_edges, tree, owner, LowHighMethod::kLevelSweep,
                      &children, &levels, &core_times);
   result.times.low_high = core_times.low_high;
   result.times.label_edge = core_times.label_edge;

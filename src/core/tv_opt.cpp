@@ -10,13 +10,20 @@
 namespace parbcc {
 
 BccResult tv_opt_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
+  Workspace ws;
   // Representation conversion: the work-stealing traversal needs an
   // adjacency structure; TV-SMP works on the raw edge list.
-  const PreparedGraph pg(ex, g);
-  return tv_opt_bcc(ex, pg, opt);
+  const PreparedGraph pg(ex, ws, g);
+  return tv_opt_bcc(ex, ws, pg, opt);
 }
 
 BccResult tv_opt_bcc(Executor& ex, const PreparedGraph& pg,
+                     const BccOptions& opt) {
+  Workspace ws;
+  return tv_opt_bcc(ex, ws, pg, opt);
+}
+
+BccResult tv_opt_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
                      const BccOptions& opt) {
   const EdgeList& g = pg.graph();
   const Csr& csr = pg.csr();
@@ -39,7 +46,7 @@ BccResult tv_opt_bcc(Executor& ex, const PreparedGraph& pg,
   tree.root = opt.root;
   tree.parent = traversal.parent;
   tree.parent_edge = traversal.parent_edge;
-  const ChildrenCsr children = build_children(ex, tree.parent, tree.root);
+  const ChildrenCsr children = build_children(ex, ws, tree.parent, tree.root);
   const LevelStructure levels = build_levels(ex, children, tree.root);
   result.times.euler_tour = step.lap();
 
@@ -50,7 +57,7 @@ BccResult tv_opt_bcc(Executor& ex, const PreparedGraph& pg,
   const std::vector<vid> owner = make_tree_owner(ex, g.edges.size(), tree);
   TvCoreTimes core_times;
   result.edge_component =
-      tv_label_edges(ex, g.edges, tree, owner, LowHighMethod::kLevelSweep,
+      tv_label_edges(ex, ws, g.edges, tree, owner, LowHighMethod::kLevelSweep,
                      &children, &levels, &core_times);
   result.times.low_high = core_times.low_high;
   result.times.label_edge = core_times.label_edge;

@@ -9,13 +9,14 @@
 
 namespace parbcc {
 
-BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
+BccResult tv_smp_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
+                     const BccOptions& opt) {
   BccResult result;
   Timer total;
   Timer step;
 
   // Step 1 (Spanning-tree): Shiloach-Vishkin graft-and-shortcut.
-  const SpanningForest forest = sv_spanning_forest(ex, g.n, g.edges);
+  const SpanningForest forest = sv_spanning_forest(ex, ws, g.n, g.edges);
   if (forest.num_components != 1) {
     throw std::invalid_argument("tv_smp_bcc: graph must be connected");
   }
@@ -25,8 +26,9 @@ BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
   // by list ranking.
   EulerTourTimes euler_times;
   const RootedSpanningTree tree =
-      root_tree_via_euler_tour(ex, g.n, g.edges, forest.tree_edges, opt.root,
-                               opt.ranker, opt.arc_sort, &euler_times);
+      root_tree_via_euler_tour(ex, ws, g.n, g.edges, forest.tree_edges,
+                               opt.root, opt.ranker, opt.arc_sort,
+                               &euler_times);
   result.times.euler_tour = euler_times.circuit;
   result.times.root_tree = euler_times.rooting;
   step.reset();
@@ -35,8 +37,8 @@ BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
   const std::vector<vid> owner = make_tree_owner(ex, g.edges.size(), tree);
   TvCoreTimes core_times;
   result.edge_component =
-      tv_label_edges(ex, g.edges, tree, owner, LowHighMethod::kRmq, nullptr,
-                     nullptr, &core_times);
+      tv_label_edges(ex, ws, g.edges, tree, owner, LowHighMethod::kRmq,
+                     nullptr, nullptr, &core_times);
   result.times.low_high = core_times.low_high;
   result.times.label_edge = core_times.label_edge;
   result.times.connected_components = core_times.connected_components;
@@ -44,6 +46,11 @@ BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
   result.num_components = normalize_labels(result.edge_component);
   result.times.total = total.seconds();
   return result;
+}
+
+BccResult tv_smp_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
+  Workspace ws;
+  return tv_smp_bcc(ex, ws, g, opt);
 }
 
 }  // namespace parbcc

@@ -28,7 +28,7 @@ struct ArcView {
 
 }  // namespace
 
-EulerCircuit build_euler_circuit(Executor& ex, vid n,
+EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
                                  std::span<const Edge> edges,
                                  std::span<const eid> tree_edges, vid root,
                                  ArcSort sort) {
@@ -37,55 +37,50 @@ EulerCircuit build_euler_circuit(Executor& ex, vid n,
   if (num_arcs == 0) return out;
   const ArcView arcs{edges, tree_edges};
 
+  Workspace::Frame frame(ws);
+
   // --- Group arcs by source vertex. ----------------------------------
   // offsets[v] .. offsets[v+1] delimit v's arc group in sorted_arcs.
-  std::vector<eid> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::span<eid> offsets = ws.alloc<eid>(static_cast<std::size_t>(n) + 1);
   {
-    std::vector<std::atomic<eid>> count(n);
-    ex.parallel_for(n, [&](std::size_t v) {
-      count[v].store(0, std::memory_order_relaxed);
-    });
+    std::span<eid> deg = ws.alloc<eid>(n);
+    ex.parallel_for(n, [&](std::size_t v) { deg[v] = 0; });
     ex.parallel_for(num_arcs, [&](std::size_t a) {
-      count[arcs.src(static_cast<vid>(a))].fetch_add(
-          1, std::memory_order_relaxed);
+      std::atomic_ref(deg[arcs.src(static_cast<vid>(a))])
+          .fetch_add(1, std::memory_order_relaxed);
     });
-    std::vector<eid> deg(n);
-    ex.parallel_for(n, [&](std::size_t v) {
-      deg[v] = count[v].load(std::memory_order_relaxed);
-    });
-    const eid total = exclusive_scan(ex, deg.data(), offsets.data(), n, eid{0});
+    const eid total =
+        exclusive_scan(ex, ws, deg.data(), offsets.data(), n, eid{0});
     offsets[n] = total;
   }
 
-  std::vector<vid> sorted_arcs(num_arcs);
+  std::span<vid> sorted_arcs = ws.alloc<vid>(num_arcs);
   if (sort == ArcSort::kSampleSort) {
     // The paper's route: sort the arcs with the parallel sample sort.
     // Key = (source vertex, arc id); any within-group order yields a
     // valid circular adjacency.
-    std::vector<std::uint64_t> items(num_arcs);
+    std::span<std::uint64_t> items = ws.alloc<std::uint64_t>(num_arcs);
     ex.parallel_for(num_arcs, [&](std::size_t a) {
       items[a] = (static_cast<std::uint64_t>(arcs.src(static_cast<vid>(a)))
                   << 32) |
                  a;
     });
-    sample_sort(ex, items);
+    sample_sort(ex, ws, items.data(), num_arcs);
     ex.parallel_for(num_arcs, [&](std::size_t i) {
       sorted_arcs[i] = static_cast<vid>(items[i] & 0xffffffffu);
     });
   } else {
     // Bucket scatter; order within a group is arrival order.
-    std::vector<std::atomic<eid>> cursor(n);
-    ex.parallel_for(n, [&](std::size_t v) {
-      cursor[v].store(offsets[v], std::memory_order_relaxed);
-    });
+    std::span<eid> cursor = ws.alloc<eid>(n);
+    ex.parallel_for(n, [&](std::size_t v) { cursor[v] = offsets[v]; });
     ex.parallel_for(num_arcs, [&](std::size_t a) {
-      const eid slot = cursor[arcs.src(static_cast<vid>(a))].fetch_add(
-          1, std::memory_order_relaxed);
+      const eid slot = std::atomic_ref(cursor[arcs.src(static_cast<vid>(a))])
+                           .fetch_add(1, std::memory_order_relaxed);
       sorted_arcs[slot] = static_cast<vid>(a);
     });
   }
 
-  std::vector<eid> arc_pos(num_arcs);
+  std::span<eid> arc_pos = ws.alloc<eid>(num_arcs);
   ex.parallel_for(num_arcs, [&](std::size_t i) {
     arc_pos[sorted_arcs[i]] = static_cast<eid>(i);
   });
@@ -111,8 +106,16 @@ EulerCircuit build_euler_circuit(Executor& ex, vid n,
   return out;
 }
 
-RootedSpanningTree root_tree_via_euler_tour(Executor& ex, vid n,
-                                            std::span<const Edge> edges,
+EulerCircuit build_euler_circuit(Executor& ex, vid n,
+                                 std::span<const Edge> edges,
+                                 std::span<const eid> tree_edges, vid root,
+                                 ArcSort sort) {
+  Workspace ws;
+  return build_euler_circuit(ex, ws, n, edges, tree_edges, root, sort);
+}
+
+RootedSpanningTree root_tree_via_euler_tour(Executor& ex, Workspace& ws,
+                                            vid n, std::span<const Edge> edges,
                                             std::span<const eid> tree_edges,
                                             vid root, ListRanker ranker,
                                             ArcSort sort,
@@ -135,23 +138,24 @@ RootedSpanningTree root_tree_via_euler_tour(Executor& ex, vid n,
 
   Timer timer;
   const EulerCircuit circuit =
-      build_euler_circuit(ex, n, edges, tree_edges, root, sort);
+      build_euler_circuit(ex, ws, n, edges, tree_edges, root, sort);
   if (times) times->circuit = timer.lap();
   const std::size_t num_arcs = 2 * tree_edges.size();
   const ArcView arcs{edges, tree_edges};
 
-  std::vector<vid> rank(num_arcs);
+  Workspace::Frame frame(ws);
+  std::span<vid> rank = ws.alloc<vid>(num_arcs);
   switch (ranker) {
     case ListRanker::kSequential:
       list_rank_sequential(circuit.succ.data(), rank.data(), num_arcs,
                            circuit.head);
       break;
     case ListRanker::kWyllie:
-      list_rank_wyllie(ex, circuit.succ.data(), rank.data(), num_arcs,
+      list_rank_wyllie(ex, ws, circuit.succ.data(), rank.data(), num_arcs,
                        circuit.head);
       break;
     case ListRanker::kHelmanJaja:
-      list_rank_hj(ex, circuit.succ.data(), rank.data(), num_arcs,
+      list_rank_hj(ex, ws, circuit.succ.data(), rank.data(), num_arcs,
                    circuit.head);
       break;
   }
@@ -172,12 +176,12 @@ RootedSpanningTree root_tree_via_euler_tour(Executor& ex, vid n,
 
   // Preorder = 1 + number of descending arcs ranked at or before the
   // vertex's down arc: scatter descending flags into tour order, scan.
-  std::vector<vid> by_rank(num_arcs);
+  std::span<vid> by_rank = ws.alloc<vid>(num_arcs);
   ex.parallel_for(num_arcs, [&](std::size_t a) {
     const bool down = rank[a] < rank[a ^ 1];
     by_rank[rank[a]] = down ? 1 : 0;
   });
-  inclusive_scan(ex, by_rank.data(), by_rank.data(), num_arcs, vid{0});
+  inclusive_scan(ex, ws, by_rank.data(), by_rank.data(), num_arcs, vid{0});
   ex.parallel_for(tree_edges.size(), [&](std::size_t t) {
     const vid down = rank[2 * t] < rank[2 * t + 1] ? static_cast<vid>(2 * t)
                                                    : static_cast<vid>(2 * t + 1);
@@ -185,6 +189,17 @@ RootedSpanningTree root_tree_via_euler_tour(Executor& ex, vid n,
   });
   if (times) times->rooting = timer.lap();
   return tree;
+}
+
+RootedSpanningTree root_tree_via_euler_tour(Executor& ex, vid n,
+                                            std::span<const Edge> edges,
+                                            std::span<const eid> tree_edges,
+                                            vid root, ListRanker ranker,
+                                            ArcSort sort,
+                                            EulerTourTimes* times) {
+  Workspace ws;
+  return root_tree_via_euler_tour(ex, ws, n, edges, tree_edges, root, ranker,
+                                  sort, times);
 }
 
 }  // namespace parbcc

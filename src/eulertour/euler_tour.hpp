@@ -7,6 +7,7 @@
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file euler_tour.hpp
 /// Classic Euler-tour construction and tree rooting — TV steps 2 and 3
@@ -38,6 +39,10 @@ struct EulerCircuit {
 /// Build the circuit for the spanning tree given by `tree_edges`
 /// (indices into `edges`), rooted/broken at `root`.
 /// Requires the tree to span all n vertices (T == n-1 >= 1).
+EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
+                                 std::span<const Edge> edges,
+                                 std::span<const eid> tree_edges, vid root,
+                                 ArcSort sort = ArcSort::kSampleSort);
 EulerCircuit build_euler_circuit(Executor& ex, vid n,
                                  std::span<const Edge> edges,
                                  std::span<const eid> tree_edges, vid root,
@@ -52,6 +57,11 @@ struct EulerTourTimes {
 
 /// Full TV-SMP rooting pipeline: circuit, list ranking, then parent /
 /// preorder / subtree size from arc ranks.
+RootedSpanningTree root_tree_via_euler_tour(
+    Executor& ex, Workspace& ws, vid n, std::span<const Edge> edges,
+    std::span<const eid> tree_edges, vid root,
+    ListRanker ranker = ListRanker::kHelmanJaja,
+    ArcSort sort = ArcSort::kSampleSort, EulerTourTimes* times = nullptr);
 RootedSpanningTree root_tree_via_euler_tour(
     Executor& ex, vid n, std::span<const Edge> edges,
     std::span<const eid> tree_edges, vid root,

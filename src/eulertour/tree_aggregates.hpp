@@ -7,6 +7,7 @@
 #include "eulertour/tree_computations.hpp"
 #include "scan/scan.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file tree_aggregates.hpp
 /// Group-valued tree computations via the analytic DFS Euler tour —
@@ -22,6 +23,7 @@
 ///
 /// Both run as two O(n) parallel passes plus one scan; because the
 /// positions come from dfs_tour_positions they need no list ranking.
+/// Scatter buffers and scan prefixes are Workspace scratch.
 
 namespace parbcc {
 
@@ -30,17 +32,20 @@ namespace parbcc {
 /// contiguous interval [pre(v), pre(v)+sub(v)), so a prefix sum gives
 /// every subtree total by subtraction.)
 template <class T>
-std::vector<T> subtree_sums(Executor& ex, const RootedSpanningTree& tree,
+std::vector<T> subtree_sums(Executor& ex, Workspace& ws,
+                            const RootedSpanningTree& tree,
                             std::span<const T> weights) {
   const std::size_t n = tree.parent.size();
-  std::vector<T> by_pre(n + 1, T{});
+  std::vector<T> out(n);
+  Workspace::Frame frame(ws);
+  std::span<T> by_pre = ws.alloc<T>(n + 1);
+  ex.parallel_for(n + 1, [&](std::size_t i) { by_pre[i] = T{}; });
   ex.parallel_for(n, [&](std::size_t v) {
     by_pre[tree.pre[v] - 1] = weights[v];
   });
   // Inclusive scan, then interval subtraction.
-  std::vector<T> prefix(n + 1, T{});
-  exclusive_scan(ex, by_pre.data(), prefix.data(), n + 1, T{});
-  std::vector<T> out(n);
+  std::span<T> prefix = ws.alloc<T>(n + 1);
+  exclusive_scan(ex, ws, by_pre.data(), prefix.data(), n + 1, T{});
   ex.parallel_for(n, [&](std::size_t v) {
     const std::size_t begin = tree.pre[v] - 1;
     const std::size_t end = begin + tree.sub[v];
@@ -49,12 +54,20 @@ std::vector<T> subtree_sums(Executor& ex, const RootedSpanningTree& tree,
   return out;
 }
 
+template <class T>
+std::vector<T> subtree_sums(Executor& ex, const RootedSpanningTree& tree,
+                            std::span<const T> weights) {
+  Workspace ws;
+  return subtree_sums(ex, ws, tree, weights);
+}
+
 /// out[v] = sum of weights[w] over w on the root..v tree path
 /// (inclusive of both ends).
 /// (Arc encoding on the Euler tour: entering v adds w(v), leaving
 /// subtracts it; the prefix at v's down arc is the path sum.)
 template <class T>
-std::vector<T> root_path_sums(Executor& ex, const RootedSpanningTree& tree,
+std::vector<T> root_path_sums(Executor& ex, Workspace& ws,
+                              const RootedSpanningTree& tree,
                               std::span<const vid> depth,
                               std::span<const T> weights) {
   const std::size_t n = tree.parent.size();
@@ -62,14 +75,16 @@ std::vector<T> root_path_sums(Executor& ex, const RootedSpanningTree& tree,
   if (n == 0) return out;
   const DfsTourPositions pos = dfs_tour_positions(ex, tree, depth);
   const std::size_t arcs = 2 * (n - 1);
-  std::vector<T> arc_val(arcs, T{});
+  Workspace::Frame frame(ws);
+  std::span<T> arc_val = ws.alloc<T>(arcs);
+  ex.parallel_for(arcs, [&](std::size_t a) { arc_val[a] = T{}; });
   ex.parallel_for(n, [&](std::size_t v) {
     if (v == tree.root) return;
     arc_val[pos.down[v]] = weights[v];
     arc_val[pos.up[v]] = T{} - weights[v];
   });
-  std::vector<T> prefix(arcs, T{});
-  inclusive_scan(ex, arc_val.data(), prefix.data(), arcs, T{});
+  std::span<T> prefix = ws.alloc<T>(arcs);
+  inclusive_scan(ex, ws, arc_val.data(), prefix.data(), arcs, T{});
   ex.parallel_for(n, [&](std::size_t v) {
     if (v == tree.root) {
       out[v] = weights[v];
@@ -78,6 +93,14 @@ std::vector<T> root_path_sums(Executor& ex, const RootedSpanningTree& tree,
     }
   });
   return out;
+}
+
+template <class T>
+std::vector<T> root_path_sums(Executor& ex, const RootedSpanningTree& tree,
+                              std::span<const vid> depth,
+                              std::span<const T> weights) {
+  Workspace ws;
+  return root_path_sums(ex, ws, tree, depth, weights);
 }
 
 }  // namespace parbcc

@@ -17,41 +17,45 @@ constexpr std::size_t kSerialLevelCutoff = 2048;
 
 }  // namespace
 
-ChildrenCsr build_children(Executor& ex, std::span<const vid> parent,
-                           vid root) {
+ChildrenCsr build_children(Executor& ex, Workspace& ws,
+                           std::span<const vid> parent, vid root) {
   const std::size_t n = parent.size();
   ChildrenCsr out;
   out.offsets.assign(n + 1, 0);
   if (n == 0) return out;
 
-  std::vector<std::atomic<eid>> count(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    count[v].store(0, std::memory_order_relaxed);
-  });
+  // One workspace cursor array serves both the degree count and the
+  // scatter cursor; cross-thread increments go through atomic_ref.
+  Workspace::Frame frame(ws);
+  std::span<eid> cursor = ws.alloc<eid>(n);
+  ex.parallel_for(n, [&](std::size_t v) { cursor[v] = 0; });
   ex.parallel_for(n, [&](std::size_t v) {
     if (v != root) {
-      count[parent[v]].fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref(cursor[parent[v]]).fetch_add(1,
+                                                   std::memory_order_relaxed);
     }
   });
 
-  std::vector<eid> deg(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    deg[v] = count[v].load(std::memory_order_relaxed);
-  });
-  const eid total = exclusive_scan(ex, deg.data(), out.offsets.data(), n, eid{0});
+  const eid total =
+      exclusive_scan(ex, ws, cursor.data(), out.offsets.data(), n, eid{0});
   out.offsets[n] = total;
 
   out.child.resize(total);
-  ex.parallel_for(n, [&](std::size_t v) {
-    count[v].store(out.offsets[v], std::memory_order_relaxed);
-  });
+  ex.parallel_for(n, [&](std::size_t v) { cursor[v] = out.offsets[v]; });
   ex.parallel_for(n, [&](std::size_t v) {
     if (v != root) {
-      const eid slot = count[parent[v]].fetch_add(1, std::memory_order_relaxed);
+      const eid slot = std::atomic_ref(cursor[parent[v]])
+                           .fetch_add(1, std::memory_order_relaxed);
       out.child[slot] = static_cast<vid>(v);
     }
   });
   return out;
+}
+
+ChildrenCsr build_children(Executor& ex, std::span<const vid> parent,
+                           vid root) {
+  Workspace ws;
+  return build_children(ex, ws, parent, root);
 }
 
 LevelStructure build_levels(Executor& ex, const ChildrenCsr& children,

@@ -5,6 +5,7 @@
 
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file tree_computations.hpp
 /// Rooted-tree computations without list ranking.
@@ -51,6 +52,8 @@ struct ChildrenCsr {
   }
 };
 
+ChildrenCsr build_children(Executor& ex, Workspace& ws,
+                           std::span<const vid> parent, vid root);
 ChildrenCsr build_children(Executor& ex, std::span<const vid> parent,
                            vid root);
 

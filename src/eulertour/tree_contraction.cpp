@@ -43,7 +43,7 @@ std::uint64_t evaluate_sequential(const ExpressionTree& tree) {
   return result[tree.root];
 }
 
-std::uint64_t evaluate_tree_contraction(Executor& ex,
+std::uint64_t evaluate_tree_contraction(Executor& ex, Workspace& ws,
                                         const ExpressionTree& tree) {
   const vid n = tree.size();
   if (n == 0) {
@@ -52,8 +52,19 @@ std::uint64_t evaluate_tree_contraction(Executor& ex,
   if (n == 1) return tree.value[tree.root];
 
   // Mutable working copy of the shape plus affine labels.
-  std::vector<vid> left(tree.left), right(tree.right), parent(tree.parent);
-  std::vector<std::uint64_t> fa(n, 1), fb(n, 0);  // f(x) = fa*x + fb
+  Workspace::Frame frame(ws);
+  std::span<vid> left = ws.alloc<vid>(n);
+  std::span<vid> right = ws.alloc<vid>(n);
+  std::span<vid> parent = ws.alloc<vid>(n);
+  std::span<std::uint64_t> fa = ws.alloc<std::uint64_t>(n);
+  std::span<std::uint64_t> fb = ws.alloc<std::uint64_t>(n);  // f(x)=fa*x+fb
+  ex.parallel_for(n, [&](std::size_t v) {
+    left[v] = tree.left[v];
+    right[v] = tree.right[v];
+    parent[v] = tree.parent[v];
+    fa[v] = 1;
+    fb[v] = 0;
+  });
   vid root = tree.root;
 
   // Leaves in left-to-right (in-order) order.
@@ -107,7 +118,8 @@ std::uint64_t evaluate_tree_contraction(Executor& ex,
     return kNoVertex;
   };
 
-  std::vector<std::uint8_t> raked(n, 0);
+  std::span<std::uint8_t> raked = ws.alloc<std::uint8_t>(n);
+  ex.parallel_for(n, [&](std::size_t v) { raked[v] = 0; });
   while (leaves.size() > 1) {
     // Sub-round A: odd-indexed leaves that are left children.
     // Sub-round B: odd-indexed leaves that are right children.
@@ -140,6 +152,12 @@ std::uint64_t evaluate_tree_contraction(Executor& ex,
 
   const vid last = leaves[0];
   return fa[last] * tree.value[last] + fb[last];
+}
+
+std::uint64_t evaluate_tree_contraction(Executor& ex,
+                                        const ExpressionTree& tree) {
+  Workspace ws;
+  return evaluate_tree_contraction(ex, ws, tree);
 }
 
 ExpressionTree random_expression_tree(vid leaves, std::uint64_t seed) {

@@ -5,6 +5,7 @@
 
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file tree_contraction.hpp
 /// Parallel expression evaluation by tree contraction (leaf raking) —
@@ -42,7 +43,10 @@ struct ExpressionTree {
 /// Straightforward iterative post-order evaluation (the baseline).
 std::uint64_t evaluate_sequential(const ExpressionTree& tree);
 
-/// Parallel evaluation by rake-based tree contraction.
+/// Parallel evaluation by rake-based tree contraction.  The mutable
+/// shape copy and affine labels are Workspace scratch.
+std::uint64_t evaluate_tree_contraction(Executor& ex, Workspace& ws,
+                                        const ExpressionTree& tree);
 std::uint64_t evaluate_tree_contraction(Executor& ex,
                                         const ExpressionTree& tree);
 

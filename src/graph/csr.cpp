@@ -68,15 +68,17 @@ void build_rows_sequential(const EdgeList& g, uvector<eid>& offsets,
 /// with row boundaries read off the sorted keys afterwards.  Here the
 /// scatter builder loses because its per-bucket cursor initialisation
 /// touches far more memory than the arcs themselves.
-void build_rows_radix(Executor& ex, const EdgeList& g,
+void build_rows_radix(Executor& ex, Workspace& ws, const EdgeList& g,
                       uvector<eid>& offsets, uvector<vid>& nbrs,
                       uvector<eid>& eids) {
   const std::size_t n = g.n;
   const std::size_t m = g.edges.size();
   const std::size_t num_arcs = 2 * m;
 
-  std::vector<std::uint64_t> keys(num_arcs);
-  std::vector<std::uint64_t> payload(num_arcs);  // (neighbour << 32) | edge
+  Workspace::Frame frame(ws);
+  std::span<std::uint64_t> keys = ws.alloc<std::uint64_t>(num_arcs);
+  std::span<std::uint64_t> payload =
+      ws.alloc<std::uint64_t>(num_arcs);  // (neighbour << 32) | edge
   ex.parallel_for(m, [&](std::size_t i) {
     const Edge e = g.edges[i];
     keys[2 * i] = e.u;
@@ -84,7 +86,7 @@ void build_rows_radix(Executor& ex, const EdgeList& g,
     keys[2 * i + 1] = e.v;
     payload[2 * i + 1] = (static_cast<std::uint64_t>(e.u) << 32) | i;
   });
-  radix_sort_kv64(ex, keys, payload);
+  radix_sort_kv64(ex, ws, keys, payload);
 
   // offsets[v] = first arc position with source >= v.  Consecutive
   // sorted keys delimit disjoint ranges of row starts, so the fills
@@ -127,7 +129,7 @@ void build_rows_radix(Executor& ex, const EdgeList& g,
 /// Compared with sorting 2m 64-bit keys this reads the edge list twice
 /// and the staged arcs twice (once from cache) instead of paying
 /// several full distribution passes plus a final unpack.
-void build_rows_scatter(Executor& ex, const EdgeList& g,
+void build_rows_scatter(Executor& ex, Workspace& ws, const EdgeList& g,
                         uvector<eid>& offsets, uvector<vid>& nbrs,
                         uvector<eid>& eids) {
   const std::size_t n = g.n;
@@ -149,10 +151,15 @@ void build_rows_scatter(Executor& ex, const EdgeList& g,
   num_buckets = (n + bucket_width - 1) >> bucket_shift;
 
   // hist[t * num_buckets + b]: thread t's arc count for bucket b,
-  // reused as the scatter cursor after the prefix-sum step.
-  std::vector<std::size_t> hist(np * num_buckets, 0);
-  std::vector<std::size_t> bucket_start(num_buckets + 1);
-  uvector<Arc> arcs(num_arcs);
+  // reused as the scatter cursor after the prefix-sum step.  The
+  // staged arc records are the builder's dominant scratch (12 bytes
+  // per arc); like the histogram they are workspace memory.
+  Workspace::Frame frame(ws);
+  std::span<std::size_t> hist = ws.alloc<std::size_t>(np * num_buckets);
+  std::span<std::size_t> bucket_start =
+      ws.alloc<std::size_t>(num_buckets + 1);
+  std::span<Arc> arcs = ws.alloc<Arc>(num_arcs);
+  ex.parallel_for(np * num_buckets, [&](std::size_t i) { hist[i] = 0; });
 
   ex.run([&](int tid) {
     const auto [begin, end] = Executor::block_range(m, p, tid);
@@ -222,7 +229,7 @@ void build_rows_scatter(Executor& ex, const EdgeList& g,
 
 }  // namespace
 
-Csr Csr::build(Executor& ex, const EdgeList& g) {
+Csr Csr::build(Executor& ex, Workspace& ws, const EdgeList& g) {
   if (!g.validate()) {
     throw std::invalid_argument(
         "Csr::build: edge list has out-of-range endpoints or self-loops");
@@ -244,11 +251,16 @@ Csr Csr::build(Executor& ex, const EdgeList& g) {
   if (num_arcs <= kSequentialArcCutoff && n <= 2 * kSequentialArcCutoff) {
     build_rows_sequential(g, csr.offsets_, csr.nbrs_, csr.eids_);
   } else if (num_arcs < n / 4) {
-    build_rows_radix(ex, g, csr.offsets_, csr.nbrs_, csr.eids_);
+    build_rows_radix(ex, ws, g, csr.offsets_, csr.nbrs_, csr.eids_);
   } else {
-    build_rows_scatter(ex, g, csr.offsets_, csr.nbrs_, csr.eids_);
+    build_rows_scatter(ex, ws, g, csr.offsets_, csr.nbrs_, csr.eids_);
   }
   return csr;
+}
+
+Csr Csr::build(Executor& ex, const EdgeList& g) {
+  Workspace ws;
+  return build(ex, ws, g);
 }
 
 }  // namespace parbcc

@@ -7,6 +7,7 @@
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
 #include "util/uninit.hpp"
+#include "util/workspace.hpp"
 
 /// \file csr.hpp
 /// Compressed sparse row adjacency built in parallel from an edge list.
@@ -29,7 +30,10 @@ namespace parbcc {
 
 class Csr {
  public:
-  /// Build the adjacency structure of `g` using `ex`.
+  /// Build the adjacency structure of `g` using `ex`.  The builder's
+  /// staging arrays (histograms, staged arc records, radix buffers)
+  /// come from `ws`; the Csr itself owns its storage.
+  static Csr build(Executor& ex, Workspace& ws, const EdgeList& g);
   static Csr build(Executor& ex, const EdgeList& g);
 
   vid num_vertices() const { return n_; }

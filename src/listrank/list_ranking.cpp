@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
-#include "util/bitvector.hpp"
 #include "util/rng.hpp"
 
 namespace parbcc {
@@ -27,8 +27,8 @@ void list_rank_sequential(const vid* succ, vid* rank, std::size_t n,
   throw std::invalid_argument("list_rank_sequential: list has a cycle");
 }
 
-void list_rank_wyllie(Executor& ex, const vid* succ, vid* rank, std::size_t n,
-                      vid head) {
+void list_rank_wyllie(Executor& ex, Workspace& ws, const vid* succ, vid* rank,
+                      std::size_t n, vid head) {
   if (n == 0) return;
   if (n == 1) {
     rank[head] = 0;
@@ -36,9 +36,13 @@ void list_rank_wyllie(Executor& ex, const vid* succ, vid* rank, std::size_t n,
   }
   // Pointer jumping computes distance-to-tail; two buffers per array
   // keep every round race-free (reads from generation g, writes g+1).
-  std::vector<vid> dist_a(n), dist_b(n);
-  std::vector<vid> next_a(succ, succ + n), next_b(n);
+  Workspace::Frame frame(ws);
+  std::span<vid> dist_a = ws.alloc<vid>(n);
+  std::span<vid> dist_b = ws.alloc<vid>(n);
+  std::span<vid> next_a = ws.alloc<vid>(n);
+  std::span<vid> next_b = ws.alloc<vid>(n);
   ex.parallel_for(n, [&](std::size_t i) {
+    next_a[i] = succ[i];
     dist_a[i] = (succ[i] == kNoVertex) ? 0 : 1;
   });
 
@@ -69,8 +73,14 @@ void list_rank_wyllie(Executor& ex, const vid* succ, vid* rank, std::size_t n,
   });
 }
 
-void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
-                  vid head, std::uint64_t seed) {
+void list_rank_wyllie(Executor& ex, const vid* succ, vid* rank, std::size_t n,
+                      vid head) {
+  Workspace ws;
+  list_rank_wyllie(ex, ws, succ, rank, n, head);
+}
+
+void list_rank_hj(Executor& ex, Workspace& ws, const vid* succ, vid* rank,
+                  std::size_t n, vid head, std::uint64_t seed) {
   if (n == 0) return;
   const int p = ex.threads();
   // Target sublists: enough to balance the walks even when splitters
@@ -82,34 +92,37 @@ void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
     return;
   }
 
+  Workspace::Frame frame(ws);
+
   // --- Select splitters (deterministic from `seed`). -----------------
-  BitVector is_splitter(n);
-  std::vector<vid> splitters;
-  splitters.reserve(want + 1);
-  is_splitter.set(head);
-  splitters.push_back(head);
-  for (std::size_t k = 0; splitters.size() < want; ++k) {
+  std::span<std::uint8_t> is_splitter = ws.alloc<std::uint8_t>(n);
+  std::memset(is_splitter.data(), 0, n);
+  std::span<vid> splitters = ws.alloc<vid>(want + 1);
+  std::size_t s = 0;
+  is_splitter[head] = 1;
+  splitters[s++] = head;
+  for (std::size_t k = 0; s < want; ++k) {
     const vid v = static_cast<vid>(splitmix64(seed + k) % n);
-    if (!is_splitter.get(v)) {
-      is_splitter.set(v);
-      splitters.push_back(v);
+    if (!is_splitter[v]) {
+      is_splitter[v] = 1;
+      splitters[s++] = v;
     }
     if (k > 4 * want) break;  // collisions ate the budget; fewer is fine
   }
-  const std::size_t s = splitters.size();
 
   // splitter_index[v] = k for splitters[k] == v.
-  std::vector<vid> splitter_index(n, kNoVertex);
+  std::span<vid> splitter_index = ws.alloc<vid>(n);
+  ex.parallel_for(n, [&](std::size_t i) { splitter_index[i] = kNoVertex; });
   for (std::size_t k = 0; k < s; ++k) {
     splitter_index[splitters[k]] = static_cast<vid>(k);
   }
 
   // --- Parallel sublist walks. ---------------------------------------
   // Each splitter owns the chain up to (excluding) the next splitter.
-  std::vector<vid> sublist(n);      // sublist id per node
-  std::vector<vid> local_rank(n);   // rank within the sublist
-  std::vector<vid> next_splitter(s, kNoVertex);
-  std::vector<vid> sublist_len(s, 0);
+  std::span<vid> sublist = ws.alloc<vid>(n);     // sublist id per node
+  std::span<vid> local_rank = ws.alloc<vid>(n);  // rank within the sublist
+  std::span<vid> next_splitter = ws.alloc<vid>(s);
+  std::span<vid> sublist_len = ws.alloc<vid>(s);
 
   ex.parallel_for_dynamic(s, 1, [&](std::size_t k) {
     vid v = splitters[k];
@@ -122,7 +135,7 @@ void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
         next_splitter[k] = kNoVertex;
         break;
       }
-      if (is_splitter.get(w)) {
+      if (is_splitter[w]) {
         next_splitter[k] = w;
         break;
       }
@@ -132,7 +145,7 @@ void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
   });
 
   // --- Sequential prefix over the s sublists in list order. ----------
-  std::vector<vid> offset(s, 0);
+  std::span<vid> offset = ws.alloc<vid>(s);
   {
     vid running = 0;
     vid k = splitter_index[head];
@@ -159,61 +172,80 @@ void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
   });
 }
 
-void list_rank_independent_set(Executor& ex, const vid* succ, vid* rank,
-                               std::size_t n, vid head, std::uint64_t seed) {
+void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
+                  vid head, std::uint64_t seed) {
+  Workspace ws;
+  list_rank_hj(ex, ws, succ, rank, n, head, seed);
+}
+
+void list_rank_independent_set(Executor& ex, Workspace& ws, const vid* succ,
+                               vid* rank, std::size_t n, vid head,
+                               std::uint64_t seed) {
   if (n == 0) return;
   if (ex.threads() == 1 || n < 2048) {
     list_rank_sequential(succ, rank, n, head);
     return;
   }
 
+  Workspace::Frame frame(ws);
+
   // Doubly linked working copy; dist[i] = hops from i to cur_succ[i].
-  std::vector<vid> cur_succ(succ, succ + n);
-  std::vector<vid> pred(n, kNoVertex);
-  std::vector<vid> dist(n, 1);
+  std::span<vid> cur_succ = ws.alloc<vid>(n);
+  std::span<vid> pred = ws.alloc<vid>(n);
+  std::span<vid> dist = ws.alloc<vid>(n);
+  ex.parallel_for(n, [&](std::size_t i) {
+    cur_succ[i] = succ[i];
+    pred[i] = kNoVertex;
+    dist[i] = 1;
+  });
   ex.parallel_for(n, [&](std::size_t i) {
     if (cur_succ[i] != kNoVertex) pred[cur_succ[i]] = static_cast<vid>(i);
   });
 
-  std::vector<vid> live;
-  live.reserve(n);
-  for (vid i = 0; i < n; ++i) live.push_back(i);
+  std::span<vid> live = ws.alloc<vid>(n);
+  std::span<vid> live_next = ws.alloc<vid>(n);
+  std::size_t num_live = n;
+  ex.parallel_for(n, [&](std::size_t i) { live[i] = static_cast<vid>(i); });
 
-  // Removal log: (node, predecessor, hops predecessor -> node).
+  // Removal log: (node, predecessor, hops predecessor -> node).  At
+  // most n - 1 nodes are ever spliced out.
   struct Removal {
     vid node;
     vid pred;
     vid hops;
   };
-  std::vector<Removal> log;
-  log.reserve(n);
-  std::vector<std::uint8_t> coin(n);
-  std::vector<std::uint8_t> spliced(n, 0);
+  std::span<Removal> log = ws.alloc<Removal>(n);
+  std::size_t log_size = 0;
+  std::span<vid> batch = ws.alloc<vid>(n);
+  std::span<std::uint8_t> coin = ws.alloc<std::uint8_t>(n);
+  std::span<std::uint8_t> spliced = ws.alloc<std::uint8_t>(n);
+  std::memset(spliced.data(), 0, n);
 
   std::uint64_t round = 0;
-  while (live.size() > 1) {
+  while (num_live > 1) {
     ++round;
-    ex.parallel_for(live.size(), [&](std::size_t k) {
+    ex.parallel_for(num_live, [&](std::size_t k) {
       const vid i = live[k];
       coin[i] = splitmix64(seed ^ (round << 32) ^ i) & 1;
     });
     // Select: coin(i)=1 and coin(pred)=0 (head has no pred: never
     // selected, so it survives to the end).  The selected set is
     // independent, so each splice touches only unselected neighbours.
-    std::vector<vid> batch;
-    for (const vid i : live) {
+    std::size_t batch_size = 0;
+    for (std::size_t k = 0; k < num_live; ++k) {
+      const vid i = live[k];
       if (i == head || coin[i] == 0) continue;
       const vid p = pred[i];
       if (coin[p] == 1) continue;
-      batch.push_back(i);
+      batch[batch_size++] = i;
     }
     // Record the log serially (order within a round is irrelevant),
     // then apply the splices in parallel.
-    const std::size_t log_base = log.size();
-    for (const vid i : batch) {
-      log.push_back({i, pred[i], dist[pred[i]]});
+    for (std::size_t k = 0; k < batch_size; ++k) {
+      const vid i = batch[k];
+      log[log_size++] = {i, pred[i], dist[pred[i]]};
     }
-    ex.parallel_for(batch.size(), [&](std::size_t k) {
+    ex.parallel_for(batch_size, [&](std::size_t k) {
       const vid i = batch[k];
       const vid p = pred[i];
       const vid s = cur_succ[i];
@@ -222,22 +254,28 @@ void list_rank_independent_set(Executor& ex, const vid* succ, vid* rank,
       if (s != kNoVertex) pred[s] = p;
       spliced[i] = 1;
     });
-    (void)log_base;
-    std::vector<vid> next;
-    next.reserve(live.size());
-    for (const vid i : live) {
-      if (!spliced[i]) next.push_back(i);
+    std::size_t next_live = 0;
+    for (std::size_t k = 0; k < num_live; ++k) {
+      const vid i = live[k];
+      if (!spliced[i]) live_next[next_live++] = i;
     }
-    live = std::move(next);
+    std::swap(live, live_next);
+    num_live = next_live;
   }
 
   // Replay: the head has rank 0; every spliced node sits `hops` after
   // its predecessor-at-splice-time (whose rank is known by then,
   // because predecessors are spliced strictly later or never).
   rank[head] = 0;
-  for (auto it = log.rbegin(); it != log.rend(); ++it) {
-    rank[it->node] = rank[it->pred] + it->hops;
+  for (std::size_t k = log_size; k > 0; --k) {
+    rank[log[k - 1].node] = rank[log[k - 1].pred] + log[k - 1].hops;
   }
+}
+
+void list_rank_independent_set(Executor& ex, const vid* succ, vid* rank,
+                               std::size_t n, vid head, std::uint64_t seed) {
+  Workspace ws;
+  list_rank_independent_set(ex, ws, succ, rank, n, head, seed);
 }
 
 }  // namespace parbcc

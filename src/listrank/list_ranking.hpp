@@ -6,6 +6,7 @@
 
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file list_ranking.hpp
 /// List ranking: given a linked list over nodes [0, n) described by a
@@ -24,14 +25,21 @@
 ///    variant used inside TV-SMP.
 ///
 /// All nodes in [0, n) must lie on the single list starting at `head`.
+/// The parallel variants draw their O(n) working arrays from the
+/// Workspace; the Executor-only overloads bring their own arena.
 
 namespace parbcc {
 
 void list_rank_sequential(const vid* succ, vid* rank, std::size_t n, vid head);
 
+void list_rank_wyllie(Executor& ex, Workspace& ws, const vid* succ, vid* rank,
+                      std::size_t n, vid head);
 void list_rank_wyllie(Executor& ex, const vid* succ, vid* rank, std::size_t n,
                       vid head);
 
+void list_rank_hj(Executor& ex, Workspace& ws, const vid* succ, vid* rank,
+                  std::size_t n, vid head,
+                  std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
                   vid head, std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
@@ -42,6 +50,9 @@ void list_rank_hj(Executor& ex, const vid* succ, vid* rank, std::size_t n,
 /// O(log n) rounds.  The removal log replays in reverse to assign
 /// ranks.  A third PRAM-era design point next to Wyllie and
 /// Helman-JáJá for the primitive benchmarks.
+void list_rank_independent_set(Executor& ex, Workspace& ws, const vid* succ,
+                               vid* rank, std::size_t n, vid head,
+                               std::uint64_t seed = 0x5bd1e995c6b7ULL);
 void list_rank_independent_set(Executor& ex, const vid* succ, vid* rank,
                                std::size_t n, vid head,
                                std::uint64_t seed = 0x5bd1e995c6b7ULL);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file sparse_table.hpp
 /// Parallel-built sparse table for idempotent range queries (min/max).
@@ -17,6 +18,11 @@
 /// table costs O(n log n) space and build work — one of the overheads
 /// TV-opt removes by aggregating along tree levels instead (see
 /// eulertour/tree_computations.hpp), which the ablation bench measures.
+///
+/// The O(n log n) table — the single largest scratch object of TV-SMP's
+/// low-high step — can be placed in a Workspace: the table then lives
+/// only as long as the caller's enclosing frame, which must stay open
+/// for every query.
 
 namespace parbcc {
 
@@ -24,42 +30,66 @@ template <class T, class Combine>
 class SparseTable {
  public:
   SparseTable() = default;
+  // Moving keeps table_ valid (vector moves preserve the buffer);
+  // copying would not, so it is disabled.
+  SparseTable(SparseTable&&) = default;
+  SparseTable& operator=(SparseTable&&) = default;
+  SparseTable(const SparseTable&) = delete;
+  SparseTable& operator=(const SparseTable&) = delete;
 
   /// Build over a[0, n).  `combine(x, y)` must be associative and
-  /// idempotent (min, max).
+  /// idempotent (min, max).  Table storage is heap-owned.
   SparseTable(Executor& ex, const T* a, std::size_t n,
               Combine combine = Combine{})
       : n_(n), combine_(combine) {
     if (n == 0) return;
     levels_ = static_cast<std::size_t>(std::bit_width(n));  // floor(log2 n)+1
-    table_.resize(levels_ * n);
-    ex.parallel_for(n, [&](std::size_t i) { table_[i] = a[i]; });
-    for (std::size_t k = 1; k < levels_; ++k) {
-      const std::size_t half = std::size_t{1} << (k - 1);
-      const T* prev = table_.data() + (k - 1) * n;
-      T* cur = table_.data() + k * n;
-      const std::size_t count = n - (std::size_t{1} << k) + 1;
-      ex.parallel_for(count, [&, prev, cur, half](std::size_t i) {
-        cur[i] = combine_(prev[i], prev[i + half]);
-      });
-    }
+    owned_.resize(levels_ * n);
+    table_ = owned_.data();
+    build(ex, a);
+  }
+
+  /// Same, with the table drawn from `ws`.  The caller must keep its
+  /// frame open (and the table alive) across every query() — the table
+  /// does not own the storage.
+  SparseTable(Executor& ex, Workspace& ws, const T* a, std::size_t n,
+              Combine combine = Combine{})
+      : n_(n), combine_(combine) {
+    if (n == 0) return;
+    levels_ = static_cast<std::size_t>(std::bit_width(n));
+    table_ = ws.alloc<T>(levels_ * n).data();
+    build(ex, a);
   }
 
   /// Combined value over the inclusive range [l, r]; requires l <= r < n.
   T query(std::size_t l, std::size_t r) const {
     const std::size_t len = r - l + 1;
     const std::size_t k = static_cast<std::size_t>(std::bit_width(len)) - 1;
-    const T* row = table_.data() + k * n_;
+    const T* row = table_ + k * n_;
     return combine_(row[l], row[r + 1 - (std::size_t{1} << k)]);
   }
 
   std::size_t size() const { return n_; }
 
  private:
+  void build(Executor& ex, const T* a) {
+    ex.parallel_for(n_, [&](std::size_t i) { table_[i] = a[i]; });
+    for (std::size_t k = 1; k < levels_; ++k) {
+      const std::size_t half = std::size_t{1} << (k - 1);
+      const T* prev = table_ + (k - 1) * n_;
+      T* cur = table_ + k * n_;
+      const std::size_t count = n_ - (std::size_t{1} << k) + 1;
+      ex.parallel_for(count, [&, prev, cur, half](std::size_t i) {
+        cur[i] = combine_(prev[i], prev[i + half]);
+      });
+    }
+  }
+
   std::size_t n_ = 0;
   std::size_t levels_ = 0;
   Combine combine_{};
-  std::vector<T> table_;
+  T* table_ = nullptr;
+  std::vector<T> owned_;
 };
 
 template <class T>

@@ -7,6 +7,7 @@
 #include "scan/scan.hpp"
 #include "util/padded.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file compact.hpp
 /// Prefix-sum based stream compaction.
@@ -24,7 +25,8 @@ namespace parbcc {
 /// order).  Returns the number of selected indices.
 /// `pred` is evaluated twice per index and must be pure.
 template <class Pred, class Emit>
-std::size_t pack_into(Executor& ex, std::size_t n, Pred pred, Emit emit) {
+std::size_t pack_into(Executor& ex, Workspace& ws, std::size_t n, Pred pred,
+                      Emit emit) {
   const int p = ex.threads();
   if (p == 1 || n < 2048) {
     std::size_t dst = 0;
@@ -34,7 +36,9 @@ std::size_t pack_into(Executor& ex, std::size_t n, Pred pred, Emit emit) {
     return dst;
   }
 
-  std::vector<Padded<std::size_t>> offset(static_cast<std::size_t>(p));
+  Workspace::Frame frame(ws);
+  std::span<Padded<std::size_t>> offset =
+      ws.alloc<Padded<std::size_t>>(static_cast<std::size_t>(p));
   Padded<std::size_t> total;
   ex.run([&](int tid) {
     auto [begin, end] = Executor::block_range(n, p, tid);
@@ -60,20 +64,44 @@ std::size_t pack_into(Executor& ex, std::size_t n, Pred pred, Emit emit) {
   return total.value;
 }
 
+template <class Pred, class Emit>
+std::size_t pack_into(Executor& ex, std::size_t n, Pred pred, Emit emit) {
+  Workspace ws;
+  return pack_into(ex, ws, n, pred, emit);
+}
+
 /// Pack the selected indices themselves: out = [i : pred(i)], ascending.
 template <class Pred>
-std::size_t pack_indices(Executor& ex, std::size_t n, Pred pred,
+std::size_t pack_indices(Executor& ex, Workspace& ws, std::size_t n, Pred pred,
                          std::vector<std::uint32_t>& out) {
   // Sizing pass runs inside pack_into; reserve pessimistically only for
   // small inputs to avoid touching memory twice on the big ones.
   out.resize(n);
   const std::size_t count = pack_into(
-      ex, n, pred,
+      ex, ws, n, pred,
       [&](std::size_t dst, std::size_t i) {
         out[dst] = static_cast<std::uint32_t>(i);
       });
   out.resize(count);
   return count;
+}
+
+template <class Pred>
+std::size_t pack_indices(Executor& ex, std::size_t n, Pred pred,
+                         std::vector<std::uint32_t>& out) {
+  Workspace ws;
+  return pack_indices(ex, ws, n, pred, out);
+}
+
+/// pack_indices writing into a workspace span allocated by the caller
+/// (in the caller's frame).  `out` must have room for n indices; the
+/// return value is how many were written.
+template <class Pred>
+std::size_t pack_indices_span(Executor& ex, Workspace& ws, std::size_t n,
+                              Pred pred, std::span<std::uint32_t> out) {
+  return pack_into(ex, ws, n, pred, [&](std::size_t dst, std::size_t i) {
+    out[dst] = static_cast<std::uint32_t>(i);
+  });
 }
 
 }  // namespace parbcc

@@ -6,6 +6,7 @@
 
 #include "util/padded.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file scan.hpp
 /// Parallel prefix sums and reductions (Helman-JáJá two-pass scheme).
@@ -16,6 +17,10 @@
 /// The blocked two-pass algorithm does 2n work regardless of p and
 /// touches each element with unit stride, so it runs at memory
 /// bandwidth — exactly the behaviour the paper's SMP studies report.
+///
+/// Every primitive takes a Workspace for its per-thread block-sum
+/// scratch; the Executor-only overloads are conveniences that bring
+/// their own arena (serial fast paths never touch it).
 
 namespace parbcc {
 
@@ -23,14 +28,16 @@ namespace parbcc {
 /// `op` must be associative; blocks are combined in tid order so
 /// non-commutative ops are fine.
 template <class T, class Op = std::plus<T>>
-T reduce(Executor& ex, const T* in, std::size_t n, T init = T{}, Op op = Op{}) {
+T reduce(Executor& ex, Workspace& ws, const T* in, std::size_t n, T init = T{},
+         Op op = Op{}) {
   const int p = ex.threads();
   if (p == 1 || n < 1024) {
     T acc = init;
     for (std::size_t i = 0; i < n; ++i) acc = op(acc, in[i]);
     return acc;
   }
-  std::vector<Padded<T>> partial(static_cast<std::size_t>(p));
+  Workspace::Frame frame(ws);
+  std::span<Padded<T>> partial = ws.alloc<Padded<T>>(static_cast<std::size_t>(p));
   ex.run([&](int tid) {
     auto [begin, end] = Executor::block_range(n, p, tid);
     T acc{};
@@ -49,12 +56,18 @@ T reduce(Executor& ex, const T* in, std::size_t n, T init = T{}, Op op = Op{}) {
   return acc;
 }
 
+template <class T, class Op = std::plus<T>>
+T reduce(Executor& ex, const T* in, std::size_t n, T init = T{}, Op op = Op{}) {
+  Workspace ws;
+  return reduce(ex, ws, in, n, init, op);
+}
+
 /// Exclusive prefix sum: out[i] = init + in[0] + ... + in[i-1].
 /// Returns the grand total (init + sum of all inputs).
 /// `out` may alias `in`.
 template <class T>
-T exclusive_scan(Executor& ex, const T* in, T* out, std::size_t n,
-                 T init = T{}) {
+T exclusive_scan(Executor& ex, Workspace& ws, const T* in, T* out,
+                 std::size_t n, T init = T{}) {
   const int p = ex.threads();
   if (p == 1 || n < 1024) {
     T running = init;
@@ -66,7 +79,9 @@ T exclusive_scan(Executor& ex, const T* in, T* out, std::size_t n,
     return running;
   }
 
-  std::vector<Padded<T>> block_sum(static_cast<std::size_t>(p));
+  Workspace::Frame frame(ws);
+  std::span<Padded<T>> block_sum =
+      ws.alloc<Padded<T>>(static_cast<std::size_t>(p));
   Padded<T> grand_total;
   ex.run([&](int tid) {
     auto [begin, end] = Executor::block_range(n, p, tid);
@@ -97,11 +112,18 @@ T exclusive_scan(Executor& ex, const T* in, T* out, std::size_t n,
   return grand_total.value;
 }
 
+template <class T>
+T exclusive_scan(Executor& ex, const T* in, T* out, std::size_t n,
+                 T init = T{}) {
+  Workspace ws;
+  return exclusive_scan(ex, ws, in, out, n, init);
+}
+
 /// Inclusive prefix sum: out[i] = init + in[0] + ... + in[i].
 /// Returns the grand total.  `out` may alias `in`.
 template <class T>
-T inclusive_scan(Executor& ex, const T* in, T* out, std::size_t n,
-                 T init = T{}) {
+T inclusive_scan(Executor& ex, Workspace& ws, const T* in, T* out,
+                 std::size_t n, T init = T{}) {
   const int p = ex.threads();
   if (p == 1 || n < 1024) {
     T running = init;
@@ -112,7 +134,9 @@ T inclusive_scan(Executor& ex, const T* in, T* out, std::size_t n,
     return running;
   }
 
-  std::vector<Padded<T>> block_sum(static_cast<std::size_t>(p));
+  Workspace::Frame frame(ws);
+  std::span<Padded<T>> block_sum =
+      ws.alloc<Padded<T>>(static_cast<std::size_t>(p));
   ex.run([&](int tid) {
     auto [begin, end] = Executor::block_range(n, p, tid);
     T acc{};
@@ -136,6 +160,13 @@ T inclusive_scan(Executor& ex, const T* in, T* out, std::size_t n,
   });
 
   return n == 0 ? init : out[n - 1];
+}
+
+template <class T>
+T inclusive_scan(Executor& ex, const T* in, T* out, std::size_t n,
+                 T init = T{}) {
+  Workspace ws;
+  return inclusive_scan(ex, ws, in, out, n, init);
 }
 
 }  // namespace parbcc

@@ -5,6 +5,7 @@
 
 #include "util/padded.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file segmented_scan.hpp
 /// Segmented prefix sums — the variant of the prefix-computation
@@ -23,7 +24,7 @@ namespace parbcc {
 /// out[i] = sum of in[j..i] where j is the latest index <= i with
 /// flags[j] set (or the segment start at 0).  `out` may alias `in`.
 template <class T>
-void segmented_inclusive_scan(Executor& ex, const T* in,
+void segmented_inclusive_scan(Executor& ex, Workspace& ws, const T* in,
                               const std::uint8_t* flags, T* out,
                               std::size_t n) {
   const int p = ex.threads();
@@ -40,7 +41,9 @@ void segmented_inclusive_scan(Executor& ex, const T* in,
     T sum{};
     bool flagged = false;
   };
-  std::vector<Padded<Carry>> block(static_cast<std::size_t>(p));
+  Workspace::Frame frame(ws);
+  std::span<Padded<Carry>> block =
+      ws.alloc<Padded<Carry>>(static_cast<std::size_t>(p));
 
   ex.run([&](int tid) {
     auto [begin, end] = Executor::block_range(n, p, tid);
@@ -78,6 +81,14 @@ void segmented_inclusive_scan(Executor& ex, const T* in,
       out[i] = running;
     }
   });
+}
+
+template <class T>
+void segmented_inclusive_scan(Executor& ex, const T* in,
+                              const std::uint8_t* flags, T* out,
+                              std::size_t n) {
+  Workspace ws;
+  segmented_inclusive_scan(ex, ws, in, flags, out, n);
 }
 
 }  // namespace parbcc

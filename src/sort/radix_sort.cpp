@@ -16,18 +16,20 @@ namespace {
 constexpr int kMaxRadixBits = 11;
 
 /// One stable distribution pass over `bits` bits starting at `shift`.
-/// `V` is the payload type.
+/// `V` is the payload type.  `hist` is the caller's p * 2^bits scratch
+/// matrix (overwritten).
 template <class V>
-void radix_pass(Executor& ex, const std::uint64_t* keys_in,
-                std::uint64_t* keys_out, const V* vals_in, V* vals_out,
-                std::size_t n, int shift, int bits) {
+void radix_pass(Executor& ex, std::span<std::size_t> hist,
+                const std::uint64_t* keys_in, std::uint64_t* keys_out,
+                const V* vals_in, V* vals_out, std::size_t n, int shift,
+                int bits) {
   const int p = ex.threads();
   const std::size_t np = static_cast<std::size_t>(p);
   const std::size_t buckets = std::size_t{1} << bits;
   const std::uint64_t mask = buckets - 1;
   // hist[t * buckets + d]: thread t's count for digit d; reused as the
   // scatter cursor after the layout step.
-  std::vector<std::size_t> hist(np * buckets, 0);
+  std::fill(hist.begin(), hist.begin() + np * buckets, std::size_t{0});
 
   ex.run([&](int tid) {
     const std::size_t ut = static_cast<std::size_t>(tid);
@@ -60,9 +62,8 @@ void radix_pass(Executor& ex, const std::uint64_t* keys_in,
 }
 
 template <class V>
-void radix_sort_impl(Executor& ex, std::vector<std::uint64_t>& keys,
-                     std::vector<V>& vals) {
-  const std::size_t n = keys.size();
+void radix_sort_impl(Executor& ex, Workspace& ws, std::uint64_t* keys,
+                     V* vals, std::size_t n) {
   if (n < 2) return;
 
   // Serial cutoff: the counting machinery costs more than std::sort.
@@ -92,30 +93,35 @@ void radix_sort_impl(Executor& ex, std::vector<std::uint64_t>& keys,
   const int passes = (key_bits + kMaxRadixBits - 1) / kMaxRadixBits;
   const int digit_bits = (key_bits + passes - 1) / passes;
 
-  std::vector<std::uint64_t> key_buf(n);
-  std::vector<V> val_buf(n);
+  Workspace::Frame frame(ws);
+  const std::size_t np = static_cast<std::size_t>(ex.threads());
+  std::span<std::size_t> hist =
+      ws.alloc<std::size_t>(np * (std::size_t{1} << digit_bits));
+  std::span<std::uint64_t> key_buf = ws.alloc<std::uint64_t>(n);
+  std::span<V> val_buf = ws.alloc<V>(n);
 
-  std::uint64_t* kin = keys.data();
+  std::uint64_t* kin = keys;
   std::uint64_t* kout = key_buf.data();
-  V* vin = vals.data();
+  V* vin = vals;
   V* vout = val_buf.data();
 
   for (int pass = 0; pass < passes; ++pass) {
-    radix_pass<V>(ex, kin, kout, vin, vout, n, pass * digit_bits,
+    radix_pass<V>(ex, hist, kin, kout, vin, vout, n, pass * digit_bits,
                   std::min(digit_bits, key_bits - pass * digit_bits));
     std::swap(kin, kout);
     std::swap(vin, vout);
   }
   // After an odd number of passes the result lives in the buffers.
-  if (kin != keys.data()) {
-    std::memcpy(keys.data(), kin, n * sizeof(std::uint64_t));
-    std::memcpy(vals.data(), vin, n * sizeof(V));
+  if (kin != keys) {
+    std::memcpy(keys, kin, n * sizeof(std::uint64_t));
+    std::memcpy(vals, vin, n * sizeof(V));
   }
 }
 
 }  // namespace
 
-void radix_sort_u64(Executor& ex, std::vector<std::uint64_t>& keys) {
+void radix_sort_u64(Executor& ex, Workspace& ws,
+                    std::vector<std::uint64_t>& keys) {
   const std::size_t n = keys.size();
   if (n < 2) return;
   if (ex.threads() == 1 && n < 2048) {
@@ -124,18 +130,54 @@ void radix_sort_u64(Executor& ex, std::vector<std::uint64_t>& keys) {
   }
   // Key-only sort rides the kv machinery with a zero-byte-ish payload;
   // a dedicated path is not worth the duplication at these sizes.
-  std::vector<std::uint8_t> dummy(n, 0);
-  radix_sort_impl<std::uint8_t>(ex, keys, dummy);
+  Workspace::Frame frame(ws);
+  std::span<std::uint8_t> dummy = ws.alloc<std::uint8_t>(n);
+  std::fill(dummy.begin(), dummy.end(), std::uint8_t{0});
+  radix_sort_impl<std::uint8_t>(ex, ws, keys.data(), dummy.data(), n);
+}
+
+void radix_sort_u64(Executor& ex, std::vector<std::uint64_t>& keys) {
+  Workspace ws;
+  radix_sort_u64(ex, ws, keys);
+}
+
+void radix_sort_kv(Executor& ex, Workspace& ws,
+                   std::vector<std::uint64_t>& keys,
+                   std::vector<std::uint32_t>& vals) {
+  radix_sort_impl<std::uint32_t>(ex, ws, keys.data(), vals.data(),
+                                 keys.size());
 }
 
 void radix_sort_kv(Executor& ex, std::vector<std::uint64_t>& keys,
                    std::vector<std::uint32_t>& vals) {
-  radix_sort_impl<std::uint32_t>(ex, keys, vals);
+  Workspace ws;
+  radix_sort_kv(ex, ws, keys, vals);
+}
+
+void radix_sort_kv64(Executor& ex, Workspace& ws,
+                     std::vector<std::uint64_t>& keys,
+                     std::vector<std::uint64_t>& vals) {
+  radix_sort_impl<std::uint64_t>(ex, ws, keys.data(), vals.data(),
+                                 keys.size());
 }
 
 void radix_sort_kv64(Executor& ex, std::vector<std::uint64_t>& keys,
                      std::vector<std::uint64_t>& vals) {
-  radix_sort_impl<std::uint64_t>(ex, keys, vals);
+  Workspace ws;
+  radix_sort_kv64(ex, ws, keys, vals);
+}
+
+void radix_sort_kv(Executor& ex, Workspace& ws, std::span<std::uint64_t> keys,
+                   std::span<std::uint32_t> vals) {
+  radix_sort_impl<std::uint32_t>(ex, ws, keys.data(), vals.data(),
+                                 keys.size());
+}
+
+void radix_sort_kv64(Executor& ex, Workspace& ws,
+                     std::span<std::uint64_t> keys,
+                     std::span<std::uint64_t> vals) {
+  radix_sort_impl<std::uint64_t>(ex, ws, keys.data(), vals.data(),
+                                 keys.size());
 }
 
 }  // namespace parbcc

@@ -7,6 +7,7 @@
 
 #include "util/padded.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 /// \file sample_sort.hpp
 /// Parallel sample sort after Helman and JáJá (ALENEX 1999) — the
@@ -18,34 +19,37 @@
 /// search, then each thread assembles and merges one bucket.  All
 /// cross-thread placement is computed from a counts matrix with prefix
 /// sums, so there are no concurrent writes.
+///
+/// The sample/counts matrices and the O(n) bucket buffer come from the
+/// Workspace; the Executor-only overload brings its own arena.
 
 namespace parbcc {
 
 template <class T, class Cmp = std::less<T>>
-void sample_sort(Executor& ex, std::vector<T>& data, Cmp cmp = Cmp{}) {
+void sample_sort(Executor& ex, Workspace& ws, T* data, std::size_t n,
+                 Cmp cmp = Cmp{}) {
   const int p = ex.threads();
-  const std::size_t n = data.size();
   if (p == 1 || n < 4096) {
-    std::sort(data.begin(), data.end(), cmp);
+    std::sort(data, data + n, cmp);
     return;
   }
 
+  Workspace::Frame frame(ws);
   const std::size_t np = static_cast<std::size_t>(p);
-  std::vector<T> samples(np * (np - 1));
-  std::vector<T> splitters(np - 1);
+  std::span<T> samples = ws.alloc<T>(np * (np - 1));
+  std::span<T> splitters = ws.alloc<T>(np - 1);
   // counts[t * p + b] = how many of thread t's elements fall in bucket b.
-  std::vector<std::size_t> counts(np * np, 0);
+  std::span<std::size_t> counts = ws.alloc<std::size_t>(np * np);
   // dest[t * p + b]   = where thread t's bucket-b piece starts in `buf`.
-  std::vector<std::size_t> dest(np * np, 0);
-  std::vector<std::size_t> bucket_begin(np + 1, 0);
-  std::vector<T> buf(n);
+  std::span<std::size_t> dest = ws.alloc<std::size_t>(np * np);
+  std::span<std::size_t> bucket_begin = ws.alloc<std::size_t>(np + 1);
+  std::span<T> buf = ws.alloc<T>(n);
 
   ex.run([&](int tid) {
     const std::size_t ut = static_cast<std::size_t>(tid);
     auto [begin, end] = Executor::block_range(n, p, tid);
     // Step 1: local sort.
-    std::sort(data.begin() + static_cast<std::ptrdiff_t>(begin),
-              data.begin() + static_cast<std::ptrdiff_t>(end), cmp);
+    std::sort(data + begin, data + end, cmp);
     // Step 2: p-1 regular samples per block.  Blocks are non-empty for
     // n >= 4096, but an empty block would contribute default-valued
     // fillers, which merely skews splitters without breaking anything.
@@ -68,10 +72,8 @@ void sample_sort(Executor& ex, std::vector<T>& data, Cmp cmp = Cmp{}) {
     // Step 4: partition this block by the splitters.
     std::size_t prev = begin;
     for (std::size_t b = 0; b + 1 < np; ++b) {
-      const auto it = std::upper_bound(
-          data.begin() + static_cast<std::ptrdiff_t>(prev),
-          data.begin() + static_cast<std::ptrdiff_t>(end), splitters[b], cmp);
-      const std::size_t cut = static_cast<std::size_t>(it - data.begin());
+      const T* it = std::upper_bound(data + prev, data + end, splitters[b], cmp);
+      const std::size_t cut = static_cast<std::size_t>(it - data);
       counts[ut * np + b] = cut - prev;
       prev = cut;
     }
@@ -96,8 +98,7 @@ void sample_sort(Executor& ex, std::vector<T>& data, Cmp cmp = Cmp{}) {
     std::size_t src = begin;
     for (std::size_t b = 0; b < np; ++b) {
       const std::size_t c = counts[ut * np + b];
-      std::copy(data.begin() + static_cast<std::ptrdiff_t>(src),
-                data.begin() + static_cast<std::ptrdiff_t>(src + c),
+      std::copy(data + src, data + src + c,
                 buf.begin() + static_cast<std::ptrdiff_t>(dest[ut * np + b]));
       src += c;
     }
@@ -105,6 +106,8 @@ void sample_sort(Executor& ex, std::vector<T>& data, Cmp cmp = Cmp{}) {
 
     // Step 7: merge bucket `tid`, which is p sorted runs laid head to
     // tail; ln(p) passes of inplace_merge keep it simple and local.
+    // The tiny run-boundary lists are per-thread growing state and stay
+    // on the heap (the Workspace is single-orchestrator).
     const std::size_t bkt = ut;
     std::vector<std::size_t> run_starts;
     run_starts.reserve(np + 1);
@@ -135,8 +138,20 @@ void sample_sort(Executor& ex, std::vector<T>& data, Cmp cmp = Cmp{}) {
     // Step 8: copy the merged bucket back in place.
     std::copy(buf.begin() + static_cast<std::ptrdiff_t>(bucket_begin[bkt]),
               buf.begin() + static_cast<std::ptrdiff_t>(bucket_begin[bkt + 1]),
-              data.begin() + static_cast<std::ptrdiff_t>(bucket_begin[bkt]));
+              data + bucket_begin[bkt]);
   });
+}
+
+template <class T, class Cmp = std::less<T>>
+void sample_sort(Executor& ex, Workspace& ws, std::vector<T>& data,
+                 Cmp cmp = Cmp{}) {
+  sample_sort(ex, ws, data.data(), data.size(), cmp);
+}
+
+template <class T, class Cmp = std::less<T>>
+void sample_sort(Executor& ex, std::vector<T>& data, Cmp cmp = Cmp{}) {
+  Workspace ws;
+  sample_sort(ex, ws, data.data(), data.size(), cmp);
 }
 
 }  // namespace parbcc

@@ -6,7 +6,7 @@
 
 namespace parbcc {
 
-BfsTree bfs_tree(Executor& ex, const Csr& g, vid root) {
+BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root) {
   const vid n = g.num_vertices();
   BfsTree out;
   out.root = root;
@@ -15,27 +15,32 @@ BfsTree bfs_tree(Executor& ex, const Csr& g, vid root) {
   out.level.assign(n, kNoVertex);
   if (n == 0) return out;
 
-  std::vector<std::atomic<vid>> parent(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    parent[v].store(kNoVertex, std::memory_order_relaxed);
-  });
-  parent[root].store(root, std::memory_order_relaxed);
+  // The output parent array doubles as the discovery array: claims are
+  // CAS-arbitrated through atomic_ref, so there is no separate atomic
+  // copy and no copy-out pass.
+  std::span<vid> parent(out.parent);
+  parent[root] = root;
   out.level[root] = 0;
 
   const int p = ex.threads();
-  std::vector<vid> frontier{root};
+  Workspace::Frame frame(ws);
+  std::span<vid> frontier = ws.alloc<vid>(n);
+  frontier[0] = root;
+  std::size_t frontier_size = 1;
+  // Per-thread discovery buffers grow dynamically: they are thread-local
+  // state, which the single-orchestrator Workspace cannot hand out.
   std::vector<Padded<std::vector<vid>>> local(static_cast<std::size_t>(p));
 
   vid depth = 0;
   vid reached = 1;
-  while (!frontier.empty()) {
+  while (frontier_size != 0) {
     ++depth;
     for (auto& buf : local) buf.value.clear();
 
     // Expand: each thread scans a slice of the frontier and claims
     // undiscovered neighbours with a CAS on the parent slot.
     ex.parallel_blocks(
-        frontier.size(), [&](int tid, std::size_t begin, std::size_t end) {
+        frontier_size, [&](int tid, std::size_t begin, std::size_t end) {
           std::vector<vid>& next = local[static_cast<std::size_t>(tid)].value;
           for (std::size_t k = begin; k < end; ++k) {
             const vid v = frontier[k];
@@ -44,8 +49,9 @@ BfsTree bfs_tree(Executor& ex, const Csr& g, vid root) {
             for (std::size_t j = 0; j < nbrs.size(); ++j) {
               const vid w = nbrs[j];
               vid expected = kNoVertex;
-              if (parent[w].compare_exchange_strong(
-                      expected, v, std::memory_order_acq_rel)) {
+              if (std::atomic_ref(parent[w])
+                      .compare_exchange_strong(expected, v,
+                                               std::memory_order_acq_rel)) {
                 out.parent_edge[w] = eids[j];
                 out.level[w] = depth;
                 next.push_back(w);
@@ -56,21 +62,23 @@ BfsTree bfs_tree(Executor& ex, const Csr& g, vid root) {
 
     // Concatenate per-thread buffers into the next frontier.
     std::size_t total = 0;
-    for (const auto& buf : local) total += buf.value.size();
-    frontier.clear();
-    frontier.reserve(total);
     for (const auto& buf : local) {
-      frontier.insert(frontier.end(), buf.value.begin(), buf.value.end());
+      std::copy(buf.value.begin(), buf.value.end(),
+                frontier.begin() + static_cast<std::ptrdiff_t>(total));
+      total += buf.value.size();
     }
+    frontier_size = total;
     reached += static_cast<vid>(total);
   }
 
-  ex.parallel_for(n, [&](std::size_t v) {
-    out.parent[v] = parent[v].load(std::memory_order_relaxed);
-  });
   out.reached = reached;
   out.num_levels = depth;  // last round discovered nothing: depth-1 levels past root
   return out;
+}
+
+BfsTree bfs_tree(Executor& ex, const Csr& g, vid root) {
+  Workspace ws;
+  return bfs_tree(ex, ws, g, root);
 }
 
 }  // namespace parbcc

@@ -5,6 +5,7 @@
 #include "graph/csr.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file bfs_tree.hpp
 /// Parallel level-synchronous breadth-first-search tree.
@@ -37,6 +38,7 @@ struct BfsTree {
   vid num_levels = 0;
 };
 
+BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root);
 BfsTree bfs_tree(Executor& ex, const Csr& g, vid root);
 
 }  // namespace parbcc

@@ -14,7 +14,7 @@ namespace {
 
 constexpr std::uint64_t kInf = ~std::uint64_t{0};
 
-void atomic_min_u64(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+void atomic_min_u64(std::atomic_ref<std::uint64_t> slot, std::uint64_t v) {
   std::uint64_t cur = slot.load(std::memory_order_relaxed);
   while (v < cur &&
          !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -23,50 +23,56 @@ void atomic_min_u64(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
 
 }  // namespace
 
-MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
+MsfResult boruvka_msf(Executor& ex, Workspace& ws, vid n,
+                      std::span<const Edge> edges,
                       std::span<const std::uint32_t> weights) {
   if (edges.size() != weights.size()) {
     throw std::invalid_argument("boruvka_msf: edges/weights size mismatch");
   }
   const std::size_t m = edges.size();
 
-  std::vector<std::atomic<vid>> label(n);
-  std::vector<std::atomic<std::uint64_t>> best(n);
-  std::vector<vid> target(n);
-  std::vector<eid> hook_edge(n, kNoEdge);
+  Workspace::Frame frame(ws);
+  std::span<vid> label = ws.alloc<vid>(n);
+  std::span<std::uint64_t> best = ws.alloc<std::uint64_t>(n);
+  std::span<vid> target = ws.alloc<vid>(n);
+  std::span<eid> hook_edge = ws.alloc<eid>(n);
   ex.parallel_for(n, [&](std::size_t v) {
-    label[v].store(static_cast<vid>(v), std::memory_order_relaxed);
+    label[v] = static_cast<vid>(v);
+    hook_edge[v] = kNoEdge;
   });
 
   const int p = ex.threads();
-  std::vector<Padded<bool>> thread_changed(static_cast<std::size_t>(p));
+  std::span<Padded<bool>> thread_changed =
+      ws.alloc<Padded<bool>>(static_cast<std::size_t>(p));
+  std::span<Padded<bool>> jumped =
+      ws.alloc<Padded<bool>>(static_cast<std::size_t>(p));
 
   for (;;) {
     // Phase 1: per-component minimum incident edge, keyed
     // (weight, edge id) so ties break consistently — the property that
     // limits hook cycles to mutual pairs.
     ex.parallel_for(n, [&](std::size_t v) {
-      best[v].store(kInf, std::memory_order_relaxed);
+      best[v] = kInf;
       target[v] = kNoVertex;
     });
     ex.parallel_for(m, [&](std::size_t e) {
-      const vid lu = label[edges[e].u].load(std::memory_order_relaxed);
-      const vid lv = label[edges[e].v].load(std::memory_order_relaxed);
+      const vid lu = label[edges[e].u];
+      const vid lv = label[edges[e].v];
       if (lu == lv) return;
       const std::uint64_t key =
           (static_cast<std::uint64_t>(weights[e]) << 32) | e;
-      atomic_min_u64(best[lu], key);
-      atomic_min_u64(best[lv], key);
+      atomic_min_u64(std::atomic_ref(best[lu]), key);
+      atomic_min_u64(std::atomic_ref(best[lv]), key);
     });
 
     // Phase 2: each winning root records the root on the other side
     // (labels are frozen until phase 3 writes).
     ex.parallel_for(n, [&](std::size_t r) {
-      const std::uint64_t key = best[r].load(std::memory_order_relaxed);
+      const std::uint64_t key = best[r];
       if (key == kInf) return;
       const eid e = static_cast<eid>(key & 0xffffffffu);
-      const vid lu = label[edges[e].u].load(std::memory_order_relaxed);
-      const vid lv = label[edges[e].v].load(std::memory_order_relaxed);
+      const vid lu = label[edges[e].u];
+      const vid lv = label[edges[e].v];
       target[r] = (lu == static_cast<vid>(r)) ? lv : lu;
     });
 
@@ -81,9 +87,8 @@ MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
         if (target[s] == static_cast<vid>(r) && s > static_cast<vid>(r)) {
           continue;  // the larger of the mutual pair hooks, not us
         }
-        label[r].store(s, std::memory_order_relaxed);
-        hook_edge[r] = static_cast<eid>(
-            best[r].load(std::memory_order_relaxed) & 0xffffffffu);
+        std::atomic_ref(label[r]).store(s, std::memory_order_relaxed);
+        hook_edge[r] = static_cast<eid>(best[r] & 0xffffffffu);
         changed = true;
       }
       if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
@@ -95,14 +100,15 @@ MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
 
     // Shortcut to fixpoint (hook chains may be several deep).
     for (;;) {
-      std::vector<Padded<bool>> jumped(static_cast<std::size_t>(p));
+      for (auto& j : jumped) j.value = false;
       ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
         bool changed = false;
         for (std::size_t v = begin; v < end; ++v) {
-          const vid l = label[v].load(std::memory_order_relaxed);
-          const vid ll = label[l].load(std::memory_order_relaxed);
+          const vid l = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
+          const vid ll =
+              std::atomic_ref(label[l]).load(std::memory_order_relaxed);
           if (ll != l) {
-            label[v].store(ll, std::memory_order_relaxed);
+            std::atomic_ref(label[v]).store(ll, std::memory_order_relaxed);
             changed = true;
           }
         }
@@ -117,7 +123,7 @@ MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
   MsfResult out;
   out.tree_edges.resize(n);
   const std::size_t count = pack_into(
-      ex, n, [&](std::size_t v) { return hook_edge[v] != kNoEdge; },
+      ex, ws, n, [&](std::size_t v) { return hook_edge[v] != kNoEdge; },
       [&](std::size_t dst, std::size_t v) {
         out.tree_edges[dst] = hook_edge[v];
       });
@@ -125,6 +131,12 @@ MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
   out.num_components = static_cast<vid>(n - count);
   for (const eid e : out.tree_edges) out.total_weight += weights[e];
   return out;
+}
+
+MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
+                      std::span<const std::uint32_t> weights) {
+  Workspace ws;
+  return boruvka_msf(ex, ws, n, edges, weights);
 }
 
 MsfResult kruskal_msf(vid n, std::span<const Edge> edges,

@@ -7,6 +7,7 @@
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file boruvka_msf.hpp
 /// Parallel minimum spanning forest by Borůvka rounds — the companion
@@ -35,6 +36,9 @@ struct MsfResult {
 
 /// Minimum spanning forest of (edges, weights) over n vertices.
 /// Requires weights[e] < 2^32 and edges.size() == weights.size().
+MsfResult boruvka_msf(Executor& ex, Workspace& ws, vid n,
+                      std::span<const Edge> edges,
+                      std::span<const std::uint32_t> weights);
 MsfResult boruvka_msf(Executor& ex, vid n, std::span<const Edge> edges,
                       std::span<const std::uint32_t> weights);
 

@@ -10,19 +10,26 @@ namespace {
 
 /// Core graft-and-shortcut with hook recording.  `edge_at(k)` maps the
 /// dense iteration index k in [0, count) to an edge id in `edges`.
+/// `comp` (the output label array) is the working array, updated in
+/// place through std::atomic_ref; the hook slots are Workspace scratch.
 template <class EdgeAt>
-SpanningForest sv_forest_impl(Executor& ex, vid n,
+SpanningForest sv_forest_impl(Executor& ex, Workspace& ws, vid n,
                               std::span<const Edge> edges, std::size_t count,
                               EdgeAt edge_at) {
-  std::vector<std::atomic<vid>> label(n);
-  std::vector<std::atomic<eid>> hook(n);
+  SpanningForest out;
+  out.comp.resize(n);
+  std::span<vid> label(out.comp);
+
+  Workspace::Frame frame(ws);
+  std::span<eid> hook = ws.alloc<eid>(n);
   ex.parallel_for(n, [&](std::size_t v) {
-    label[v].store(static_cast<vid>(v), std::memory_order_relaxed);
-    hook[v].store(kNoEdge, std::memory_order_relaxed);
+    label[v] = static_cast<vid>(v);
+    hook[v] = kNoEdge;
   });
 
   const int p = ex.threads();
-  std::vector<Padded<bool>> thread_changed(static_cast<std::size_t>(p));
+  std::span<Padded<bool>> thread_changed =
+      ws.alloc<Padded<bool>>(static_cast<std::size_t>(p));
 
   for (;;) {
     for (auto& c : thread_changed) c.value = false;
@@ -34,15 +41,16 @@ SpanningForest sv_forest_impl(Executor& ex, vid n,
         const eid i = edge_at(k);
         const vid u = edges[i].u;
         const vid v = edges[i].v;
-        vid du = label[u].load(std::memory_order_relaxed);
-        vid dv = label[v].load(std::memory_order_relaxed);
+        vid du = std::atomic_ref(label[u]).load(std::memory_order_relaxed);
+        vid dv = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
         if (du == dv) continue;
         if (du < dv) std::swap(du, dv);
         vid expected = du;
-        if (label[du].compare_exchange_strong(expected, dv,
-                                              std::memory_order_acq_rel)) {
+        if (std::atomic_ref(label[du])
+                .compare_exchange_strong(expected, dv,
+                                         std::memory_order_acq_rel)) {
           // This thread owns root du's single graft: record its edge.
-          hook[du].store(i, std::memory_order_relaxed);
+          std::atomic_ref(hook[du]).store(i, std::memory_order_relaxed);
           changed = true;
         }
       }
@@ -52,10 +60,11 @@ SpanningForest sv_forest_impl(Executor& ex, vid n,
     ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
       bool changed = false;
       for (std::size_t v = begin; v < end; ++v) {
-        const vid l = label[v].load(std::memory_order_relaxed);
-        const vid ll = label[l].load(std::memory_order_relaxed);
+        const vid l = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
+        const vid ll =
+            std::atomic_ref(label[l]).load(std::memory_order_relaxed);
         if (ll != l) {
-          label[v].store(ll, std::memory_order_relaxed);
+          std::atomic_ref(label[v]).store(ll, std::memory_order_relaxed);
           changed = true;
         }
       }
@@ -67,21 +76,13 @@ SpanningForest sv_forest_impl(Executor& ex, vid n,
     if (!any) break;
   }
 
-  SpanningForest out;
-  out.comp.resize(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    out.comp[v] = label[v].load(std::memory_order_relaxed);
-  });
-
   // Forest edges: hooks of all grafted roots, compacted in vertex order.
   out.tree_edges.resize(n);
   const std::size_t tree_count = pack_into(
-      ex, n,
-      [&](std::size_t v) {
-        return hook[v].load(std::memory_order_relaxed) != kNoEdge;
-      },
+      ex, ws, n,
+      [&](std::size_t v) { return hook[v] != kNoEdge; },
       [&](std::size_t dst, std::size_t v) {
-        out.tree_edges[dst] = hook[v].load(std::memory_order_relaxed);
+        out.tree_edges[dst] = hook[v];
       });
   out.tree_edges.resize(tree_count);
   out.num_components = static_cast<vid>(n - tree_count);
@@ -90,17 +91,30 @@ SpanningForest sv_forest_impl(Executor& ex, vid n,
 
 }  // namespace
 
+SpanningForest sv_spanning_forest(Executor& ex, Workspace& ws, vid n,
+                                  std::span<const Edge> edges) {
+  return sv_forest_impl(ex, ws, n, edges, edges.size(),
+                        [](std::size_t k) { return static_cast<eid>(k); });
+}
+
+SpanningForest sv_spanning_forest(Executor& ex, Workspace& ws, vid n,
+                                  std::span<const Edge> edges,
+                                  std::span<const eid> subset) {
+  return sv_forest_impl(ex, ws, n, edges, subset.size(),
+                        [subset](std::size_t k) { return subset[k]; });
+}
+
 SpanningForest sv_spanning_forest(Executor& ex, vid n,
                                   std::span<const Edge> edges) {
-  return sv_forest_impl(ex, n, edges, edges.size(),
-                        [](std::size_t k) { return static_cast<eid>(k); });
+  Workspace ws;
+  return sv_spanning_forest(ex, ws, n, edges);
 }
 
 SpanningForest sv_spanning_forest(Executor& ex, vid n,
                                   std::span<const Edge> edges,
                                   std::span<const eid> subset) {
-  return sv_forest_impl(ex, n, edges, subset.size(),
-                        [subset](std::size_t k) { return subset[k]; });
+  Workspace ws;
+  return sv_spanning_forest(ex, ws, n, edges, subset);
 }
 
 }  // namespace parbcc

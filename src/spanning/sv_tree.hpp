@@ -6,6 +6,7 @@
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
+#include "util/workspace.hpp"
 
 /// \file sv_tree.hpp
 /// Spanning forest from Shiloach-Vishkin graft-and-shortcut, recording
@@ -29,12 +30,17 @@ struct SpanningForest {
 };
 
 /// Spanning forest over all edges.
+SpanningForest sv_spanning_forest(Executor& ex, Workspace& ws, vid n,
+                                  std::span<const Edge> edges);
 SpanningForest sv_spanning_forest(Executor& ex, vid n,
                                   std::span<const Edge> edges);
 
 /// Spanning forest over the subset `subset` (edge indices into
 /// `edges`); returned tree_edges are indices into `edges`, not into
 /// `subset`.  Lets TV-filter build F over G - T without copying edges.
+SpanningForest sv_spanning_forest(Executor& ex, Workspace& ws, vid n,
+                                  std::span<const Edge> edges,
+                                  std::span<const eid> subset);
 SpanningForest sv_spanning_forest(Executor& ex, vid n,
                                   std::span<const Edge> edges,
                                   std::span<const eid> subset);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <span>
 #include <thread>
 
 #include "util/padded.hpp"
@@ -51,11 +52,11 @@ TraversalTree traversal_spanning_tree(Executor& ex, const Csr& g, vid root) {
   out.parent_edge.assign(n, kNoEdge);
   if (n == 0) return out;
 
-  std::vector<std::atomic<vid>> parent(n);
-  ex.parallel_for(n, [&](std::size_t v) {
-    parent[v].store(kNoVertex, std::memory_order_relaxed);
-  });
-  parent[root].store(root, std::memory_order_relaxed);
+  // Ownership claims CAS the output parent array in place through
+  // atomic_ref — the former shadow vector of atomics (an O(n) scratch
+  // allocation plus a copy-out pass) is gone entirely.
+  std::span<vid> parent(out.parent);
+  parent[root] = root;
 
   const int p = ex.threads();
   std::vector<WorkStack> stacks(static_cast<std::size_t>(p));
@@ -81,12 +82,14 @@ TraversalTree traversal_spanning_tree(Executor& ex, const Csr& g, vid root) {
           // Cheap load filters the common already-claimed case before
           // paying for a lock-prefixed CAS (dense graphs lose most
           // races: 2m - (n-1) arcs see a claimed endpoint).
-          if (parent[w].load(std::memory_order_relaxed) != kNoVertex) {
+          if (std::atomic_ref(parent[w]).load(std::memory_order_relaxed) !=
+              kNoVertex) {
             continue;
           }
           vid expected = kNoVertex;
-          if (parent[w].compare_exchange_strong(expected, v,
-                                                std::memory_order_acq_rel)) {
+          if (std::atomic_ref(parent[w])
+                  .compare_exchange_strong(expected, v,
+                                           std::memory_order_acq_rel)) {
             out.parent_edge[w] = eids[k];  // sole writer: CAS winner
             mine.push(w);
             ++discovered;
@@ -120,9 +123,6 @@ TraversalTree traversal_spanning_tree(Executor& ex, const Csr& g, vid root) {
     }
   });
 
-  ex.parallel_for(n, [&](std::size_t v) {
-    out.parent[v] = parent[v].load(std::memory_order_relaxed);
-  });
   out.reached = reached.load(std::memory_order_relaxed);
   return out;
 }

@@ -1,0 +1,205 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file workspace.hpp
+/// Bump/arena allocator for the scratch memory of a solve.
+///
+/// The paper's Fig. 4 step costs are dominated by memory traffic, and
+/// before this arena existed every primitive in the stack allocated and
+/// zero-filled its own O(n + m) std::vector temporaries on each call —
+/// several hundred MB of allocator churn and redundant memset per solve
+/// at full scale.  A `Workspace` turns that into pointer bumps over a
+/// few long-lived blocks: the first solve on a context grows the arena
+/// to its high-water mark, and every later solve of comparable size
+/// reuses the same cache-warm pages with zero allocation and zero fill.
+///
+/// Usage contract (the frame discipline):
+///
+///   void step(Executor& ex, Workspace& ws, ...) {
+///     Workspace::Frame frame(ws);              // LIFO scope
+///     std::span<vid> tmp = ws.alloc<vid>(n);   // uninitialized
+///     ...                                      // tmp dies with frame
+///   }
+///
+///  - alloc() returns default-initialized (i.e. uninitialized for
+///    primitive types) cache-line-aligned storage: write before read.
+///  - No span may outlive the frame it was allocated under; a function
+///    that returns workspace memory must allocate it before opening its
+///    own frame (i.e. in the caller's frame).
+///  - A Workspace is single-orchestrator: only the thread driving the
+///    Executor may call alloc()/Frame; worker threads may freely read
+///    and write the spans handed to them.
+///
+/// Telemetry (peak_bytes, reuse_hits, growth_count) feeds the
+/// `peak_workspace_bytes` / `arena_reuse_hits` fields of BccResult so
+/// benches can report memory next to time.
+
+namespace parbcc {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Allocation mark; see Frame.
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+    std::size_t live = 0;
+  };
+
+  /// LIFO scope: rewinds the arena to the construction point when it
+  /// goes out of scope (exception-safe — a throwing solve releases its
+  /// scratch on unwind).
+  class Frame {
+   public:
+    explicit Frame(Workspace& ws) : ws_(ws), mark_(ws.mark()) {}
+    ~Frame() { ws_.rewind(mark_); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    Workspace& ws_;
+    Mark mark_;
+  };
+
+  /// `count` default-initialized Ts, aligned to a cache line.  For
+  /// trivially-default-constructible Ts the elements are uninitialized
+  /// (no memset); otherwise they are default-constructed in place.  T
+  /// must be trivially destructible — nothing is destroyed on rewind.
+  template <class T>
+  std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Workspace frames never run destructors");
+    static_assert(alignof(T) <= kCacheLine,
+                  "Workspace alignment is one cache line");
+    if (count == 0) return {};
+    T* p = reinterpret_cast<T*>(raw_alloc(count * sizeof(T)));
+    if constexpr (!std::is_trivially_default_constructible_v<T>) {
+      for (std::size_t i = 0; i < count; ++i) ::new (p + i) T;
+    }
+    return {p, count};
+  }
+
+  Mark mark() const {
+    return {cur_, blocks_.empty() ? 0 : blocks_[cur_].used, live_};
+  }
+
+  void rewind(const Mark& m) {
+    for (std::size_t i = m.block + 1; i < blocks_.size(); ++i) {
+      blocks_[i].used = 0;
+    }
+    if (!blocks_.empty()) blocks_[m.block].used = m.used;
+    cur_ = m.block;
+    live_ = m.live;
+  }
+
+  /// --- Telemetry. ----------------------------------------------------
+  /// Total bytes of backing storage currently owned.
+  std::size_t capacity_bytes() const { return capacity_; }
+  /// Bytes currently handed out (inside open frames).
+  std::size_t live_bytes() const { return live_; }
+  /// High-water mark of live_bytes() since construction / reset_peak().
+  std::size_t peak_bytes() const { return peak_; }
+  /// Allocations served from existing capacity (no system allocation).
+  std::uint64_t reuse_hits() const { return reuse_hits_; }
+  /// Number of backing-block allocations; a warm workspace solving a
+  /// previously-seen problem size performs zero further growth.
+  std::uint64_t growth_count() const { return growth_count_; }
+
+  /// Restart the peak high-water mark at the current live size.
+  void reset_peak() { peak_ = live_; }
+
+  /// Free all backing storage (must be called with no open frames).
+  void release() {
+    blocks_.clear();
+    cur_ = 0;
+    capacity_ = 0;
+    live_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  struct Deleter {
+    void operator()(std::byte* p) const {
+      ::operator delete[](p, std::align_val_t{kCacheLine});
+    }
+  };
+  struct Block {
+    std::unique_ptr<std::byte[], Deleter> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMinBlockBytes = std::size_t{1} << 16;
+
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + kCacheLine - 1) & ~(kCacheLine - 1);
+  }
+
+  std::byte* raw_alloc(std::size_t bytes) {
+    bytes = round_up(bytes);
+    bool grew = false;
+    for (;;) {
+      // Scan forward from the bump position: blocks past cur_ hold no
+      // live data (allocation only moves forward and rewind resets
+      // them), so skipping a block merely wastes its remainder until
+      // the enclosing frame rewinds.  Capacity is never discarded —
+      // that is what makes a warm workspace growth-free.
+      while (cur_ < blocks_.size() &&
+             blocks_[cur_].capacity - blocks_[cur_].used < bytes) {
+        if (cur_ + 1 == blocks_.size()) break;
+        ++cur_;
+      }
+      if (cur_ < blocks_.size()) {
+        Block& b = blocks_[cur_];
+        if (b.capacity - b.used >= bytes) {
+          std::byte* p = b.data.get() + b.used;
+          b.used += bytes;
+          live_ += bytes;
+          if (live_ > peak_) peak_ = live_;
+          if (!grew) ++reuse_hits_;
+          return p;
+        }
+      }
+      grow(bytes);
+      grew = true;
+    }
+  }
+
+  void grow(std::size_t bytes) {
+    // Geometric growth: at least as big as everything owned so far, so
+    // a cold solve settles into O(log n) blocks.
+    std::size_t cap = kMinBlockBytes;
+    if (capacity_ > cap) cap = capacity_;
+    if (bytes > cap) cap = bytes;
+    Block b;
+    b.data.reset(static_cast<std::byte*>(
+        ::operator new[](cap, std::align_val_t{kCacheLine})));
+    b.capacity = cap;
+    blocks_.push_back(std::move(b));
+    cur_ = blocks_.size() - 1;
+    capacity_ += cap;
+    ++growth_count_;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t reuse_hits_ = 0;
+  std::uint64_t growth_count_ = 0;
+};
+
+}  // namespace parbcc

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <iterator>
+
 #include "core/bcc.hpp"
 #include "core/validate.hpp"
 #include "graph/generators.hpp"
@@ -102,6 +105,57 @@ TEST(Stress, FullWidthAllAlgorithms) {
     check(ex, g, algorithm);
   }
 }
+
+class ContextReuseParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContextReuseParam, BackToBackSolvesMatchFreshContexts) {
+  // One BccContext carried across solves of different graphs with
+  // different algorithms: the arena is rewound and regrown across
+  // wildly different problem shapes, and every answer must match a
+  // fresh single-use context solving the same problem.
+  const int p = GetParam();
+  BccContext ctx(p);
+  BccOptions opt;
+  opt.compute_cut_info = true;
+
+  const EdgeList graphs[] = {
+      gen::random_connected_gnm(15000, 60000, 31),
+      gen::rmat(13, 8, 32),
+      gen::random_cactus(2000, 10, 33),
+      gen::cycle(50000),
+  };
+  const BccAlgorithm algorithms[] = {
+      BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
+      BccAlgorithm::kSequential};
+
+  for (std::size_t i = 0; i < std::size(graphs); ++i) {
+    opt.algorithm = algorithms[i % std::size(algorithms)];
+    const BccResult reused = biconnected_components(ctx, graphs[i], opt);
+
+    BccContext fresh(p);
+    const BccResult baseline = biconnected_components(fresh, graphs[i], opt);
+
+    ASSERT_EQ(reused.num_components, baseline.num_components)
+        << "graph " << i << " with " << to_string(opt.algorithm);
+    ASSERT_TRUE(testutil::same_partition(reused.edge_component,
+                                         baseline.edge_component));
+    ASSERT_EQ(reused.is_articulation, baseline.is_articulation);
+    ASSERT_EQ(reused.bridges, baseline.bridges);
+  }
+
+  // Second lap over the same graphs: the context is now warm at every
+  // shape it will see, so the arena must not grow again.
+  const std::uint64_t growth = ctx.workspace().growth_count();
+  for (std::size_t i = 0; i < std::size(graphs); ++i) {
+    opt.algorithm = algorithms[i % std::size(algorithms)];
+    const BccResult again = biconnected_components(ctx, graphs[i], opt);
+    ASSERT_GT(again.num_components, 0u);
+  }
+  EXPECT_EQ(ctx.workspace().growth_count(), growth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ContextReuseParam,
+                         ::testing::Values(1, 4, 12));
 
 TEST(Stress, RepeatedRunsAreDeterministicAtOneThread) {
   Executor ex(1);
