@@ -1,23 +1,36 @@
-// Experiment A1 - ablation of TV-opt's engineering choices (paper §3.2):
+// Experiment A1 - ablation of TV-opt's engineering choices (paper §3.2)
+// and of the frontier engines feeding TV-filter:
 //
 //  (a) rooting the spanning tree: classic Euler tour + list ranking
 //      (sequential walk vs Wyllie pointer jumping vs Helman-JáJá) and
 //      arc pairing by sample sort vs bucket scatter, against the merged
 //      traversal-tree + level-sweep pipeline;
-//  (b) low/high aggregation: sparse-table RMQ vs level sweeps.
+//  (b) low/high aggregation: sparse-table RMQ vs level sweeps;
+//  (c) frontier engines: BFS top-down vs bottom-up vs the
+//      direction-optimizing hybrid (edge inspections + round mix), and
+//      Shiloach-Vishkin classic vs FastSV (convergence rounds), on a
+//      low-diameter random graph and a high-diameter torus.
 //
 // Each variant is timed in isolation on the same workload so the cost
 // the paper attributes to "list ranking instead of prefix sums" is
-// directly visible.
+// directly visible.  Section (c) hard-fails (exit 1) if the hybrid BFS
+// does not beat top-down on inspections for the low-diameter family or
+// FastSV does not converge in fewer rounds than classic — so a broken
+// switching heuristic fails CI loudly instead of silently regressing.
+//
+// `--json <path>` additionally writes every measured configuration as
+// a JSON record (see bench_common.hpp).
 
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "connectivity/shiloach_vishkin.hpp"
 #include "core/lowhigh.hpp"
 #include "core/tv_core.hpp"
 #include "eulertour/euler_tour.hpp"
 #include "eulertour/tree_computations.hpp"
 #include "graph/csr.hpp"
+#include "spanning/bfs_tree.hpp"
 #include "spanning/sv_tree.hpp"
 #include "spanning/traversal_tree.hpp"
 #include "util/thread_pool.hpp"
@@ -40,13 +53,87 @@ RepStats timed_reps(F&& fn) {
   return rep_stats(samples);
 }
 
+/// Section (c): the two frontier engines on one graph family.
+/// Returns false if an acceptance assertion failed.
+bool frontier_section(Executor& ex, JsonWriter& json, const char* family,
+                      const EdgeList& g, bool assert_bfs_inspections) {
+  const Csr csr = Csr::build(ex, g);
+  bool ok = true;
+
+  std::printf("  %s (n = %u, m = %u)\n", family, g.n, g.m());
+  std::printf("    %-32s %10s %10s %14s %8s\n", "variant", "min(s)",
+              "median(s)", "inspected", "rounds");
+
+  BfsTree trees[3];
+  const struct {
+    BfsMode mode;
+    const char* name;
+  } bfs_modes[] = {{BfsMode::kTopDown, "bfs top-down"},
+                   {BfsMode::kBottomUp, "bfs bottom-up"},
+                   {BfsMode::kAuto, "bfs hybrid"}};
+  for (int i = 0; i < 3; ++i) {
+    const RepStats st =
+        timed_reps([&] { trees[i] = bfs_tree(ex, csr, 0, bfs_modes[i].mode); });
+    const vid rounds = trees[i].top_down_rounds + trees[i].bottom_up_rounds;
+    std::printf("    %-32s %10.3f %10.3f %14llu %8u\n", bfs_modes[i].name,
+                st.min, st.median,
+                static_cast<unsigned long long>(trees[i].inspected_edges),
+                rounds);
+    json.add({"ablation-frontier", g.n, g.m(), ex.threads(),
+              std::string(family) + "/" + bfs_modes[i].name, {}, st.min,
+              st.median,
+              {{"inspected_edges",
+                static_cast<double>(trees[i].inspected_edges)},
+               {"rounds", static_cast<double>(rounds)}}});
+  }
+  if (assert_bfs_inspections &&
+      trees[2].inspected_edges >= trees[0].inspected_edges) {
+    std::printf("!! hybrid BFS inspected %llu edges, top-down %llu on %s\n",
+                static_cast<unsigned long long>(trees[2].inspected_edges),
+                static_cast<unsigned long long>(trees[0].inspected_edges),
+                family);
+    ok = false;
+  }
+
+  const struct {
+    SvMode mode;
+    const char* name;
+  } sv_modes[] = {{SvMode::kClassic, "sv classic"}, {SvMode::kFastSV, "sv fastsv"}};
+  vid sv_rounds[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    SvStats stats;
+    const RepStats st = timed_reps([&] {
+      stats = {};
+      (void)connected_components_sv(ex, g.n, g.edges, sv_modes[i].mode, &stats);
+    });
+    SpanningForest forest = sv_spanning_forest(ex, g.n, g.edges,
+                                               sv_modes[i].mode);
+    sv_rounds[i] = stats.rounds;
+    std::printf("    %-32s %10.3f %10.3f %14s %8u\n", sv_modes[i].name, st.min,
+                st.median, "-", stats.rounds);
+    json.add({"ablation-frontier", g.n, g.m(), ex.threads(),
+              std::string(family) + "/" + sv_modes[i].name, {}, st.min,
+              st.median,
+              {{"rounds", static_cast<double>(stats.rounds)},
+               {"forest_rounds", static_cast<double>(forest.rounds)}}});
+  }
+  if (sv_rounds[1] >= sv_rounds[0]) {
+    std::printf("!! FastSV took %u rounds, classic %u on %s\n", sv_rounds[1],
+                sv_rounds[0], family);
+    ok = false;
+  }
+  std::printf("\n");
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const vid n = env_n(500000);
   const int p = env_threads();
   const std::uint64_t seed = env_seed();
   const eid m = 8 * static_cast<eid>(n);
+  JsonWriter json(argc, argv);
 
   print_header("A1 - rooting and low/high ablation");
   std::printf("n = %u, m = %u, p = %d, reps = %d\n\n", n, m, p, env_reps());
@@ -74,6 +161,9 @@ int main() {
                                   : "Helman-JaJa";
       std::printf("    euler tour (%-11s) + rank %-17s %10.3f %10.3f\n",
                   sort_name, rank_name, st.min, st.median);
+      json.add({"ablation-rooting", g.n, g.m(), p,
+                std::string("euler-") + sort_name + "+" + rank_name, {},
+                st.min, st.median, {}});
     }
   }
   {
@@ -94,6 +184,8 @@ int main() {
     std::printf("    %-44s %10.3f %10.3f  (+%.3f conversion)\n",
                 "traversal tree + level sweeps (TV-opt)", pipe.min,
                 pipe.median, conv.min);
+    json.add({"ablation-rooting", g.n, g.m(), p, "traversal+level-sweeps",
+              {{"conversion", conv.min}}, pipe.min, pipe.median, {}});
 
     std::printf("\n(b) low/high aggregation on the TV-opt tree\n");
     const ChildrenCsr children = build_children(ex, tree.parent, 0);
@@ -110,10 +202,31 @@ int main() {
                 rmq_t.min, rmq_t.median);
     std::printf("    %-44s %10.3f %10.3f\n", "level sweeps (TV-opt style)",
                 sweep_t.min, sweep_t.median);
+    json.add({"ablation-lowhigh", g.n, g.m(), p, "rmq", {}, rmq_t.min,
+              rmq_t.median, {}});
+    json.add({"ablation-lowhigh", g.n, g.m(), p, "level-sweeps", {},
+              sweep_t.min, sweep_t.median, {}});
     if (rmq.low != sweep.low || rmq.high != sweep.high) {
       std::printf("!! low/high variants disagree\n");
       return 1;
     }
   }
-  return 0;
+
+  std::printf("\n(c) frontier engines: BFS direction + SV convergence\n");
+  bool ok = true;
+  // Low-diameter, above-average density: the hybrid's home turf, so
+  // the inspection assertion applies here.
+  ok &= frontier_section(ex, json, "random-8n", g, true);
+  // High-diameter torus: the hybrid must not misfire (it should stay
+  // near top-down), and FastSV's full shortcutting pays off most.
+  {
+    vid side = 1;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    if (side < 3) side = 3;
+    const EdgeList torus = gen::grid_torus(side, side);
+    ok &= frontier_section(ex, json, "torus", torus, false);
+  }
+
+  if (!json.flush()) ok = false;
+  return ok ? 0 : 1;
 }

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/bcc.hpp"
@@ -11,8 +14,10 @@
 #include "util/types.hpp"
 
 /// \file bench_common.hpp
-/// Shared plumbing for the experiment drivers: scale selection and the
-/// paper's workload parameters.
+/// Shared plumbing for the experiment drivers: scale selection, the
+/// paper's workload parameters, and machine-readable output
+/// (`--json <path>` writes one record per measured configuration so CI
+/// and the experiment log can consume runs without scraping tables).
 ///
 /// The paper's instances are random graphs with n = 1M vertices and
 /// m in {4n, 10n, 20n = n log n} edges on a 12-processor Sun E4500.
@@ -92,5 +97,84 @@ inline void print_header(const char* title) {
   std::printf("%s\n", title);
   std::printf("==============================================================\n");
 }
+
+/// One measured configuration, serialized as a flat JSON object:
+/// `{"bench": ..., "n": ..., "m": ..., "p": ..., "algorithm": ...,
+///   "phase_times": {...}, "min": ..., "median": ...}` plus any extra
+/// numeric fields (round counts, inspection counters, ...).
+struct JsonRecord {
+  std::string bench;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  int p = 0;
+  std::string algorithm;
+  std::vector<std::pair<std::string, double>> phase_times;
+  double min = 0;
+  double median = 0;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Collects JsonRecords and writes them as a JSON array on flush (or
+/// destruction).  Disabled — every call a no-op — unless the program
+/// was invoked with `--json <path>`.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+  JsonWriter(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+  ~JsonWriter() { flush(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(JsonRecord rec) {
+    if (enabled()) records_.push_back(std::move(rec));
+  }
+
+  /// Write the array; returns false (and prints to stderr) on I/O
+  /// failure.  Idempotent: the writer disables itself after flushing.
+  bool flush() {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "!! cannot open %s for writing\n", path_.c_str());
+      path_.clear();
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"n\": %llu, \"m\": %llu, "
+                   "\"p\": %d, \"algorithm\": \"%s\", \"phase_times\": {",
+                   r.bench.c_str(), static_cast<unsigned long long>(r.n),
+                   static_cast<unsigned long long>(r.m), r.p,
+                   r.algorithm.c_str());
+      for (std::size_t k = 0; k < r.phase_times.size(); ++k) {
+        std::fprintf(f, "%s\"%s\": %.6f", k == 0 ? "" : ", ",
+                     r.phase_times[k].first.c_str(), r.phase_times[k].second);
+      }
+      std::fprintf(f, "}, \"min\": %.6f, \"median\": %.6f", r.min, r.median);
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(f, ", \"%s\": %.0f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("json: wrote %zu records to %s\n", records_.size(),
+                path_.c_str());
+    path_.clear();
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<JsonRecord> records_;
+};
 
 }  // namespace parbcc::bench

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate for parbcc: configure + build + full ctest on the regular
-# tree, then build a ThreadSanitizer tree and run the curated
-# `sanitize-smoke` label (lock-free CSR scatter, work-stealing
-# traversal, SV grafting, and the arena-backed context-reuse sweep, all
-# at 12-way SPMD width).  Exits non-zero on the first failure.
+# tree, a fast bench smoke (the frontier ablation's built-in
+# assertions catch a broken BFS-direction or SV-convergence heuristic
+# that unit tests alone would miss), then a ThreadSanitizer tree
+# running the curated `sanitize-smoke` label (lock-free CSR scatter,
+# work-stealing traversal, SV grafting, bitmap frontier engines, and
+# the arena-backed context-reuse sweep, all at 12-way SPMD width).
+# Exits non-zero on the first failure.
 #
 #   ./ci.sh              # full gate
 #   JOBS=4 ./ci.sh       # cap build/test parallelism
@@ -22,11 +25,17 @@ cmake --build build -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "==> bench smoke: frontier ablation with --json"
+PARBCC_N=20000 PARBCC_REPS=1 ./build/bench/bench_ablation \
+    --json build/bench_smoke.json >/dev/null
+grep -q '"bench"' build/bench_smoke.json
+
 echo "==> tsan: configure (build-tsan/, PARBCC_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
 
 echo "==> tsan: build smoke set"
-cmake --build build-tsan -j "$JOBS" --target stress_test csr_test workspace_test
+cmake --build build-tsan -j "$JOBS" --target stress_test csr_test \
+    workspace_test frontier_test
 
 echo "==> tsan: ctest -L sanitize-smoke"
 ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "connectivity/shiloach_vishkin.hpp"
 #include "eulertour/euler_tour.hpp"
+#include "spanning/bfs_tree.hpp"
 #include "util/types.hpp"
 
 /// \file bcc_result.hpp
@@ -68,6 +70,13 @@ struct BccOptions {
   ListRanker ranker = ListRanker::kHelmanJaja;
   /// Arc-sorting strategy for TV-SMP's Euler-tour step.
   ArcSort arc_sort = ArcSort::kSampleSort;
+  /// Frontier policy for TV-filter's BFS tree (kAuto = Beamer's
+  /// direction-optimizing hybrid; forced modes for the ablation bench).
+  BfsMode bfs_mode = BfsMode::kAuto;
+  /// Hooking/shortcut scheme for every Shiloach-Vishkin use — the
+  /// spanning forests of TV-SMP/TV-opt/TV-filter and the
+  /// auxiliary-graph components of all three (kAuto = FastSV).
+  SvMode sv_mode = SvMode::kAuto;
   /// Adjacency the caller already holds for the input graph, so the
   /// dispatcher never rebuilds it (StepTimes::conversion then reports
   /// 0).  Must be the Csr::build of exactly the edge list passed in;

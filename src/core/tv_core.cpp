@@ -30,7 +30,7 @@ std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
                                 LowHighMethod method,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
-                                TvCoreTimes* times) {
+                                SvMode sv_mode, TvCoreTimes* times) {
   Timer timer;
 
   // Step 4: low/high.
@@ -59,7 +59,8 @@ std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
   // only its gather through aux_id survives.
   Workspace::Frame frame(ws);
   std::span<vid> aux_labels = ws.alloc<vid>(aux.num_vertices);
-  connected_components_sv(ex, ws, aux.num_vertices, aux.edges, aux_labels);
+  connected_components_sv(ex, ws, aux.num_vertices, aux.edges, aux_labels,
+                          sv_mode);
   std::vector<vid> labels(edges.size());
   ex.parallel_for(edges.size(), [&](std::size_t e) {
     labels[e] = aux_labels[aux.aux_id[e]];
@@ -74,10 +75,10 @@ std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
                                 LowHighMethod method,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
-                                TvCoreTimes* times) {
+                                SvMode sv_mode, TvCoreTimes* times) {
   Workspace ws;
   return tv_label_edges(ex, ws, edges, tree, tree_owner, method, children,
-                        levels, times);
+                        levels, sv_mode, times);
 }
 
 }  // namespace parbcc

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "connectivity/shiloach_vishkin.hpp"
 #include "core/lowhigh.hpp"
 #include "eulertour/tree_computations.hpp"
 #include "graph/edge_list.hpp"
@@ -47,6 +48,7 @@ std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
                                 LowHighMethod method,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
+                                SvMode sv_mode = SvMode::kAuto,
                                 TvCoreTimes* times = nullptr);
 std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
@@ -54,6 +56,7 @@ std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
                                 LowHighMethod method,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
+                                SvMode sv_mode = SvMode::kAuto,
                                 TvCoreTimes* times = nullptr);
 
 }  // namespace parbcc

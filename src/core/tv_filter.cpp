@@ -7,6 +7,7 @@
 #include "scan/compact.hpp"
 #include "spanning/bfs_tree.hpp"
 #include "spanning/sv_tree.hpp"
+#include "util/bitvector.hpp"
 #include "util/timer.hpp"
 
 namespace parbcc {
@@ -38,7 +39,7 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
 
   // Alg. 2 step 1: T must be a BFS tree (Lemma 1 needs its level
   // structure).
-  const BfsTree bfs = bfs_tree(ex, ws, csr, opt.root);
+  const BfsTree bfs = bfs_tree(ex, ws, csr, opt.root, opt.bfs_mode);
   if (bfs.reached != n) {
     throw std::invalid_argument("tv_filter_bcc: graph must be connected");
   }
@@ -50,27 +51,31 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   // keeping it out of F preserves Lemma 1 (no ancestral relationship
   // between F-edge endpoints) on multigraph inputs.
   // The tree-membership flags and the candidate list are dead once F
-  // is built, so they live in one workspace frame.
+  // is built, so they live in one workspace frame.  Membership is a
+  // packed bitmap (one word per 64 edges, not one byte per edge); the
+  // marking scatter hits arbitrary edge ids, so bits in a shared word
+  // are set atomically.
   SpanningForest forest;
   {
     Workspace::Frame frame(ws);
-    std::span<std::uint8_t> in_tree = ws.alloc<std::uint8_t>(m);
-    ex.parallel_for(m, [&](std::size_t e) { in_tree[e] = 0; });
+    BitSpan in_tree(ws.alloc<std::uint64_t>(BitSpan::words_for(m)));
+    ex.parallel_for(in_tree.words().size(),
+                    [&](std::size_t w) { in_tree.words()[w] = 0; });
     ex.parallel_for(n, [&](std::size_t v) {
-      if (bfs.parent_edge[v] != kNoEdge) in_tree[bfs.parent_edge[v]] = 1;
+      if (bfs.parent_edge[v] != kNoEdge) in_tree.set_atomic(bfs.parent_edge[v]);
     });
     std::span<eid> candidates = ws.alloc<eid>(m);
     const std::size_t num_candidates = pack_indices_span(
         ex, ws, m,
         [&](std::size_t e) {
-          if (in_tree[e]) return false;
+          if (in_tree.get(e)) return false;
           const vid u = g.edges[e].u;
           const vid v = g.edges[e].v;
           return bfs.parent[u] != v && bfs.parent[v] != u;
         },
         candidates);
     forest = sv_spanning_forest(ex, ws, n, g.edges,
-                                candidates.first(num_candidates));
+                                candidates.first(num_candidates), opt.sv_mode);
   }
   result.times.filtering = step.lap();
 
@@ -84,8 +89,9 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   Workspace::Frame frame(ws);
   std::span<Edge> h_edges = ws.alloc<Edge>(h_count);
   std::span<eid> orig_of = ws.alloc<eid>(h_count);
-  std::span<std::uint8_t> in_h = ws.alloc<std::uint8_t>(m);
-  ex.parallel_for(m, [&](std::size_t e) { in_h[e] = 0; });
+  BitSpan in_h(ws.alloc<std::uint64_t>(BitSpan::words_for(m)));
+  ex.parallel_for(in_h.words().size(),
+                  [&](std::size_t w) { in_h.words()[w] = 0; });
 
   RootedSpanningTree tree;
   tree.root = opt.root;
@@ -97,14 +103,14 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
     const eid e = bfs.parent_edge[v];
     h_edges[slot] = g.edges[e];
     orig_of[slot] = e;
-    in_h[e] = 1;
+    in_h.set_atomic(e);
     tree.parent_edge[v] = static_cast<eid>(slot);
   });
   ex.parallel_for(forest.tree_edges.size(), [&](std::size_t k) {
     const eid e = forest.tree_edges[k];
     h_edges[t_count + k] = g.edges[e];
     orig_of[t_count + k] = e;
-    in_h[e] = 1;
+    in_h.set_atomic(e);
   });
 
   // Rooted-tree computations over T (TV-opt pipeline).
@@ -119,7 +125,7 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   TvCoreTimes core_times;
   const std::vector<vid> h_labels =
       tv_label_edges(ex, ws, h_edges, tree, owner, LowHighMethod::kLevelSweep,
-                     &children, &levels, &core_times);
+                     &children, &levels, opt.sv_mode, &core_times);
   result.times.low_high = core_times.low_high;
   result.times.label_edge = core_times.label_edge;
   result.times.connected_components = core_times.connected_components;
@@ -133,7 +139,7 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
     result.edge_component[orig_of[h]] = h_labels[h];
   });
   ex.parallel_for(m, [&](std::size_t e) {
-    if (in_h[e]) return;
+    if (in_h.get(e)) return;
     const vid u = g.edges[e].u;
     const vid v = g.edges[e].v;
     const vid hi_end = tree.pre[u] > tree.pre[v] ? u : v;

@@ -58,7 +58,7 @@ BccResult tv_opt_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   TvCoreTimes core_times;
   result.edge_component =
       tv_label_edges(ex, ws, g.edges, tree, owner, LowHighMethod::kLevelSweep,
-                     &children, &levels, &core_times);
+                     &children, &levels, opt.sv_mode, &core_times);
   result.times.low_high = core_times.low_high;
   result.times.label_edge = core_times.label_edge;
   result.times.connected_components = core_times.connected_components;

@@ -16,7 +16,8 @@ BccResult tv_smp_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
   Timer step;
 
   // Step 1 (Spanning-tree): Shiloach-Vishkin graft-and-shortcut.
-  const SpanningForest forest = sv_spanning_forest(ex, ws, g.n, g.edges);
+  const SpanningForest forest =
+      sv_spanning_forest(ex, ws, g.n, g.edges, opt.sv_mode);
   if (forest.num_components != 1) {
     throw std::invalid_argument("tv_smp_bcc: graph must be connected");
   }
@@ -38,7 +39,7 @@ BccResult tv_smp_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
   TvCoreTimes core_times;
   result.edge_component =
       tv_label_edges(ex, ws, g.edges, tree, owner, LowHighMethod::kRmq,
-                     nullptr, nullptr, &core_times);
+                     nullptr, nullptr, opt.sv_mode, &core_times);
   result.times.low_high = core_times.low_high;
   result.times.label_edge = core_times.label_edge;
   result.times.connected_components = core_times.connected_components;

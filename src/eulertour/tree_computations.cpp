@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "scan/scan.hpp"
+#include "util/concat.hpp"
 
 namespace parbcc {
 namespace {
@@ -68,20 +69,27 @@ LevelStructure build_levels(Executor& ex, const ChildrenCsr& children,
     return out;
   }
 
-  out.order.reserve(n);
+  // Every vertex enters `order` exactly once (each appears in one
+  // child list), so the array is sized upfront and levels append at
+  // the `filled` cursor — the parallel path can then scatter straight
+  // into its final slots.
+  out.order.resize(n);
   out.level_offsets.push_back(0);
   out.depth[root] = 0;
-  out.order.push_back(root);
+  out.order[0] = root;
+  std::size_t filled = 1;
 
   // Top-down frontier sweep over the child lists.  The frontier for
-  // depth d+1 is gathered from per-thread buffers; the concatenation
-  // order inside a level is irrelevant to every consumer.
+  // depth d+1 is gathered from per-thread buffers with a prefix-summed
+  // parallel scatter; the concatenation order inside a level is
+  // irrelevant to every consumer.
   std::size_t level_begin = 0;
   vid depth = 0;
   const int p = ex.threads();
   std::vector<std::vector<vid>> local(static_cast<std::size_t>(p));
-  while (level_begin < out.order.size()) {
-    const std::size_t level_end = out.order.size();
+  std::vector<std::size_t> concat_offset(static_cast<std::size_t>(p) + 1);
+  while (level_begin < filled) {
+    const std::size_t level_end = filled;
     out.level_offsets.push_back(static_cast<eid>(level_end));
     ++depth;
 
@@ -91,7 +99,7 @@ LevelStructure build_levels(Executor& ex, const ChildrenCsr& children,
         const vid v = out.order[level_begin + k];
         for (const vid c : children.children(v)) {
           out.depth[c] = depth;
-          out.order.push_back(c);
+          out.order[filled++] = c;
         }
       }
     } else {
@@ -107,9 +115,12 @@ LevelStructure build_levels(Executor& ex, const ChildrenCsr& children,
                              }
                            }
                          });
-      for (const auto& buf : local) {
-        out.order.insert(out.order.end(), buf.begin(), buf.end());
-      }
+      filled += concat_thread_buffers(
+          ex,
+          [&](int t) -> const std::vector<vid>& {
+            return local[static_cast<std::size_t>(t)];
+          },
+          std::span<std::size_t>(concat_offset), out.order.data() + filled);
     }
     level_begin = level_end;
   }
@@ -117,7 +128,7 @@ LevelStructure build_levels(Executor& ex, const ChildrenCsr& children,
   // boundary (== n for a tree) was pushed when the last non-empty
   // level produced no children.
   out.num_levels = static_cast<vid>(out.level_offsets.size() - 1);
-  if (out.order.size() != n) {
+  if (filled != n) {
     throw std::invalid_argument(
         "build_levels: parent structure does not span all vertices");
   }

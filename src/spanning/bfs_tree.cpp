@@ -2,11 +2,27 @@
 
 #include <atomic>
 
+#include "scan/compact.hpp"
+#include "util/bitvector.hpp"
+#include "util/concat.hpp"
 #include "util/padded.hpp"
 
 namespace parbcc {
+namespace {
 
-BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root) {
+/// Beamer's switching constants: go bottom-up when the frontier's
+/// degree sum exceeds 1/alpha of the arcs still incident to
+/// undiscovered vertices; return top-down when the frontier shrinks
+/// below n/beta vertices.  The classic GAP/Beamer values work well
+/// here: the cost model (inspections saved vs. a full pass over the
+/// unvisited set) is machine-independent.
+constexpr std::uint64_t kAlpha = 14;
+constexpr std::uint64_t kBeta = 24;
+
+}  // namespace
+
+BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
+                 BfsMode mode) {
   const vid n = g.num_vertices();
   BfsTree out;
   out.root = root;
@@ -15,60 +31,175 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root) {
   out.level.assign(n, kNoVertex);
   if (n == 0) return out;
 
-  // The output parent array doubles as the discovery array: claims are
-  // CAS-arbitrated through atomic_ref, so there is no separate atomic
-  // copy and no copy-out pass.
+  // The output parent array doubles as the discovery array: top-down
+  // claims are CAS-arbitrated through atomic_ref; bottom-up rounds
+  // write each slot from its single owning thread.
   std::span<vid> parent(out.parent);
   parent[root] = root;
   out.level[root] = 0;
 
   const int p = ex.threads();
+  const std::size_t num_words = BitSpan::words_for(n);
+  const std::uint64_t num_arcs = g.offsets()[n];
+
   Workspace::Frame frame(ws);
   std::span<vid> frontier = ws.alloc<vid>(n);
-  frontier[0] = root;
-  std::size_t frontier_size = 1;
+  BitSpan cur_bits(ws.alloc<std::uint64_t>(num_words));
+  BitSpan next_bits(ws.alloc<std::uint64_t>(num_words));
+  std::span<std::size_t> concat_offset =
+      ws.alloc<std::size_t>(static_cast<std::size_t>(p) + 1);
+  std::span<Padded<std::uint64_t>> t_inspected =
+      ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
+  std::span<Padded<std::uint64_t>> t_degree =
+      ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
+  std::span<Padded<std::size_t>> t_count =
+      ws.alloc<Padded<std::size_t>>(static_cast<std::size_t>(p));
   // Per-thread discovery buffers grow dynamically: they are thread-local
   // state, which the single-orchestrator Workspace cannot hand out.
   std::vector<Padded<std::vector<vid>>> local(static_cast<std::size_t>(p));
+
+  frontier[0] = root;
+  std::size_t frontier_size = 1;
+  std::uint64_t frontier_degree = g.degree(root);
+  std::uint64_t unexplored_arcs = num_arcs - frontier_degree;
+
+  bool dense = mode == BfsMode::kBottomUp;
+  if (dense) {
+    ex.parallel_for(num_words, [&](std::size_t w) { cur_bits.words()[w] = 0; });
+    cur_bits.set(root);
+  }
 
   vid depth = 0;
   vid reached = 1;
   while (frontier_size != 0) {
     ++depth;
-    for (auto& buf : local) buf.value.clear();
 
-    // Expand: each thread scans a slice of the frontier and claims
-    // undiscovered neighbours with a CAS on the parent slot.
-    ex.parallel_blocks(
-        frontier_size, [&](int tid, std::size_t begin, std::size_t end) {
-          std::vector<vid>& next = local[static_cast<std::size_t>(tid)].value;
-          for (std::size_t k = begin; k < end; ++k) {
-            const vid v = frontier[k];
-            const auto nbrs = g.neighbors(v);
-            const auto eids = g.incident_edges(v);
-            for (std::size_t j = 0; j < nbrs.size(); ++j) {
-              const vid w = nbrs[j];
-              vid expected = kNoVertex;
-              if (std::atomic_ref(parent[w])
-                      .compare_exchange_strong(expected, v,
-                                               std::memory_order_acq_rel)) {
-                out.parent_edge[w] = eids[j];
-                out.level[w] = depth;
-                next.push_back(w);
+    if (mode == BfsMode::kAuto) {
+      // The frontier-size guard is hysteresis: a frontier already below
+      // the beta back-switch threshold would bounce straight back to
+      // sparse after paying the full bitmap sweep (the alpha test alone
+      // fires on any frontier once unexplored_arcs is nearly drained —
+      // e.g. the tail of a long path).
+      if (!dense && frontier_degree > unexplored_arcs / kAlpha &&
+          frontier_size >= n / kBeta) {
+        // Sparse -> dense: scatter the frontier into a fresh bitmap.
+        // Distinct frontier vertices may share a word, hence the
+        // atomic OR.
+        ex.parallel_for(num_words,
+                        [&](std::size_t w) { cur_bits.words()[w] = 0; });
+        ex.parallel_for(frontier_size,
+                        [&](std::size_t k) { cur_bits.set_atomic(frontier[k]); });
+        dense = true;
+      } else if (dense && frontier_size < n / kBeta) {
+        // Dense -> sparse: compact the bitmap back into vertex ids.
+        const std::size_t packed = pack_into(
+            ex, ws, n, [&](std::size_t v) { return cur_bits.get(v); },
+            [&](std::size_t dst, std::size_t v) {
+              frontier[dst] = static_cast<vid>(v);
+            });
+        frontier_size = packed;
+        dense = false;
+      }
+    }
+
+    for (int t = 0; t < p; ++t) {
+      t_inspected[static_cast<std::size_t>(t)].value = 0;
+      t_degree[static_cast<std::size_t>(t)].value = 0;
+      t_count[static_cast<std::size_t>(t)].value = 0;
+    }
+
+    if (!dense) {
+      // Top-down: each thread scans a slice of the frontier and claims
+      // undiscovered neighbours with a CAS on the parent slot.
+      for (auto& buf : local) buf.value.clear();
+      ex.parallel_blocks(
+          frontier_size, [&](int tid, std::size_t begin, std::size_t end) {
+            std::vector<vid>& next = local[static_cast<std::size_t>(tid)].value;
+            std::uint64_t inspected = 0;
+            std::uint64_t claimed_degree = 0;
+            for (std::size_t k = begin; k < end; ++k) {
+              const vid v = frontier[k];
+              const auto nbrs = g.neighbors(v);
+              const auto eids = g.incident_edges(v);
+              inspected += nbrs.size();
+              for (std::size_t j = 0; j < nbrs.size(); ++j) {
+                const vid w = nbrs[j];
+                vid expected = kNoVertex;
+                if (std::atomic_ref(parent[w])
+                        .compare_exchange_strong(expected, v,
+                                                 std::memory_order_acq_rel)) {
+                  out.parent_edge[w] = eids[j];
+                  out.level[w] = depth;
+                  claimed_degree += g.degree(w);
+                  next.push_back(w);
+                }
               }
             }
-          }
-        });
-
-    // Concatenate per-thread buffers into the next frontier.
-    std::size_t total = 0;
-    for (const auto& buf : local) {
-      std::copy(buf.value.begin(), buf.value.end(),
-                frontier.begin() + static_cast<std::ptrdiff_t>(total));
-      total += buf.value.size();
+            t_inspected[static_cast<std::size_t>(tid)].value = inspected;
+            t_degree[static_cast<std::size_t>(tid)].value = claimed_degree;
+          });
+      // Gather the next frontier with a prefix-summed parallel scatter
+      // (each thread writes its own buffer to a disjoint range).
+      frontier_size = concat_thread_buffers(
+          ex, [&](int t) -> const std::vector<vid>& {
+            return local[static_cast<std::size_t>(t)].value;
+          },
+          concat_offset, frontier.data());
+      ++out.top_down_rounds;
+    } else {
+      // Bottom-up: threads own whole bitmap words, so every write —
+      // parent, level, next-frontier bit — has exactly one writer and
+      // needs no atomics.  Undiscovered vertices probe their adjacency
+      // until they find a parent on the current frontier.
+      ex.parallel_blocks(
+          num_words, [&](int tid, std::size_t wbegin, std::size_t wend) {
+            std::uint64_t inspected = 0;
+            std::uint64_t claimed_degree = 0;
+            std::size_t claimed = 0;
+            for (std::size_t w = wbegin; w < wend; ++w) {
+              std::uint64_t next_word = 0;
+              const std::size_t base = w << 6;
+              const std::size_t limit =
+                  base + 64 < n ? base + 64 : static_cast<std::size_t>(n);
+              for (std::size_t v = base; v < limit; ++v) {
+                if (parent[v] != kNoVertex) continue;
+                const auto nbrs = g.neighbors(v);
+                const auto eids = g.incident_edges(v);
+                for (std::size_t j = 0; j < nbrs.size(); ++j) {
+                  ++inspected;
+                  if (cur_bits.get(nbrs[j])) {
+                    parent[v] = nbrs[j];
+                    out.parent_edge[v] = eids[j];
+                    out.level[v] = depth;
+                    next_word |= std::uint64_t{1} << (v & 63);
+                    claimed_degree += nbrs.size();
+                    ++claimed;
+                    break;
+                  }
+                }
+              }
+              next_bits.words()[w] = next_word;
+            }
+            t_inspected[static_cast<std::size_t>(tid)].value = inspected;
+            t_degree[static_cast<std::size_t>(tid)].value = claimed_degree;
+            t_count[static_cast<std::size_t>(tid)].value = claimed;
+          });
+      std::size_t total = 0;
+      for (int t = 0; t < p; ++t) {
+        total += t_count[static_cast<std::size_t>(t)].value;
+      }
+      frontier_size = total;
+      std::swap(cur_bits, next_bits);
+      ++out.bottom_up_rounds;
     }
-    frontier_size = total;
-    reached += static_cast<vid>(total);
+
+    frontier_degree = 0;
+    for (int t = 0; t < p; ++t) {
+      out.inspected_edges += t_inspected[static_cast<std::size_t>(t)].value;
+      frontier_degree += t_degree[static_cast<std::size_t>(t)].value;
+    }
+    unexplored_arcs -= frontier_degree;
+    reached += static_cast<vid>(frontier_size);
   }
 
   out.reached = reached;
@@ -76,9 +207,9 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root) {
   return out;
 }
 
-BfsTree bfs_tree(Executor& ex, const Csr& g, vid root) {
+BfsTree bfs_tree(Executor& ex, const Csr& g, vid root, BfsMode mode) {
   Workspace ws;
-  return bfs_tree(ex, ws, g, root);
+  return bfs_tree(ex, ws, g, root, mode);
 }
 
 }  // namespace parbcc

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -8,7 +9,7 @@
 #include "util/workspace.hpp"
 
 /// \file bfs_tree.hpp
-/// Parallel level-synchronous breadth-first-search tree.
+/// Parallel direction-optimizing breadth-first-search tree.
 ///
 /// TV-filter (paper Alg. 2, step 1) requires T to be a *BFS* tree:
 /// Lemma 1 — no ancestral relationship between the endpoints of a
@@ -17,11 +18,37 @@
 /// expansion guarantees exact BFS levels: a vertex's parent is always
 /// on the previous level.
 ///
-/// Runs in O(d) rounds of O((n+m)/p) work, which is the `O(d + log n)`
-/// term in Alg. 2's complexity and the reason the paper calls out the
-/// pathological chain case (see bench_pathological).
+/// Each level is expanded in one of two ways:
+///  - top-down (sparse): threads scan a dense array of frontier
+///    vertices and claim undiscovered neighbours with a CAS — O(sum of
+///    frontier degrees) inspections;
+///  - bottom-up (dense): threads scan the *undiscovered* vertices and
+///    stop at the first neighbour found in a frontier bitmap — on the
+///    wide middle levels of a low-diameter graph most vertices stop
+///    after one or two probes, so the level costs far fewer
+///    inspections than its degree sum.
+/// The hybrid mode switches with Beamer's alpha/beta heuristic: go
+/// dense when the frontier's unexplored-edge estimate passes
+/// m_unexplored / alpha (and the frontier itself is at least n / beta
+/// vertices — smaller frontiers would bounce straight back), back to
+/// sparse when the frontier shrinks below n / beta.  Frontier bitmaps are Workspace words; the sparse
+/// next-frontier is gathered by a prefix-summed parallel scatter, not
+/// a serial concatenation.
+///
+/// Runs in O(d) rounds, which is the `O(d + log n)` term in Alg. 2's
+/// complexity and the reason the paper calls out the pathological
+/// chain case (see bench_pathological).
 
 namespace parbcc {
+
+/// Frontier expansion policy.  kAuto is the direction-optimizing
+/// hybrid; the forced modes exist for the ablation bench and tests
+/// (all three produce identical level arrays).
+enum class BfsMode {
+  kAuto,      // alpha/beta switching between the two step kinds
+  kTopDown,   // sparse CAS expansion every level
+  kBottomUp,  // dense bitmap sweeps every level
+};
 
 struct BfsTree {
   /// parent[v]; parent[root] == root; kNoVertex if unreachable.
@@ -36,9 +63,21 @@ struct BfsTree {
   vid reached = 0;
   /// Number of BFS levels (eccentricity of root + 1), 0 if n == 0.
   vid num_levels = 0;
+  /// Telemetry: arcs inspected across all rounds.  Top-down charges
+  /// every neighbour scanned from the frontier (a connected top-down
+  /// run inspects exactly 2m); bottom-up charges neighbours probed
+  /// until a frontier member is found.  The hybrid's win over
+  /// top-down-only is exactly this count shrinking.
+  std::uint64_t inspected_edges = 0;
+  /// Rounds executed per step kind (their sum counts the final empty
+  /// round that detects termination).
+  vid top_down_rounds = 0;
+  vid bottom_up_rounds = 0;
 };
 
-BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root);
-BfsTree bfs_tree(Executor& ex, const Csr& g, vid root);
+BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
+                 BfsMode mode = BfsMode::kAuto);
+BfsTree bfs_tree(Executor& ex, const Csr& g, vid root,
+                 BfsMode mode = BfsMode::kAuto);
 
 }  // namespace parbcc

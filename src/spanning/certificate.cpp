@@ -6,6 +6,7 @@
 #include "graph/csr.hpp"
 #include "spanning/sv_tree.hpp"
 #include "scan/compact.hpp"
+#include "util/concat.hpp"
 #include "util/padded.hpp"
 
 namespace parbcc {
@@ -47,6 +48,10 @@ SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
   std::vector<std::atomic<vid>> parent(g.n);
   std::vector<eid> parent_edge(g.n, kNoEdge);
   std::vector<Padded<std::vector<vid>>> local(static_cast<std::size_t>(p));
+  // One frontier buffer serves every component and round: a frontier
+  // never exceeds n, and each traversal drains its own entries.
+  std::vector<vid> frontier(g.n);
+  std::vector<std::size_t> concat_offset(static_cast<std::size_t>(p) + 1);
 
   for (unsigned round = 0; round < k; ++round) {
     ex.parallel_for(g.n, [&](std::size_t v) {
@@ -58,12 +63,13 @@ SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
     for (vid r = 0; r < g.n; ++r) {
       if (parent[r].load(std::memory_order_relaxed) != kNoVertex) continue;
       parent[r].store(r, std::memory_order_relaxed);
-      std::vector<vid> frontier{r};
-      while (!frontier.empty()) {
+      frontier[0] = r;
+      std::size_t frontier_size = 1;
+      while (frontier_size != 0) {
         for (auto& buf : local) buf.value.clear();
         ex.parallel_blocks(
-            frontier.size(), [&](int tid, std::size_t begin,
-                                 std::size_t end) {
+            frontier_size, [&](int tid, std::size_t begin,
+                               std::size_t end) {
               auto& next = local[static_cast<std::size_t>(tid)].value;
               for (std::size_t i = begin; i < end; ++i) {
                 const vid v = frontier[i];
@@ -81,11 +87,12 @@ SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
                 }
               }
             });
-        frontier.clear();
-        for (const auto& buf : local) {
-          frontier.insert(frontier.end(), buf.value.begin(),
-                          buf.value.end());
-        }
+        frontier_size = concat_thread_buffers(
+            ex,
+            [&](int t) -> const std::vector<vid>& {
+              return local[static_cast<std::size_t>(t)].value;
+            },
+            std::span<std::size_t>(concat_offset), frontier.data());
       }
     }
     // Harvest this round's forest and retire its edges.

@@ -12,10 +12,16 @@ namespace {
 /// dense iteration index k in [0, count) to an edge id in `edges`.
 /// `comp` (the output label array) is the working array, updated in
 /// place through std::atomic_ref; the hook slots are Workspace scratch.
+///
+/// `fast` selects stride-2 hooking plus full per-round pointer
+/// jumping.  The graft CAS itself is the same in both modes: hook[du]
+/// can only be recorded by the one thread that flips label[du] off its
+/// self-loop, and labels never return to self (they only decrease), so
+/// each root grafts at most once in either mode.
 template <class EdgeAt>
 SpanningForest sv_forest_impl(Executor& ex, Workspace& ws, vid n,
                               std::span<const Edge> edges, std::size_t count,
-                              EdgeAt edge_at) {
+                              EdgeAt edge_at, bool fast) {
   SpanningForest out;
   out.comp.resize(n);
   std::span<vid> label(out.comp);
@@ -31,7 +37,14 @@ SpanningForest sv_forest_impl(Executor& ex, Workspace& ws, vid n,
   std::span<Padded<bool>> thread_changed =
       ws.alloc<Padded<bool>>(static_cast<std::size_t>(p));
 
+  const auto any_changed = [&] {
+    bool any = false;
+    for (const auto& c : thread_changed) any = any || c.value;
+    return any;
+  };
+
   for (;;) {
+    ++out.rounds;
     for (auto& c : thread_changed) c.value = false;
 
     ex.parallel_blocks(count, [&](int tid, std::size_t begin,
@@ -43,6 +56,13 @@ SpanningForest sv_forest_impl(Executor& ex, Workspace& ws, vid n,
         const vid v = edges[i].v;
         vid du = std::atomic_ref(label[u]).load(std::memory_order_relaxed);
         vid dv = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
+        if (fast) {
+          // Stride-2: hook between the grandparent labels, which the
+          // previous round's full shortcut flattened to roots — so the
+          // CAS below rarely hits a stale chain interior and fails.
+          du = std::atomic_ref(label[du]).load(std::memory_order_relaxed);
+          dv = std::atomic_ref(label[dv]).load(std::memory_order_relaxed);
+        }
         if (du == dv) continue;
         if (du < dv) std::swap(du, dv);
         vid expected = du;
@@ -56,24 +76,31 @@ SpanningForest sv_forest_impl(Executor& ex, Workspace& ws, vid n,
       }
       if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
     });
+    bool round_changed = any_changed();
 
-    ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
-      bool changed = false;
-      for (std::size_t v = begin; v < end; ++v) {
-        const vid l = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
-        const vid ll =
-            std::atomic_ref(label[l]).load(std::memory_order_relaxed);
-        if (ll != l) {
-          std::atomic_ref(label[v]).store(ll, std::memory_order_relaxed);
-          changed = true;
+    // Shortcut: pointer-jump every vertex — once in classic mode, to a
+    // fully flattened fixpoint in fast mode.
+    for (;;) {
+      for (auto& c : thread_changed) c.value = false;
+      ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+        bool changed = false;
+        for (std::size_t v = begin; v < end; ++v) {
+          const vid l = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
+          const vid ll =
+              std::atomic_ref(label[l]).load(std::memory_order_relaxed);
+          if (ll != l) {
+            std::atomic_ref(label[v]).store(ll, std::memory_order_relaxed);
+            changed = true;
+          }
         }
-      }
-      if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
-    });
+        if (changed) thread_changed[static_cast<std::size_t>(tid)].value = true;
+      });
+      if (!any_changed()) break;
+      round_changed = true;
+      if (!fast) break;
+    }
 
-    bool any = false;
-    for (const auto& c : thread_changed) any = any || c.value;
-    if (!any) break;
+    if (!round_changed) break;
   }
 
   // Forest edges: hooks of all grafted roots, compacted in vertex order.
@@ -92,29 +119,31 @@ SpanningForest sv_forest_impl(Executor& ex, Workspace& ws, vid n,
 }  // namespace
 
 SpanningForest sv_spanning_forest(Executor& ex, Workspace& ws, vid n,
-                                  std::span<const Edge> edges) {
+                                  std::span<const Edge> edges, SvMode mode) {
   return sv_forest_impl(ex, ws, n, edges, edges.size(),
-                        [](std::size_t k) { return static_cast<eid>(k); });
+                        [](std::size_t k) { return static_cast<eid>(k); },
+                        mode != SvMode::kClassic);
 }
 
 SpanningForest sv_spanning_forest(Executor& ex, Workspace& ws, vid n,
                                   std::span<const Edge> edges,
-                                  std::span<const eid> subset) {
+                                  std::span<const eid> subset, SvMode mode) {
   return sv_forest_impl(ex, ws, n, edges, subset.size(),
-                        [subset](std::size_t k) { return subset[k]; });
+                        [subset](std::size_t k) { return subset[k]; },
+                        mode != SvMode::kClassic);
 }
 
 SpanningForest sv_spanning_forest(Executor& ex, vid n,
-                                  std::span<const Edge> edges) {
+                                  std::span<const Edge> edges, SvMode mode) {
   Workspace ws;
-  return sv_spanning_forest(ex, ws, n, edges);
+  return sv_spanning_forest(ex, ws, n, edges, mode);
 }
 
 SpanningForest sv_spanning_forest(Executor& ex, vid n,
                                   std::span<const Edge> edges,
-                                  std::span<const eid> subset) {
+                                  std::span<const eid> subset, SvMode mode) {
   Workspace ws;
-  return sv_spanning_forest(ex, ws, n, edges, subset);
+  return sv_spanning_forest(ex, ws, n, edges, subset, mode);
 }
 
 }  // namespace parbcc

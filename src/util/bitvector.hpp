@@ -3,16 +3,50 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 /// \file bitvector.hpp
-/// Two flavours of packed bit sets:
-///  - `BitVector`: plain single-writer-per-phase bit set.
+/// Three flavours of packed bit sets:
+///  - `BitVector`: plain single-writer-per-phase bit set (owning).
 ///  - `AtomicBitVector`: concurrent test-and-set, used by traversal
 ///    algorithms to claim vertices (8x denser than a byte array, which
 ///    matters for the bandwidth-bound BFS frontier expansion).
+///  - `BitSpan`: non-owning view over caller-provided words (typically
+///    a Workspace span), so hot-path membership flags — BFS frontier
+///    bitmaps, TV-filter's tree/H membership — pack 8x denser than the
+///    byte arrays they replace without the view owning any storage.
 
 namespace parbcc {
+
+/// Non-owning packed bit view over `(n + 63) / 64` caller-provided
+/// words.  Reads and `set()` are single-writer-per-phase like
+/// BitVector; `set_atomic()` supports concurrent marking phases where
+/// distinct indices may share a word (scatter loops partitioned by
+/// anything other than word boundaries must use it).
+class BitSpan {
+ public:
+  static constexpr std::size_t words_for(std::size_t n) {
+    return (n + 63) / 64;
+  }
+
+  BitSpan() = default;
+  explicit BitSpan(std::span<std::uint64_t> words) : words_(words) {}
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void set_atomic(std::size_t i) {
+    std::atomic_ref(words_[i >> 6])
+        .fetch_or(std::uint64_t{1} << (i & 63), std::memory_order_relaxed);
+  }
+
+  std::span<std::uint64_t> words() const { return words_; }
+
+ private:
+  std::span<std::uint64_t> words_;
+};
 
 class BitVector {
  public:
