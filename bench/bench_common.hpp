@@ -1,9 +1,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -11,6 +13,7 @@
 
 #include "core/bcc.hpp"
 #include "graph/generators.hpp"
+#include "util/trace.hpp"
 #include "util/types.hpp"
 
 /// \file bench_common.hpp
@@ -32,28 +35,60 @@
 
 namespace parbcc::bench {
 
+/// Parse `raw` as a base-10 integer, rejecting non-numeric text,
+/// trailing junk and out-of-range magnitudes with a diagnostic naming
+/// the variable — a silently-misread PARBCC_N turns a paper-scale run
+/// into a default-scale one, which is worse than failing loudly.
+[[noreturn]] inline void env_fail(const char* var, const char* raw,
+                                  const char* expected) {
+  std::fprintf(stderr, "parbcc bench: %s=\"%s\" is invalid (expected %s)\n",
+               var, raw, expected);
+  std::exit(2);
+}
+
+inline long long parse_env_int(const char* var, const char* raw,
+                               long long lo, long long hi,
+                               const char* expected) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || value < lo ||
+      value > hi) {
+    env_fail(var, raw, expected);
+  }
+  return value;
+}
+
 inline vid env_n(vid fallback = 250000) {
   if (const char* s = std::getenv("PARBCC_N")) {
-    return static_cast<vid>(std::atoll(s));
+    return static_cast<vid>(parse_env_int(
+        "PARBCC_N", s, 1, 0xFFFFFFFFll, "a positive vertex count"));
   }
   return fallback;
 }
 
 inline int env_threads(int fallback = 12) {
-  if (const char* s = std::getenv("PARBCC_THREADS")) return std::atoi(s);
+  if (const char* s = std::getenv("PARBCC_THREADS")) {
+    return static_cast<int>(parse_env_int("PARBCC_THREADS", s, 1, 4096,
+                                          "a positive thread count"));
+  }
   return fallback;
 }
 
 inline std::uint64_t env_seed(std::uint64_t fallback = 20050404) {
   if (const char* s = std::getenv("PARBCC_SEED")) {
-    return static_cast<std::uint64_t>(std::atoll(s));
+    return static_cast<std::uint64_t>(
+        parse_env_int("PARBCC_SEED", s, 0,
+                      std::numeric_limits<long long>::max(),
+                      "a non-negative seed"));
   }
   return fallback;
 }
 
 inline int env_reps(int fallback = 2) {
   if (const char* s = std::getenv("PARBCC_REPS")) {
-    return std::max(1, std::atoi(s));
+    return static_cast<int>(parse_env_int("PARBCC_REPS", s, 1, 1000000,
+                                          "a positive repetition count"));
   }
   return fallback;
 }
@@ -175,6 +210,72 @@ class JsonWriter {
  private:
   std::string path_;
   std::vector<JsonRecord> records_;
+};
+
+/// Collects traced runs and writes them as one Chrome
+/// `chrome://tracing` file on flush (or destruction).  Disabled —
+/// every call a no-op — unless the program was invoked with
+/// `--trace-out=<path>` (or the split `--trace-out <path>`).  A
+/// malformed flag (missing or empty path) aborts with exit code 2,
+/// like a malformed PARBCC_* variable: a silently dropped trace flag
+/// would look exactly like a run that produced no artifact.
+class TraceOut {
+ public:
+  TraceOut() = default;
+  TraceOut(int argc, char** argv) {
+    constexpr std::string_view kFlag = "--trace-out";
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      if (arg == kFlag) {
+        if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+          std::fprintf(stderr,
+                       "parbcc bench: --trace-out requires a path\n");
+          std::exit(2);
+        }
+        path_ = argv[++i];
+      } else if (arg.substr(0, kFlag.size()) == kFlag &&
+                 arg.size() > kFlag.size() && arg[kFlag.size()] == '=') {
+        path_ = std::string(arg.substr(kFlag.size() + 1));
+        if (path_.empty()) {
+          std::fprintf(stderr,
+                       "parbcc bench: --trace-out= requires a path\n");
+          std::exit(2);
+        }
+      }
+    }
+  }
+  TraceOut(const TraceOut&) = delete;
+  TraceOut& operator=(const TraceOut&) = delete;
+  ~TraceOut() { flush(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Snapshot `trace`'s full event stream and rollup as one segment
+  /// (one process row in the Chrome viewer).
+  void add(std::string label, const Trace& trace) {
+    if (!enabled()) return;
+    TraceSegment seg;
+    seg.label = std::move(label);
+    seg.events = trace.events();
+    seg.report = trace.report();
+    segments_.push_back(std::move(seg));
+  }
+
+  /// Write the file; idempotent (disables itself after flushing).
+  bool flush() {
+    if (!enabled()) return true;
+    const bool ok = write_chrome_json(path_, segments_);
+    if (ok) {
+      std::printf("trace: wrote %zu segments to %s\n", segments_.size(),
+                  path_.c_str());
+    }
+    path_.clear();
+    return ok;
+  }
+
+ private:
+  std::string path_;
+  std::vector<TraceSegment> segments_;
 };
 
 }  // namespace parbcc::bench

@@ -49,7 +49,8 @@ void print_row(const char* label, double a, double b, double c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  TraceOut trace_out(argc, argv);
   const vid n = env_n();
   const int p = env_threads();
   const std::uint64_t seed = env_seed();
@@ -90,6 +91,30 @@ int main() {
     print_row("TOTAL (median)", smp_run.total.median, opt_run.total.median,
               filter_run.total.median);
     std::printf("\n");
+  }
+
+  // With --trace-out: one traced solve per algorithm on the sparsest
+  // instance, exported as Chrome trace segments.  This is the
+  // ground-truth view behind the table above — every printed step is a
+  // span (or span family) in its segment, so a step that disagrees
+  // with its bar is visible as a gap or an unattributed stretch.
+  if (trace_out.enabled()) {
+    const EdgeList g =
+        gen::random_connected_gnm(n, 4 * static_cast<eid>(n), seed + 4);
+    for (const BccAlgorithm alg :
+         {BccAlgorithm::kSequential, BccAlgorithm::kTvSmp,
+          BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+      Trace trace(p);
+      BccOptions opt;
+      opt.algorithm = alg;
+      opt.threads = p;
+      opt.compute_cut_info = false;
+      opt.trace = &trace;
+      const BccResult r = biconnected_components(g, opt);
+      std::printf("trace: %s solved n=%u m=%u into %u components\n",
+                  to_string(alg), g.n, g.m(), r.num_components);
+      trace_out.add(to_string(alg), trace);
+    }
   }
   return 0;
 }

@@ -30,12 +30,17 @@ PARBCC_N=20000 PARBCC_REPS=1 ./build/bench/bench_ablation \
     --json build/bench_smoke.json >/dev/null
 grep -q '"bench"' build/bench_smoke.json
 
+echo "==> trace smoke: one traced solve per algorithm"
+PARBCC_N=4000 PARBCC_REPS=1 ./build/bench/bench_fig4 \
+    --trace-out=build/trace_smoke.json >/dev/null
+python3 tools/validate_trace.py build/trace_smoke.json
+
 echo "==> tsan: configure (build-tsan/, PARBCC_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
 
 echo "==> tsan: build smoke set"
 cmake --build build-tsan -j "$JOBS" --target stress_test csr_test \
-    workspace_test frontier_test
+    workspace_test frontier_test trace_test
 
 echo "==> tsan: ctest -L sanitize-smoke"
 ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure

@@ -8,7 +8,8 @@ namespace parbcc {
 AuxGraph build_aux_graph(Executor& ex, Workspace& ws,
                          std::span<const Edge> edges,
                          const RootedSpanningTree& tree,
-                         std::span<const vid> tree_owner, const LowHigh& lh) {
+                         std::span<const vid> tree_owner, const LowHigh& lh,
+                         Trace* trace) {
   const std::size_t m = edges.size();
   const vid n = tree.n();
   AuxGraph out;
@@ -17,6 +18,7 @@ AuxGraph build_aux_graph(Executor& ex, Workspace& ws,
   // --- Map edges to aux vertices (prefix sum over nontree flags). ----
   out.aux_id.resize(m);
   {
+    TraceSpan span(trace, "aux_vertex_map");
     std::span<vid> nontree_rank = ws.alloc<vid>(m);
     ex.parallel_for(m, [&](std::size_t e) {
       nontree_rank[e] = tree_owner[e] == kNoVertex ? 1 : 0;
@@ -31,6 +33,7 @@ AuxGraph build_aux_graph(Executor& ex, Workspace& ws,
   }
 
   // --- Stage candidate pairs: slot e, m+e, 2m+e per condition. -------
+  TraceSpan stage_span(trace, "aux_stage");
   const Edge kEmpty{kNoVertex, kNoVertex};
   std::span<Edge> staged = ws.alloc<Edge>(3 * m);
   ex.parallel_for(3 * m, [&](std::size_t i) { staged[i] = kEmpty; });
@@ -61,7 +64,10 @@ AuxGraph build_aux_graph(Executor& ex, Workspace& ws,
     }
   });
 
+  stage_span.close();
+
   // --- Compact into E'. -----------------------------------------------
+  TraceSpan compact_span(trace, "aux_compact");
   out.edges.resize(3 * m);
   const std::size_t count = pack_into(
       ex, ws, staged.size(),
@@ -69,6 +75,11 @@ AuxGraph build_aux_graph(Executor& ex, Workspace& ws,
       [&](std::size_t dst, std::size_t i) { out.edges[dst] = staged[i]; });
   out.edges.resize(count);
   out.edges.shrink_to_fit();
+  compact_span.close();
+  if (trace != nullptr) {
+    trace->counter("aux_vertices", static_cast<double>(out.num_vertices));
+    trace->counter("aux_edges", static_cast<double>(out.edges.size()));
+  }
   return out;
 }
 

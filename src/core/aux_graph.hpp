@@ -36,11 +36,15 @@ struct AuxGraph {
 };
 
 /// `tree_owner[e]` = child endpoint if e is a tree edge else kNoVertex;
-/// `lh` from compute_low_high_*.
+/// `lh` from compute_low_high_*.  `trace` gets sub-spans for the three
+/// stages (aux_vertex_map, aux_stage, aux_compact) plus aux_vertices /
+/// aux_edges counters — the size of G' explains the
+/// Connected-components bar that follows it.
 AuxGraph build_aux_graph(Executor& ex, Workspace& ws,
                          std::span<const Edge> edges,
                          const RootedSpanningTree& tree,
-                         std::span<const vid> tree_owner, const LowHigh& lh);
+                         std::span<const vid> tree_owner, const LowHigh& lh,
+                         Trace* trace = nullptr);
 AuxGraph build_aux_graph(Executor& ex, std::span<const Edge> edges,
                          const RootedSpanningTree& tree,
                          std::span<const vid> tree_owner, const LowHigh& lh);

@@ -1,5 +1,6 @@
 #include "core/bcc.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <stdexcept>
@@ -9,26 +10,47 @@
 #include "core/drivers.hpp"
 #include "core/hopcroft_tarjan.hpp"
 #include "graph/csr.hpp"
+#include "util/padded.hpp"
 #include "util/timer.hpp"
 
 namespace parbcc {
 namespace {
 
-void accumulate(StepTimes& into, const StepTimes& part) {
-  into.conversion += part.conversion;
-  into.spanning_tree += part.spanning_tree;
-  into.euler_tour += part.euler_tour;
-  into.root_tree += part.root_tree;
-  into.low_high += part.low_high;
-  into.label_edge += part.label_edge;
-  into.connected_components += part.connected_components;
-  into.filtering += part.filtering;
-}
-
-BccAlgorithm resolve(BccAlgorithm algorithm, vid n, eid m) {
-  if (algorithm != BccAlgorithm::kAuto) return algorithm;
-  // Paper §4: "if m <= 4n, we can always fall back to TV-opt".
-  return m > 4ull * n ? BccAlgorithm::kTvFilter : BccAlgorithm::kTvOpt;
+/// Number of distinct non-loop undirected edges, counted off the
+/// adjacency with a per-thread stamp array: each edge {u, w} with
+/// u < w is counted at u, and a neighbour already stamped with u is a
+/// parallel copy.  O(n·p + m) work, arena scratch only.
+std::uint64_t count_unique_edges(Executor& ex, Workspace& ws, const Csr& g) {
+  const vid n = g.num_vertices();
+  if (n == 0) return 0;
+  const int p = ex.threads();
+  Workspace::Frame frame(ws);
+  std::span<vid> stamp =
+      ws.alloc<vid>(static_cast<std::size_t>(n) * static_cast<std::size_t>(p));
+  std::span<Padded<std::uint64_t>> count =
+      ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
+  ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+    std::span<vid> mine = stamp.subspan(
+        static_cast<std::size_t>(tid) * static_cast<std::size_t>(n), n);
+    for (std::size_t v = 0; v < n; ++v) mine[v] = kNoVertex;
+    std::uint64_t c = 0;
+    for (std::size_t u = begin; u < end; ++u) {
+      const vid stamp_u = static_cast<vid>(u);
+      for (const vid w : g.neighbors(static_cast<vid>(u))) {
+        if (w <= u) continue;  // count once at the smaller endpoint; skip loops
+        if (mine[w] != stamp_u) {
+          mine[w] = stamp_u;
+          ++c;
+        }
+      }
+    }
+    count[static_cast<std::size_t>(tid)].value = c;
+  });
+  std::uint64_t total = 0;
+  for (int t = 0; t < p; ++t) {
+    total += count[static_cast<std::size_t>(t)].value;
+  }
+  return total;
 }
 
 /// Solve a connected, loop-free graph, building adjacency on demand
@@ -78,14 +100,22 @@ BccResult run_connected(Executor& ex, Workspace& ws, const PreparedGraph& pg,
 /// applies on the connected fast path (subproblems are relabeled graphs
 /// with their own adjacency).  `cache`, when non-null, is a context
 /// whose conversion cache may be used for `g` on that same fast path.
+/// Per-step times are not assembled here: every driver records into
+/// opt.trace, and the dispatcher derives StepTimes from the combined
+/// rollup once.
 BccResult run_general(Executor& ex, Workspace& ws, const EdgeList& g,
                       const BccOptions& opt, BccAlgorithm algorithm,
                       const PreparedGraph* pg, BccContext* cache) {
   const vid n = g.n;
   const eid m = g.m();
 
-  std::vector<vid> comp = connected_components_sv(ex, ws, n, g.edges);
-  const vid k = normalize_labels(comp);
+  std::vector<vid> comp;
+  vid k = 0;
+  {
+    TraceSpan span(opt.trace, "component_check");
+    comp = connected_components_sv(ex, ws, n, g.edges);
+    k = normalize_labels(comp);
+  }
 
   if (k <= 1) {
     BccOptions connected_opt = opt;
@@ -149,7 +179,6 @@ BccResult run_general(Executor& ex, Workspace& ws, const EdgeList& g,
           label_base + sub_result.edge_component[j - e_begin];
     }
     label_base += sub_result.num_components;
-    accumulate(result.times, sub_result.times);
   }
   result.num_components = label_base;
   return result;
@@ -173,6 +202,22 @@ const char* to_string(BccAlgorithm algorithm) {
   return "unknown";
 }
 
+StepTimes derive_step_times(const TraceReport& report, double total_seconds) {
+  StepTimes out;
+  out.conversion = report.inclusive_seconds(steps::kConversion);
+  out.spanning_tree = report.inclusive_seconds(steps::kSpanningTree);
+  out.euler_tour = report.inclusive_seconds(steps::kEulerTour);
+  out.root_tree = report.inclusive_seconds(steps::kRootTree);
+  out.low_high = report.inclusive_seconds(steps::kLowHigh);
+  out.label_edge = report.inclusive_seconds(steps::kLabelEdge);
+  out.connected_components =
+      report.inclusive_seconds(steps::kConnectedComponents);
+  out.filtering = report.inclusive_seconds(steps::kFiltering);
+  out.total = total_seconds;
+  out.unattributed = std::max(0.0, total_seconds - out.accounted());
+  return out;
+}
+
 BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
                                  const BccOptions& options) {
   Executor& ex = ctx.executor();
@@ -192,6 +237,10 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
   BccResult result;
   if (g.n == 0) return result;
 
+  Trace local_trace(ex.threads());
+  Trace& tr = options.trace != nullptr ? *options.trace : local_trace;
+  const Trace::Mark trace_mark = tr.mark();
+
   // Arena telemetry: peak is measured per solve, reuse hits as a delta
   // so the result describes this call only.
   ws.reset_peak();
@@ -210,9 +259,6 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
       has_loops ? remove_self_loops(g, &kept) : EdgeList{};
   const EdgeList& work = has_loops ? stripped : g;
 
-  const BccAlgorithm algorithm =
-      resolve(options.algorithm, work.n, work.m());
-
   // A caller-supplied adjacency applies only when `work` is the exact
   // graph it was built from (stripping self-loops renumbers edges).
   std::optional<PreparedGraph> built;
@@ -228,41 +274,90 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
   // object: `stripped` is a local temporary and would dangle.
   BccContext* cache = has_loops ? nullptr : &ctx;
 
-  if (algorithm == BccAlgorithm::kSequential) {
-    if (!pg) {
-      if (cache) {
-        pg = &cache->prepare(work);
-      } else {
-        built.emplace(ex, ws, work);
-        pg = &*built;
+  // Paper §4: "if m <= 4n, we can always fall back to TV-opt" — on the
+  // *effective* edge count.  Self-loops are already stripped, but
+  // parallel edges still inflate m and could flip a graph that is
+  // effectively sparse to TV-filter; count distinct edges off the
+  // adjacency (which both candidate algorithms need anyway) before
+  // deciding.  m <= 4n needs no adjacency: duplicates only ever shrink
+  // the count, so the TV-opt verdict already stands.
+  BccAlgorithm algorithm = options.algorithm;
+  if (algorithm == BccAlgorithm::kAuto) {
+    if (work.m() <= 4ull * work.n) {
+      algorithm = BccAlgorithm::kTvOpt;
+    } else {
+      TraceSpan span(tr, "dispatch");
+      if (!pg) {
+        if (cache) {
+          pg = &cache->prepare(work);
+        } else {
+          built.emplace(ex, ws, work);
+          pg = &*built;
+        }
       }
+      const std::uint64_t unique = count_unique_edges(ex, ws, pg->csr());
+      tr.counter("dispatch_unique_edges", static_cast<double>(unique));
+      algorithm = unique > 4ull * work.n ? BccAlgorithm::kTvFilter
+                                         : BccAlgorithm::kTvOpt;
     }
-    result = hopcroft_tarjan_bcc(ex, ws, work, pg->csr(),
-                                 /*compute_cut_info=*/false);
-    result.times.conversion = pg->conversion_seconds();
-  } else {
-    result = run_general(ex, ws, work, options, algorithm, pg, cache);
   }
 
-  if (has_loops) {
-    std::vector<vid> full(g.m());
-    for (eid j = 0; j < kept.size(); ++j) {
-      full[kept[j]] = result.edge_component[j];
+  BccOptions traced = options;
+  traced.trace = &tr;
+
+  {
+    TraceSpan root_span(tr, to_string(algorithm));
+
+    if (algorithm == BccAlgorithm::kSequential) {
+      if (!pg) {
+        if (cache) {
+          pg = &cache->prepare(work);
+        } else {
+          built.emplace(ex, ws, work);
+          pg = &*built;
+        }
+      }
+      if (pg->conversion_seconds() > 0) {
+        tr.charge(steps::kConversion, pg->conversion_seconds());
+      }
+      result = hopcroft_tarjan_bcc(ex, ws, work, pg->csr(),
+                                   /*compute_cut_info=*/false, &tr);
+    } else {
+      result = run_general(ex, ws, work, traced, algorithm, pg, cache);
     }
-    vid next = result.num_components;
-    for (eid e = 0; e < g.m(); ++e) {
-      if (g.edges[e].u == g.edges[e].v) full[e] = next++;
+
+    if (has_loops) {
+      TraceSpan span(tr, "loop_components");
+      std::vector<vid> full(g.m());
+      for (eid j = 0; j < kept.size(); ++j) {
+        full[kept[j]] = result.edge_component[j];
+      }
+      vid next = result.num_components;
+      for (eid e = 0; e < g.m(); ++e) {
+        if (g.edges[e].u == g.edges[e].v) full[e] = next++;
+      }
+      result.edge_component = std::move(full);
+      result.num_components = next;
     }
-    result.edge_component = std::move(full);
-    result.num_components = next;
+
+    if (options.compute_cut_info) {
+      TraceSpan span(tr, "cut_info");
+      annotate_cut_info(ex, ws, g, result);
+    }
   }
 
-  if (options.compute_cut_info) {
-    annotate_cut_info(ex, ws, g, result);
-  }
-  result.times.total = total.seconds();
   result.peak_workspace_bytes = ws.peak_bytes();
   result.arena_reuse_hits = ws.reuse_hits() - reuse_before;
+  tr.counter("peak_workspace_bytes",
+             static_cast<double>(result.peak_workspace_bytes));
+  tr.counter("arena_reuse_hits",
+             static_cast<double>(result.arena_reuse_hits));
+
+  // One rollup covers the whole call — dispatch, the (possibly many)
+  // driver solves, loop scatter-back and cut info — so the derived
+  // steps and the dispatcher's own wall clock can no longer disagree.
+  result.trace = tr.report_since(trace_mark);
+  result.times = derive_step_times(result.trace, total.seconds());
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "connectivity/shiloach_vishkin.hpp"
 #include "eulertour/euler_tour.hpp"
 #include "spanning/bfs_tree.hpp"
+#include "util/trace.hpp"
 #include "util/types.hpp"
 
 /// \file bcc_result.hpp
@@ -34,6 +35,22 @@ enum class BccAlgorithm {
 
 const char* to_string(BccAlgorithm algorithm);
 
+/// Canonical span names of the paper's Fig. 4 steps.  The drivers open
+/// TraceSpans under these names and derive_step_times matches rollup
+/// phases against them, so StepTimes can never drift from the trace.
+/// Substrate files spell the same strings as literals (they sit below
+/// core/ in the layering); trace_test pins the two spellings together.
+namespace steps {
+inline constexpr const char kConversion[] = "conversion";
+inline constexpr const char kSpanningTree[] = "spanning_tree";
+inline constexpr const char kEulerTour[] = "euler_tour";
+inline constexpr const char kRootTree[] = "root_tree";
+inline constexpr const char kLowHigh[] = "low_high";
+inline constexpr const char kLabelEdge[] = "label_edge";
+inline constexpr const char kConnectedComponents[] = "connected_components";
+inline constexpr const char kFiltering[] = "filtering";
+}  // namespace steps
+
 /// Wall-clock seconds per algorithm step, named after the bars of the
 /// paper's Fig. 4.  Steps an algorithm does not perform stay 0.
 struct StepTimes {
@@ -49,6 +66,11 @@ struct StepTimes {
   double label_edge = 0;
   double connected_components = 0;
   double filtering = 0;
+  /// Wall-clock the trace rollup could not attribute to any Fig. 4
+  /// step: dispatch overhead, cut-info annotation, label
+  /// normalization, scatter-backs.  accounted() + unattributed == total
+  /// up to clock granularity — the books balance by construction.
+  double unattributed = 0;
   double total = 0;
 
   double accounted() const {
@@ -56,6 +78,13 @@ struct StepTimes {
            label_edge + connected_components + filtering;
   }
 };
+
+/// Fill StepTimes from a trace rollup: each step is the summed
+/// inclusive time of the same-named phases (at any nesting depth),
+/// `total` is the caller's wall clock, and the gap lands in
+/// `unattributed` (clamped at 0 — charges can make accounted time
+/// exceed the measured wall by clock granularity).
+StepTimes derive_step_times(const TraceReport& report, double total_seconds);
 
 struct BccOptions {
   BccAlgorithm algorithm = BccAlgorithm::kAuto;
@@ -84,6 +113,11 @@ struct BccOptions {
   /// self-loops, or a disconnected input that is decomposed into
   /// relabeled subproblems).
   const Csr* prebuilt_csr = nullptr;
+  /// Event sink for the solve.  When null each driver records into a
+  /// private Trace just long enough to derive StepTimes; point this at
+  /// a caller-owned Trace to keep the raw events (Chrome export, span
+  /// inspection across repeated solves).
+  Trace* trace = nullptr;
 };
 
 /// Biconnected components of a graph, as a labeling of its edges.
@@ -100,8 +134,13 @@ struct BccResult {
   /// Edge ids of bridges, ascending (empty unless compute_cut_info).
   /// A bridge is exactly a single-edge biconnected component.
   std::vector<eid> bridges;
-  /// Per-step timing of the run.
+  /// Per-step timing of the run, derived from `trace` (see
+  /// derive_step_times) — never measured separately.
   StepTimes times;
+  /// Rollup of the solve's trace slice: per-phase inclusive/exclusive
+  /// seconds, call counts, and counter totals (SV rounds, BFS
+  /// inspections, arena peak, ...).
+  TraceReport trace;
   /// High-water mark of the context's Workspace arena during this solve
   /// (bytes).  0 when the solve never touched the arena (e.g. serial
   /// fast paths).

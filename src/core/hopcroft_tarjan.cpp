@@ -17,13 +17,15 @@ struct Frame {
 }  // namespace
 
 BccResult hopcroft_tarjan_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
-                              const Csr& csr, bool compute_cut_info) {
+                              const Csr& csr, bool compute_cut_info,
+                              Trace* trace) {
   Timer timer;
   const vid n = g.n;
   const eid m = g.m();
   BccResult result;
   result.edge_component.assign(m, kNoVertex);
 
+  TraceSpan dfs_span(trace, "dfs");
   std::vector<vid> disc(n, kNoVertex);
   std::vector<vid> low(n, 0);
   std::vector<Frame> stack;
@@ -97,9 +99,11 @@ BccResult hopcroft_tarjan_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
   }
 
   result.num_components = next_label;
+  dfs_span.close();
   result.times.total = timer.seconds();
 
   if (compute_cut_info) {
+    TraceSpan span(trace, "cut_info");
     annotate_cut_info(ex, ws, g, result);
   }
   return result;

@@ -23,8 +23,11 @@ namespace parbcc {
 /// The DFS itself is sequential; `ex`/`ws` only serve the cut-info
 /// annotation, so callers that already hold an executor (the
 /// dispatcher, benchmarks) don't pay for a throwaway pool.
+/// `trace`, when given, receives a "dfs" span (and "cut_info" when
+/// annotating) — the sequential baseline's slice of a trace artifact.
 BccResult hopcroft_tarjan_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
-                              const Csr& csr, bool compute_cut_info = true);
+                              const Csr& csr, bool compute_cut_info = true,
+                              Trace* trace = nullptr);
 BccResult hopcroft_tarjan_bcc(Executor& ex, const EdgeList& g, const Csr& csr,
                               bool compute_cut_info = true);
 BccResult hopcroft_tarjan_bcc(const EdgeList& g, const Csr& csr,

@@ -51,12 +51,16 @@ void local_extrema(Executor& ex, std::span<const Edge> edges,
 LowHigh compute_low_high_rmq(Executor& ex, Workspace& ws,
                              std::span<const Edge> edges,
                              const RootedSpanningTree& tree,
-                             std::span<const vid> tree_owner) {
+                             std::span<const vid> tree_owner, Trace* trace) {
   const std::size_t n = tree.parent.size();
   LowHigh out;
-  local_extrema(ex, edges, tree, tree_owner, out.low, out.high);
+  {
+    TraceSpan span(trace, "lh_local");
+    local_extrema(ex, edges, tree, tree_owner, out.low, out.high);
+  }
   if (n == 0) return out;
 
+  TraceSpan span(trace, "lh_aggregate");
   // Subtree(v) is the preorder interval [pre(v), pre(v)+sub(v)): lay
   // the local values out in preorder and answer each vertex with one
   // range query.  The scatter buffers and both O(n log n) tables are
@@ -90,9 +94,13 @@ LowHigh compute_low_high_levels(Executor& ex, std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
                                 std::span<const vid> tree_owner,
                                 const ChildrenCsr& children,
-                                const LevelStructure& levels) {
+                                const LevelStructure& levels, Trace* trace) {
   LowHigh out;
-  local_extrema(ex, edges, tree, tree_owner, out.low, out.high);
+  {
+    TraceSpan span(trace, "lh_local");
+    local_extrema(ex, edges, tree, tree_owner, out.low, out.high);
+  }
+  TraceSpan span(trace, "lh_aggregate");
   subtree_min(ex, children, levels, out.low.data());
   subtree_max(ex, children, levels, out.high.data());
   return out;

@@ -6,6 +6,7 @@
 #include "eulertour/tree_computations.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 #include "util/workspace.hpp"
 
 /// \file lowhigh.hpp
@@ -34,11 +35,14 @@ struct LowHigh {
 };
 
 /// Sparse-table variant.  `tree_owner[e]` is the child endpoint of tree
-/// edge e, kNoVertex when e is a nontree edge.
+/// edge e, kNoVertex when e is a nontree edge.  Both variants split
+/// their trace into "lh_local" (edge sweep) and "lh_aggregate"
+/// (sparse-table build+query / level sweeps).
 LowHigh compute_low_high_rmq(Executor& ex, Workspace& ws,
                              std::span<const Edge> edges,
                              const RootedSpanningTree& tree,
-                             std::span<const vid> tree_owner);
+                             std::span<const vid> tree_owner,
+                             Trace* trace = nullptr);
 LowHigh compute_low_high_rmq(Executor& ex, std::span<const Edge> edges,
                              const RootedSpanningTree& tree,
                              std::span<const vid> tree_owner);
@@ -50,6 +54,7 @@ LowHigh compute_low_high_levels(Executor& ex, std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
                                 std::span<const vid> tree_owner,
                                 const ChildrenCsr& children,
-                                const LevelStructure& levels);
+                                const LevelStructure& levels,
+                                Trace* trace = nullptr);
 
 }  // namespace parbcc

@@ -30,41 +30,54 @@ std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
                                 LowHighMethod method,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
-                                SvMode sv_mode, TvCoreTimes* times) {
+                                SvMode sv_mode, TvCoreTimes* times,
+                                Trace* trace) {
   Timer timer;
 
   // Step 4: low/high.
   LowHigh lh;
-  switch (method) {
-    case LowHighMethod::kRmq:
-      lh = compute_low_high_rmq(ex, ws, edges, tree, tree_owner);
-      break;
-    case LowHighMethod::kLevelSweep:
-      if (children == nullptr || levels == nullptr) {
-        throw std::invalid_argument(
-            "tv_label_edges: level sweep needs children/levels");
-      }
-      lh = compute_low_high_levels(ex, edges, tree, tree_owner, *children,
-                                   *levels);
-      break;
+  {
+    TraceSpan span(trace, "low_high");
+    switch (method) {
+      case LowHighMethod::kRmq:
+        lh = compute_low_high_rmq(ex, ws, edges, tree, tree_owner, trace);
+        break;
+      case LowHighMethod::kLevelSweep:
+        if (children == nullptr || levels == nullptr) {
+          throw std::invalid_argument(
+              "tv_label_edges: level sweep needs children/levels");
+        }
+        lh = compute_low_high_levels(ex, edges, tree, tree_owner, *children,
+                                     *levels, trace);
+        break;
+    }
   }
   if (times) times->low_high = timer.lap();
 
   // Step 5: Label-edge (Alg. 1).
-  const AuxGraph aux = build_aux_graph(ex, ws, edges, tree, tree_owner, lh);
+  TraceSpan label_span(trace, "label_edge");
+  const AuxGraph aux =
+      build_aux_graph(ex, ws, edges, tree, tree_owner, lh, trace);
+  label_span.close();
   if (times) times->label_edge = timer.lap();
 
   // Step 6: connected components of G' via Shiloach-Vishkin, read back
   // through each edge's aux image.  The aux label array is scratch —
   // only its gather through aux_id survives.
+  TraceSpan cc_span(trace, "connected_components");
   Workspace::Frame frame(ws);
   std::span<vid> aux_labels = ws.alloc<vid>(aux.num_vertices);
+  SvStats sv_stats;
   connected_components_sv(ex, ws, aux.num_vertices, aux.edges, aux_labels,
-                          sv_mode);
+                          sv_mode, &sv_stats);
+  if (trace != nullptr) {
+    trace->counter("sv_rounds", static_cast<double>(sv_stats.rounds));
+  }
   std::vector<vid> labels(edges.size());
   ex.parallel_for(edges.size(), [&](std::size_t e) {
     labels[e] = aux_labels[aux.aux_id[e]];
   });
+  cc_span.close();
   if (times) times->connected_components = timer.lap();
   return labels;
 }

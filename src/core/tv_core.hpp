@@ -40,7 +40,11 @@ std::vector<vid> make_tree_owner(Executor& ex, std::size_t num_edges,
 /// kRmq.  Returns one label per edge; labels are auxiliary-graph root
 /// ids in [0, n + #nontree) — canonical as a partition, not as values.
 /// All intermediate arrays (low/high scatter, aux staging, aux
-/// component labels) are Workspace scratch.
+/// component labels) are Workspace scratch.  With a `trace`, the three
+/// steps record themselves as the "low_high" / "label_edge" /
+/// "connected_components" spans (plus an sv_rounds counter), so the
+/// caller's StepTimes derive without a stopwatch; `times` remains for
+/// callers that want the raw splits (the ablation bench).
 std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
                                 std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
@@ -49,7 +53,8 @@ std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
                                 SvMode sv_mode = SvMode::kAuto,
-                                TvCoreTimes* times = nullptr);
+                                TvCoreTimes* times = nullptr,
+                                Trace* trace = nullptr);
 std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
                                 std::span<const vid> tree_owner,

@@ -9,6 +9,7 @@
 #include "spanning/sv_tree.hpp"
 #include "util/bitvector.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace parbcc {
 
@@ -31,19 +32,26 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   const EdgeList& g = pg.graph();
   const Csr& csr = pg.csr();
   BccResult result;
-  result.times.conversion = pg.conversion_seconds();
+  Trace local_trace(ex.threads());
+  Trace& tr = opt.trace != nullptr ? *opt.trace : local_trace;
+  const Trace::Mark mark = tr.mark();
   Timer total;
-  Timer step;
+  if (pg.conversion_seconds() > 0) {
+    tr.charge(steps::kConversion, pg.conversion_seconds());
+  }
   const vid n = g.n;
   const eid m = g.m();
 
   // Alg. 2 step 1: T must be a BFS tree (Lemma 1 needs its level
   // structure).
-  const BfsTree bfs = bfs_tree(ex, ws, csr, opt.root, opt.bfs_mode);
+  BfsTree bfs;
+  {
+    TraceSpan span(tr, steps::kSpanningTree);
+    bfs = bfs_tree(ex, ws, csr, opt.root, opt.bfs_mode, &tr);
+  }
   if (bfs.reached != n) {
     throw std::invalid_argument("tv_filter_bcc: graph must be connected");
   }
-  result.times.spanning_tree = step.lap();
 
   // Alg. 2 step 2: spanning forest F of G - T.
   // Candidates exclude edges parallel to a tree edge: such an edge is
@@ -57,6 +65,7 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   // are set atomically.
   SpanningForest forest;
   {
+    TraceSpan span(tr, steps::kFiltering);
     Workspace::Frame frame(ws);
     BitSpan in_tree(ws.alloc<std::uint64_t>(BitSpan::words_for(m)));
     ex.parallel_for(in_tree.words().size(),
@@ -76,14 +85,17 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
         candidates);
     forest = sv_spanning_forest(ex, ws, n, g.edges,
                                 candidates.first(num_candidates), opt.sv_mode);
+    tr.counter("filter_candidates", static_cast<double>(num_candidates));
+    tr.counter("sv_rounds", static_cast<double>(forest.rounds));
   }
-  result.times.filtering = step.lap();
 
   // Assemble H = T u F, remembering each H edge's original id.  Tree
   // edges occupy slots [0, n-1) in a fixed per-vertex layout so the
   // local parent_edge column is computable in parallel.  The H edge
   // list and its bookkeeping stay live until the final scatter, so
   // their frame spans the rest of the solve.
+  TraceSpan euler_span(tr, steps::kEulerTour);
+  TraceSpan assemble_span(tr, "assemble_h");
   const std::size_t t_count = n - 1;
   const std::size_t h_count = t_count + forest.tree_edges.size();
   Workspace::Frame frame(ws);
@@ -112,43 +124,58 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
     orig_of[t_count + k] = e;
     in_h.set_atomic(e);
   });
+  tr.counter("h_edges", static_cast<double>(h_count));
+  assemble_span.close();
 
   // Rooted-tree computations over T (TV-opt pipeline).
-  const ChildrenCsr children = build_children(ex, ws, tree.parent, tree.root);
-  const LevelStructure levels = build_levels(ex, children, tree.root);
-  result.times.euler_tour = step.lap();
-  preorder_and_size(ex, children, levels, tree.root, tree.pre, tree.sub);
-  result.times.root_tree = step.lap();
+  const ChildrenCsr children =
+      build_children(ex, ws, tree.parent, tree.root, &tr);
+  const LevelStructure levels = build_levels(ex, children, tree.root, &tr);
+  euler_span.close();
+  {
+    TraceSpan span(tr, steps::kRootTree);
+    preorder_and_size(ex, children, levels, tree.root, tree.pre, tree.sub,
+                      &tr);
+  }
 
   // Alg. 2 step 3: TV on H (at most 2(n-1) edges).
-  const std::vector<vid> owner = make_tree_owner(ex, h_count, tree);
-  TvCoreTimes core_times;
+  std::vector<vid> owner;
+  {
+    TraceSpan span(tr, "tree_owner");
+    owner = make_tree_owner(ex, h_count, tree);
+  }
   const std::vector<vid> h_labels =
       tv_label_edges(ex, ws, h_edges, tree, owner, LowHighMethod::kLevelSweep,
-                     &children, &levels, opt.sv_mode, &core_times);
-  result.times.low_high = core_times.low_high;
-  result.times.label_edge = core_times.label_edge;
-  result.times.connected_components = core_times.connected_components;
-  step.reset();
+                     &children, &levels, opt.sv_mode, nullptr, &tr);
 
   // Alg. 2 step 4: scatter H labels back; every filtered edge (u,v)
   // joins the component of the tree edge below its higher-preorder
   // endpoint (condition 1, valid for any rooted spanning tree).
-  result.edge_component.assign(m, kNoVertex);
-  ex.parallel_for(h_count, [&](std::size_t h) {
-    result.edge_component[orig_of[h]] = h_labels[h];
-  });
-  ex.parallel_for(m, [&](std::size_t e) {
-    if (in_h.get(e)) return;
-    const vid u = g.edges[e].u;
-    const vid v = g.edges[e].v;
-    const vid hi_end = tree.pre[u] > tree.pre[v] ? u : v;
-    result.edge_component[e] = h_labels[tree.parent_edge[hi_end]];
-  });
-  result.times.filtering += step.lap();
+  // Same step name as the forest build above: the rollup aggregates
+  // both occurrences into one "filtering" phase (calls == 2), matching
+  // the paper's single Filtering bar.
+  {
+    TraceSpan span(tr, steps::kFiltering);
+    result.edge_component.assign(m, kNoVertex);
+    ex.parallel_for(h_count, [&](std::size_t h) {
+      result.edge_component[orig_of[h]] = h_labels[h];
+    });
+    ex.parallel_for(m, [&](std::size_t e) {
+      if (in_h.get(e)) return;
+      const vid u = g.edges[e].u;
+      const vid v = g.edges[e].v;
+      const vid hi_end = tree.pre[u] > tree.pre[v] ? u : v;
+      result.edge_component[e] = h_labels[tree.parent_edge[hi_end]];
+    });
+  }
 
-  result.num_components = normalize_labels(result.edge_component);
-  result.times.total = total.seconds() + result.times.conversion;
+  {
+    TraceSpan span(tr, "normalize");
+    result.num_components = normalize_labels(result.edge_component);
+  }
+  result.trace = tr.report_since(mark);
+  result.times = derive_step_times(result.trace,
+                                   total.seconds() + pg.conversion_seconds());
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "graph/csr.hpp"
 #include "spanning/traversal_tree.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace parbcc {
 
@@ -28,43 +29,64 @@ BccResult tv_opt_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   const EdgeList& g = pg.graph();
   const Csr& csr = pg.csr();
   BccResult result;
-  result.times.conversion = pg.conversion_seconds();
+  Trace local_trace(ex.threads());
+  Trace& tr = opt.trace != nullptr ? *opt.trace : local_trace;
+  const Trace::Mark mark = tr.mark();
   Timer total;
-  Timer step;
+  // The conversion happened before this driver ran (possibly amortized
+  // by a cache); book it as an externally measured charge.
+  if (pg.conversion_seconds() > 0) {
+    tr.charge(steps::kConversion, pg.conversion_seconds());
+  }
 
   // Merged Spanning-tree + Root-tree: the traversal sets parents
   // directly.
-  const TraversalTree traversal = traversal_spanning_tree(ex, csr, opt.root);
+  TraversalTree traversal;
+  {
+    TraceSpan span(tr, steps::kSpanningTree);
+    traversal = traversal_spanning_tree(ex, csr, opt.root);
+  }
   if (traversal.reached != g.n) {
     throw std::invalid_argument("tv_opt_bcc: graph must be connected");
   }
-  result.times.spanning_tree = step.lap();
 
   // Cache-friendly substitute for the Euler tour: child lists + level
   // buckets...
   RootedSpanningTree tree;
-  tree.root = opt.root;
-  tree.parent = traversal.parent;
-  tree.parent_edge = traversal.parent_edge;
-  const ChildrenCsr children = build_children(ex, ws, tree.parent, tree.root);
-  const LevelStructure levels = build_levels(ex, children, tree.root);
-  result.times.euler_tour = step.lap();
+  ChildrenCsr children;
+  LevelStructure levels;
+  {
+    TraceSpan span(tr, steps::kEulerTour);
+    tree.root = opt.root;
+    tree.parent = std::move(traversal.parent);
+    tree.parent_edge = std::move(traversal.parent_edge);
+    children = build_children(ex, ws, tree.parent, tree.root, &tr);
+    levels = build_levels(ex, children, tree.root, &tr);
+  }
 
   // ...and prefix-sum tree computations instead of list ranking.
-  preorder_and_size(ex, children, levels, tree.root, tree.pre, tree.sub);
-  result.times.root_tree = step.lap();
+  {
+    TraceSpan span(tr, steps::kRootTree);
+    preorder_and_size(ex, children, levels, tree.root, tree.pre, tree.sub,
+                      &tr);
+  }
 
-  const std::vector<vid> owner = make_tree_owner(ex, g.edges.size(), tree);
-  TvCoreTimes core_times;
+  std::vector<vid> owner;
+  {
+    TraceSpan span(tr, "tree_owner");
+    owner = make_tree_owner(ex, g.edges.size(), tree);
+  }
   result.edge_component =
       tv_label_edges(ex, ws, g.edges, tree, owner, LowHighMethod::kLevelSweep,
-                     &children, &levels, opt.sv_mode, &core_times);
-  result.times.low_high = core_times.low_high;
-  result.times.label_edge = core_times.label_edge;
-  result.times.connected_components = core_times.connected_components;
+                     &children, &levels, opt.sv_mode, nullptr, &tr);
 
-  result.num_components = normalize_labels(result.edge_component);
-  result.times.total = total.seconds() + result.times.conversion;
+  {
+    TraceSpan span(tr, "normalize");
+    result.num_components = normalize_labels(result.edge_component);
+  }
+  result.trace = tr.report_since(mark);
+  result.times = derive_step_times(result.trace,
+                                   total.seconds() + pg.conversion_seconds());
   return result;
 }
 

@@ -6,46 +6,51 @@
 #include "eulertour/euler_tour.hpp"
 #include "spanning/sv_tree.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace parbcc {
 
 BccResult tv_smp_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
                      const BccOptions& opt) {
   BccResult result;
+  Trace local_trace(ex.threads());
+  Trace& tr = opt.trace != nullptr ? *opt.trace : local_trace;
+  const Trace::Mark mark = tr.mark();
   Timer total;
-  Timer step;
 
   // Step 1 (Spanning-tree): Shiloach-Vishkin graft-and-shortcut.
-  const SpanningForest forest =
-      sv_spanning_forest(ex, ws, g.n, g.edges, opt.sv_mode);
+  SpanningForest forest;
+  {
+    TraceSpan span(tr, steps::kSpanningTree);
+    forest = sv_spanning_forest(ex, ws, g.n, g.edges, opt.sv_mode);
+    tr.counter("sv_rounds", static_cast<double>(forest.rounds));
+  }
   if (forest.num_components != 1) {
     throw std::invalid_argument("tv_smp_bcc: graph must be connected");
   }
-  result.times.spanning_tree = step.lap();
 
   // Steps 2+3 (Euler-tour, Root-tree): circuit by arc sorting, rooting
-  // by list ranking.
-  EulerTourTimes euler_times;
-  const RootedSpanningTree tree =
-      root_tree_via_euler_tour(ex, ws, g.n, g.edges, forest.tree_edges,
-                               opt.root, opt.ranker, opt.arc_sort,
-                               &euler_times);
-  result.times.euler_tour = euler_times.circuit;
-  result.times.root_tree = euler_times.rooting;
-  step.reset();
+  // by list ranking.  The pipeline opens its own step spans.
+  const RootedSpanningTree tree = root_tree_via_euler_tour(
+      ex, ws, g.n, g.edges, forest.tree_edges, opt.root, opt.ranker,
+      opt.arc_sort, nullptr, &tr);
 
   // Steps 4-6 with the sparse-table low/high back-end.
-  const std::vector<vid> owner = make_tree_owner(ex, g.edges.size(), tree);
-  TvCoreTimes core_times;
+  std::vector<vid> owner;
+  {
+    TraceSpan span(tr, "tree_owner");
+    owner = make_tree_owner(ex, g.edges.size(), tree);
+  }
   result.edge_component =
       tv_label_edges(ex, ws, g.edges, tree, owner, LowHighMethod::kRmq,
-                     nullptr, nullptr, opt.sv_mode, &core_times);
-  result.times.low_high = core_times.low_high;
-  result.times.label_edge = core_times.label_edge;
-  result.times.connected_components = core_times.connected_components;
+                     nullptr, nullptr, opt.sv_mode, nullptr, &tr);
 
-  result.num_components = normalize_labels(result.edge_component);
-  result.times.total = total.seconds();
+  {
+    TraceSpan span(tr, "normalize");
+    result.num_components = normalize_labels(result.edge_component);
+  }
+  result.trace = tr.report_since(mark);
+  result.times = derive_step_times(result.trace, total.seconds());
   return result;
 }
 

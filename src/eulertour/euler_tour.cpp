@@ -31,7 +31,7 @@ struct ArcView {
 EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
                                  std::span<const Edge> edges,
                                  std::span<const eid> tree_edges, vid root,
-                                 ArcSort sort) {
+                                 ArcSort sort, Trace* trace) {
   const std::size_t num_arcs = 2 * tree_edges.size();
   EulerCircuit out;
   if (num_arcs == 0) return out;
@@ -55,6 +55,7 @@ EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
   }
 
   std::span<vid> sorted_arcs = ws.alloc<vid>(num_arcs);
+  TraceSpan sort_span(trace, "arc_sort");
   if (sort == ArcSort::kSampleSort) {
     // The paper's route: sort the arcs with the parallel sample sort.
     // Key = (source vertex, arc id); any within-group order yields a
@@ -79,6 +80,8 @@ EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
       sorted_arcs[slot] = static_cast<vid>(a);
     });
   }
+
+  sort_span.close();
 
   std::span<eid> arc_pos = ws.alloc<eid>(num_arcs);
   ex.parallel_for(num_arcs, [&](std::size_t i) {
@@ -119,7 +122,8 @@ RootedSpanningTree root_tree_via_euler_tour(Executor& ex, Workspace& ws,
                                             std::span<const eid> tree_edges,
                                             vid root, ListRanker ranker,
                                             ArcSort sort,
-                                            EulerTourTimes* times) {
+                                            EulerTourTimes* times,
+                                            Trace* trace) {
   if (n >= 1 && tree_edges.size() + 1 != n) {
     throw std::invalid_argument(
         "root_tree_via_euler_tour: tree must span all vertices");
@@ -137,28 +141,35 @@ RootedSpanningTree root_tree_via_euler_tour(Executor& ex, Workspace& ws,
   if (n == 1) return tree;
 
   Timer timer;
+  TraceSpan circuit_span(trace, "euler_tour");
   const EulerCircuit circuit =
-      build_euler_circuit(ex, ws, n, edges, tree_edges, root, sort);
+      build_euler_circuit(ex, ws, n, edges, tree_edges, root, sort, trace);
+  circuit_span.close();
   if (times) times->circuit = timer.lap();
   const std::size_t num_arcs = 2 * tree_edges.size();
   const ArcView arcs{edges, tree_edges};
 
+  TraceSpan rooting_span(trace, "root_tree");
   Workspace::Frame frame(ws);
   std::span<vid> rank = ws.alloc<vid>(num_arcs);
-  switch (ranker) {
-    case ListRanker::kSequential:
-      list_rank_sequential(circuit.succ.data(), rank.data(), num_arcs,
-                           circuit.head);
-      break;
-    case ListRanker::kWyllie:
-      list_rank_wyllie(ex, ws, circuit.succ.data(), rank.data(), num_arcs,
-                       circuit.head);
-      break;
-    case ListRanker::kHelmanJaja:
-      list_rank_hj(ex, ws, circuit.succ.data(), rank.data(), num_arcs,
-                   circuit.head);
-      break;
+  {
+    TraceSpan span(trace, "list_ranking");
+    switch (ranker) {
+      case ListRanker::kSequential:
+        list_rank_sequential(circuit.succ.data(), rank.data(), num_arcs,
+                             circuit.head);
+        break;
+      case ListRanker::kWyllie:
+        list_rank_wyllie(ex, ws, circuit.succ.data(), rank.data(), num_arcs,
+                         circuit.head);
+        break;
+      case ListRanker::kHelmanJaja:
+        list_rank_hj(ex, ws, circuit.succ.data(), rank.data(), num_arcs,
+                     circuit.head);
+        break;
+    }
   }
+  TraceSpan values_span(trace, "tree_values");
 
   // An arc is a "descending" (tree) arc iff it is ranked before its twin.
   // Its head's parent, preorder and subtree size follow from the ranks.

@@ -6,6 +6,7 @@
 #include "eulertour/tree_computations.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 #include "util/types.hpp"
 #include "util/workspace.hpp"
 
@@ -39,10 +40,13 @@ struct EulerCircuit {
 /// Build the circuit for the spanning tree given by `tree_edges`
 /// (indices into `edges`), rooted/broken at `root`.
 /// Requires the tree to span all n vertices (T == n-1 >= 1).
+/// `trace`, when given, gets an "arc_sort" sub-span around the mate
+/// discovery (the cost the paper's §3.1 pipeline is dominated by).
 EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
                                  std::span<const Edge> edges,
                                  std::span<const eid> tree_edges, vid root,
-                                 ArcSort sort = ArcSort::kSampleSort);
+                                 ArcSort sort = ArcSort::kSampleSort,
+                                 Trace* trace = nullptr);
 EulerCircuit build_euler_circuit(Executor& ex, vid n,
                                  std::span<const Edge> edges,
                                  std::span<const eid> tree_edges, vid root,
@@ -56,12 +60,16 @@ struct EulerTourTimes {
 };
 
 /// Full TV-SMP rooting pipeline: circuit, list ranking, then parent /
-/// preorder / subtree size from arc ranks.
+/// preorder / subtree size from arc ranks.  With a `trace`, the
+/// pipeline opens the paper-step spans itself — "euler_tour" (with the
+/// circuit's sub-spans) and "root_tree" (nesting "list_ranking" and
+/// "tree_values") — so drivers need no stopwatch around this call.
 RootedSpanningTree root_tree_via_euler_tour(
     Executor& ex, Workspace& ws, vid n, std::span<const Edge> edges,
     std::span<const eid> tree_edges, vid root,
     ListRanker ranker = ListRanker::kHelmanJaja,
-    ArcSort sort = ArcSort::kSampleSort, EulerTourTimes* times = nullptr);
+    ArcSort sort = ArcSort::kSampleSort, EulerTourTimes* times = nullptr,
+    Trace* trace = nullptr);
 RootedSpanningTree root_tree_via_euler_tour(
     Executor& ex, vid n, std::span<const Edge> edges,
     std::span<const eid> tree_edges, vid root,

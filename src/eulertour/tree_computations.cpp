@@ -19,7 +19,9 @@ constexpr std::size_t kSerialLevelCutoff = 2048;
 }  // namespace
 
 ChildrenCsr build_children(Executor& ex, Workspace& ws,
-                           std::span<const vid> parent, vid root) {
+                           std::span<const vid> parent, vid root,
+                           Trace* trace) {
+  TraceSpan span(trace, "build_children");
   const std::size_t n = parent.size();
   ChildrenCsr out;
   out.offsets.assign(n + 1, 0);
@@ -60,7 +62,8 @@ ChildrenCsr build_children(Executor& ex, std::span<const vid> parent,
 }
 
 LevelStructure build_levels(Executor& ex, const ChildrenCsr& children,
-                            vid root) {
+                            vid root, Trace* trace) {
+  TraceSpan span(trace, "build_levels");
   const std::size_t n = children.offsets.size() - 1;
   LevelStructure out;
   out.depth.assign(n, kNoVertex);
@@ -137,7 +140,9 @@ LevelStructure build_levels(Executor& ex, const ChildrenCsr& children,
 
 void preorder_and_size(Executor& ex, const ChildrenCsr& children,
                        const LevelStructure& levels, vid root,
-                       std::vector<vid>& pre, std::vector<vid>& sub) {
+                       std::vector<vid>& pre, std::vector<vid>& sub,
+                       Trace* trace) {
+  TraceSpan span(trace, "preorder_size");
   const std::size_t n = children.offsets.size() - 1;
   pre.assign(n, 0);
   sub.assign(n, 1);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 #include "util/types.hpp"
 #include "util/workspace.hpp"
 
@@ -52,8 +53,13 @@ struct ChildrenCsr {
   }
 };
 
+/// The `trace` parameters open self-named sub-spans
+/// ("build_children", "build_levels", "preorder_size") under whatever
+/// step span the caller holds — the TV-opt substitute for the Euler
+/// tour shows up structured in a trace artifact.
 ChildrenCsr build_children(Executor& ex, Workspace& ws,
-                           std::span<const vid> parent, vid root);
+                           std::span<const vid> parent, vid root,
+                           Trace* trace = nullptr);
 ChildrenCsr build_children(Executor& ex, std::span<const vid> parent,
                            vid root);
 
@@ -71,13 +77,14 @@ struct LevelStructure {
 };
 
 LevelStructure build_levels(Executor& ex, const ChildrenCsr& children,
-                            vid root);
+                            vid root, Trace* trace = nullptr);
 
 /// Fill `pre` (1-based preorder) and `sub` (subtree sizes) by a
 /// bottom-up size sweep followed by a top-down numbering sweep.
 void preorder_and_size(Executor& ex, const ChildrenCsr& children,
                        const LevelStructure& levels, vid root,
-                       std::vector<vid>& pre, std::vector<vid>& sub);
+                       std::vector<vid>& pre, std::vector<vid>& sub,
+                       Trace* trace = nullptr);
 
 /// In place: val[v] := min over v's subtree of the initial val values.
 void subtree_min(Executor& ex, const ChildrenCsr& children,

@@ -22,7 +22,7 @@ constexpr std::uint64_t kBeta = 24;
 }  // namespace
 
 BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
-                 BfsMode mode) {
+                 BfsMode mode, Trace* trace) {
   const vid n = g.num_vertices();
   BfsTree out;
   out.root = root;
@@ -204,12 +204,21 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
 
   out.reached = reached;
   out.num_levels = depth;  // last round discovered nothing: depth-1 levels past root
+  if (trace != nullptr) {
+    trace->counter("bfs_inspected_edges",
+                   static_cast<double>(out.inspected_edges));
+    trace->counter("bfs_top_down_rounds",
+                   static_cast<double>(out.top_down_rounds));
+    trace->counter("bfs_bottom_up_rounds",
+                   static_cast<double>(out.bottom_up_rounds));
+  }
   return out;
 }
 
-BfsTree bfs_tree(Executor& ex, const Csr& g, vid root, BfsMode mode) {
+BfsTree bfs_tree(Executor& ex, const Csr& g, vid root, BfsMode mode,
+                 Trace* trace) {
   Workspace ws;
-  return bfs_tree(ex, ws, g, root, mode);
+  return bfs_tree(ex, ws, g, root, mode, trace);
 }
 
 }  // namespace parbcc

@@ -5,6 +5,7 @@
 
 #include "graph/csr.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 #include "util/types.hpp"
 #include "util/workspace.hpp"
 
@@ -75,9 +76,13 @@ struct BfsTree {
   vid bottom_up_rounds = 0;
 };
 
+/// `trace`, when given, receives the run's telemetry as counters
+/// (bfs_inspected_edges, bfs_top_down_rounds, bfs_bottom_up_rounds) —
+/// per-round spans would cost a clock read on pathological
+/// (diameter-bound) inputs, so only aggregates are emitted.
 BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
-                 BfsMode mode = BfsMode::kAuto);
+                 BfsMode mode = BfsMode::kAuto, Trace* trace = nullptr);
 BfsTree bfs_tree(Executor& ex, const Csr& g, vid root,
-                 BfsMode mode = BfsMode::kAuto);
+                 BfsMode mode = BfsMode::kAuto, Trace* trace = nullptr);
 
 }  // namespace parbcc

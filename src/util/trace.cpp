@@ -1,0 +1,373 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "util/concat.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parbcc {
+namespace {
+
+/// Rollup node: one (parent, name) pair of the span tree.  The tree is
+/// tiny (a solve opens a few dozen distinct paths), so children are a
+/// linear-scanned vector.
+struct Node {
+  int parent = -1;
+  const char* name = nullptr;
+  int depth = 0;
+  std::uint64_t calls = 0;
+  std::int64_t incl_ns = 0;   // measured wall time inside the span
+  std::int64_t child_ns = 0;  // measured wall time of direct children
+  double charge_s = 0;        // externally charged seconds
+  std::vector<int> children;
+};
+
+int find_or_add_child(std::vector<Node>& nodes, std::vector<int>& roots,
+                      int parent, const char* name) {
+  for (const int c : parent < 0 ? roots : nodes[parent].children) {
+    // Names are static literals, but different TUs may hold distinct
+    // copies of the same spelling — compare by content.
+    if (nodes[c].name == name ||
+        std::string_view(nodes[c].name) == std::string_view(name)) {
+      return c;
+    }
+  }
+  Node node;
+  node.parent = parent;
+  node.name = name;
+  node.depth = parent < 0 ? 0 : nodes[parent].depth + 1;
+  nodes.push_back(std::move(node));
+  const int id = static_cast<int>(nodes.size()) - 1;
+  // Re-take the sibling list: the push_back may have reallocated nodes.
+  (parent < 0 ? roots : nodes[parent].children).push_back(id);
+  return id;
+}
+
+void append_phases(const std::vector<Node>& nodes, const std::vector<int>& ids,
+                   const std::string& prefix, TraceReport& report) {
+  for (const int id : ids) {
+    const Node& node = nodes[id];
+    TracePhase phase;
+    phase.name = node.name;
+    phase.path = prefix.empty() ? phase.name : prefix + "/" + phase.name;
+    phase.depth = node.depth;
+    phase.calls = node.calls;
+    phase.inclusive_seconds = 1e-9 * static_cast<double>(node.incl_ns) +
+                              node.charge_s;
+    phase.exclusive_seconds =
+        1e-9 * static_cast<double>(node.incl_ns - node.child_ns) +
+        node.charge_s;
+    phase.charged_seconds = node.charge_s;
+    const std::string path = phase.path;
+    report.phases.push_back(std::move(phase));
+    append_phases(nodes, node.children, path, report);
+  }
+}
+
+void add_counter(TraceReport& report, const char* name, double value) {
+  for (TraceCounterTotal& c : report.counters) {
+    if (c.name == name) {
+      c.total += value;
+      ++c.samples;
+      return;
+    }
+  }
+  report.counters.push_back({name, value, 1});
+}
+
+TraceReport roll_up(std::span<const TraceEvent> events) {
+  TraceReport report;
+  std::vector<Node> nodes;
+  std::vector<int> roots;
+  // Open-span stack: node id + begin timestamp.
+  std::vector<std::pair<int, std::int64_t>> open;
+  std::int64_t last_ts = 0;
+
+  auto close_top = [&](std::int64_t ts) {
+    const auto [id, begin_ts] = open.back();
+    open.pop_back();
+    const std::int64_t dt = ts > begin_ts ? ts - begin_ts : 0;
+    nodes[id].calls += 1;
+    nodes[id].incl_ns += dt;
+    if (nodes[id].parent >= 0) nodes[nodes[id].parent].child_ns += dt;
+  };
+
+  for (const TraceEvent& e : events) {
+    if (e.ts_ns > last_ts) last_ts = e.ts_ns;
+    switch (e.kind) {
+      case TraceEventKind::kBegin: {
+        const int parent = open.empty() ? -1 : open.back().first;
+        open.emplace_back(find_or_add_child(nodes, roots, parent, e.name),
+                          e.ts_ns);
+        break;
+      }
+      case TraceEventKind::kEnd:
+        // A mismatched name means an exception unwound intermediate
+        // spans in an order we did not see; closing the top span is the
+        // best-effort recovery and keeps the books balanced.
+        if (!open.empty()) close_top(e.ts_ns);
+        break;
+      case TraceEventKind::kCharge: {
+        const int parent = open.empty() ? -1 : open.back().first;
+        const int id = find_or_add_child(nodes, roots, parent, e.name);
+        nodes[id].calls += 1;
+        nodes[id].charge_s += e.value;
+        break;
+      }
+      case TraceEventKind::kCounter:
+        add_counter(report, e.name, e.value);
+        break;
+    }
+  }
+  // Spans still open at the end of the slice (e.g. a report taken
+  // mid-solve) close at the last observed timestamp.
+  while (!open.empty()) close_top(last_ts);
+
+  append_phases(nodes, roots, std::string(), report);
+  return report;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+}  // namespace
+
+const TracePhase* TraceReport::find_path(std::string_view path) const {
+  for (const TracePhase& p : phases) {
+    if (p.path == path) return &p;
+  }
+  return nullptr;
+}
+
+double TraceReport::inclusive_seconds(std::string_view name) const {
+  double total = 0;
+  for (const TracePhase& p : phases) {
+    if (p.name == name) total += p.inclusive_seconds;
+  }
+  return total;
+}
+
+double TraceReport::counter_total(std::string_view name) const {
+  for (const TraceCounterTotal& c : counters) {
+    if (c.name == name) return c.total;
+  }
+  return 0;
+}
+
+Trace::Trace(int threads) : buffers_(threads < 1 ? 1 : threads) {}
+
+void Trace::push(int tid, TraceEvent e) {
+  if (tid < 0 || tid >= static_cast<int>(buffers_.size())) {
+    assert(false && "Trace: tid outside the width given at construction");
+    return;
+  }
+  e.tid = static_cast<std::uint16_t>(tid);
+  buffers_[static_cast<std::size_t>(tid)].value.push_back(e);
+}
+
+void Trace::begin(const char* name) {
+  if (!enabled_) return;
+  push(0, {name, now_ns(), 0, TraceEventKind::kBegin, 0});
+}
+
+void Trace::end(const char* name) {
+  if (!enabled_) return;
+  push(0, {name, now_ns(), 0, TraceEventKind::kEnd, 0});
+}
+
+void Trace::charge(const char* name, double seconds) {
+  if (!enabled_) return;
+  push(0, {name, now_ns(), seconds, TraceEventKind::kCharge, 0});
+}
+
+void Trace::counter(const char* name, double value, int tid) {
+  if (!enabled_) return;
+  push(tid, {name, now_ns(), value, TraceEventKind::kCounter, 0});
+}
+
+Trace::Mark Trace::mark() const {
+  Mark m;
+  m.size.reserve(buffers_.size());
+  for (const auto& buf : buffers_) m.size.push_back(buf.value.size());
+  return m;
+}
+
+std::vector<TraceEvent> Trace::events_since(const Mark& mark) const {
+  std::vector<TraceEvent> out;
+  for (std::size_t t = 0; t < buffers_.size(); ++t) {
+    const std::vector<TraceEvent>& buf = buffers_[t].value;
+    const std::size_t from = t < mark.size.size() ? mark.size[t] : 0;
+    out.insert(out.end(), buf.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(from, buf.size())),
+               buf.end());
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  return events_since(Mark{});
+}
+
+std::vector<TraceEvent> Trace::drain(Executor& ex) {
+  const int p = threads();
+  std::size_t total = 0;
+  for (const auto& buf : buffers_) total += buf.value.size();
+  std::vector<TraceEvent> out(total);
+  if (ex.threads() >= p) {
+    static const std::vector<TraceEvent> kEmpty;
+    std::vector<std::size_t> offset(
+        static_cast<std::size_t>(ex.threads()) + 1);
+    // The concatenation visits buffers in tid order, matching events().
+    concat_thread_buffers(
+        ex,
+        [&](int t) -> const std::vector<TraceEvent>& {
+          return t < p ? buffers_[static_cast<std::size_t>(t)].value : kEmpty;
+        },
+        std::span<std::size_t>(offset), out.data());
+  } else {
+    out = events();
+  }
+  reset();
+  return out;
+}
+
+TraceReport Trace::report_since(const Mark& mark) const {
+  return roll_up(events_since(mark));
+}
+
+TraceReport Trace::report() const { return roll_up(events()); }
+
+void Trace::reset() {
+  for (auto& buf : buffers_) buf.value.clear();
+}
+
+std::string chrome_trace_json(std::span<const TraceSegment> segments) {
+  std::string out;
+  out += "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  ";
+  };
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const int pid = static_cast<int>(s) + 1;
+    sep();
+    out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(pid) + ", \"args\": {\"name\": ";
+    append_json_string(out, segments[s].label);
+    out += "}}";
+    for (const TraceEvent& e : segments[s].events) {
+      sep();
+      out += "{\"name\": ";
+      append_json_string(out, e.name);
+      out += ", \"pid\": " + std::to_string(pid) +
+             ", \"tid\": " + std::to_string(e.tid) + ", \"ts\": ";
+      // Chrome timestamps are microseconds.
+      append_double(out, 1e-3 * static_cast<double>(e.ts_ns));
+      switch (e.kind) {
+        case TraceEventKind::kBegin:
+          out += ", \"ph\": \"B\"";
+          break;
+        case TraceEventKind::kEnd:
+          out += ", \"ph\": \"E\"";
+          break;
+        case TraceEventKind::kCounter:
+          out += ", \"ph\": \"C\", \"args\": {";
+          append_json_string(out, e.name);
+          out += ": ";
+          append_double(out, e.value);
+          out += "}";
+          break;
+        case TraceEventKind::kCharge:
+          out += ", \"ph\": \"X\", \"dur\": ";
+          append_double(out, 1e6 * e.value);
+          out += ", \"args\": {\"charged\": true}";
+          break;
+      }
+      out += "}";
+    }
+  }
+  out += "\n],\n\"parbccReports\": [";
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    out += s == 0 ? "\n" : ",\n";
+    out += "  {\"label\": ";
+    append_json_string(out, segments[s].label);
+    out += ", \"phases\": [";
+    const TraceReport& report = segments[s].report;
+    for (std::size_t i = 0; i < report.phases.size(); ++i) {
+      const TracePhase& p = report.phases[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"path\": ";
+      append_json_string(out, p.path);
+      out += ", \"name\": ";
+      append_json_string(out, p.name);
+      out += ", \"depth\": " + std::to_string(p.depth) +
+             ", \"calls\": " + std::to_string(p.calls) + ", \"inclusive\": ";
+      append_double(out, p.inclusive_seconds);
+      out += ", \"exclusive\": ";
+      append_double(out, p.exclusive_seconds);
+      out += "}";
+    }
+    out += "\n  ], \"counters\": {";
+    for (std::size_t i = 0; i < report.counters.size(); ++i) {
+      out += i == 0 ? "" : ", ";
+      append_json_string(out, report.counters[i].name);
+      out += ": ";
+      append_double(out, report.counters[i].total);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_json(const std::string& path,
+                       std::span<const TraceSegment> segments) {
+  const std::string json = chrome_trace_json(segments);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "!! cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "!! short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace parbcc

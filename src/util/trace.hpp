@@ -1,0 +1,209 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/padded.hpp"
+
+/// \file trace.hpp
+/// Low-overhead hierarchical span tracer — the one timing substrate
+/// behind every StepTimes figure and every Fig. 3/4 table.
+///
+/// The old scheme measured each paper step with a hand-advanced Timer
+/// in every driver and kept `total` on a separate stopwatch, so the sum
+/// of the steps could silently drift from the total (untimed stretches
+/// like tree_owner construction or label normalization were charged to
+/// nobody).  Here the drivers open RAII `TraceSpan`s instead; the span
+/// rollup (`TraceReport`) *derives* the per-step times, and whatever
+/// wall-clock no span claims lands in an explicit `unattributed`
+/// bucket — the books always balance.
+///
+/// Model:
+///  - Spans nest and are orchestrator-only: begin/end/charge may be
+///    called from the thread driving the solve (the Executor's tid 0 —
+///    the SPMD regions themselves never open spans).  Timestamps come
+///    from the monotonic steady clock.
+///  - Counters (`counter`) may be emitted from any SPMD participant;
+///    each tid appends to its own cache-line-padded buffer, so
+///    recording is race-free without atomics.
+///  - Charges (`charge`) attribute seconds measured *outside* the
+///    trace's own wall-clock — e.g. a CSR conversion served from a
+///    cache, whose cost was paid by an earlier solve.  A charge shows
+///    up as a child phase but never subtracts from its parent's
+///    exclusive time.
+///
+/// Two sinks: `report()` aggregates events into per-phase
+/// inclusive/exclusive seconds + call counts + counter totals (what
+/// BccResult carries), and `chrome_trace_json` emits the Chrome
+/// `chrome://tracing` / Perfetto event-array format for interactive
+/// inspection (`bench --trace-out=<path>`).
+///
+/// Tracing is enabled per Trace instance; a disabled instance reduces
+/// every record call to one branch (no clock read, no allocation).
+
+namespace parbcc {
+
+enum class TraceEventKind : std::uint8_t {
+  kBegin,    // span opened
+  kEnd,      // span closed
+  kCounter,  // value sample, attributed by name only
+  kCharge,   // externally measured seconds, booked as a child phase
+};
+
+/// One record in a per-thread event buffer.  `name` must be a string
+/// with static storage duration (the tracer stores the pointer).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t ts_ns = 0;  // steady-clock nanoseconds
+  double value = 0;        // counter value / charged seconds
+  TraceEventKind kind = TraceEventKind::kBegin;
+  std::uint16_t tid = 0;
+};
+
+/// One aggregated phase of the rollup: all span occurrences sharing the
+/// same path (the "/"-joined names from the outermost span down).
+struct TracePhase {
+  std::string path;
+  std::string name;  // last path segment
+  int depth = 0;     // 0 for top-level spans
+  std::uint64_t calls = 0;
+  /// Measured wall seconds inside the span plus charged seconds.
+  double inclusive_seconds = 0;
+  /// Inclusive minus the measured (not charged) child-span seconds.
+  double exclusive_seconds = 0;
+  /// The externally charged portion of inclusive_seconds.
+  double charged_seconds = 0;
+};
+
+struct TraceCounterTotal {
+  std::string name;
+  double total = 0;
+  std::uint64_t samples = 0;
+};
+
+/// Aggregated view of a trace slice: phases in order of first
+/// appearance (a preorder of the span tree) and global counter totals.
+struct TraceReport {
+  std::vector<TracePhase> phases;
+  std::vector<TraceCounterTotal> counters;
+
+  /// Phase with exactly this path, or nullptr.
+  const TracePhase* find_path(std::string_view path) const;
+  /// Sum of inclusive seconds over every phase named `name`, at any
+  /// depth — how StepTimes fields are derived (e.g. TV-filter opens
+  /// "filtering" twice; both occurrences belong to the one step).
+  double inclusive_seconds(std::string_view name) const;
+  /// Total of the named counter (0 when never emitted).
+  double counter_total(std::string_view name) const;
+};
+
+class Executor;
+
+/// Event recorder.  Sized for a fixed SPMD width at construction;
+/// counter() calls with tid outside [0, threads) are dropped.
+class Trace {
+ public:
+  explicit Trace(int threads = 1);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  int threads() const { return static_cast<int>(buffers_.size()); }
+
+  /// Orchestrator-only (call from the thread that drives the solve).
+  void begin(const char* name);
+  void end(const char* name);
+  void charge(const char* name, double seconds);
+  /// Any SPMD participant; `tid` selects the private buffer.
+  void counter(const char* name, double value, int tid = 0);
+
+  /// Cursor into the per-thread buffers; report_since/events_since
+  /// replay only events recorded after the mark, so one long-lived
+  /// Trace can serve many solves without cross-talk.
+  struct Mark {
+    std::vector<std::size_t> size;
+  };
+  Mark mark() const;
+
+  TraceReport report() const;
+  TraceReport report_since(const Mark& mark) const;
+
+  /// All events, tid-0 buffer first (its append order is the span
+  /// order), then the other tids' counters.
+  std::vector<TraceEvent> events() const;
+  std::vector<TraceEvent> events_since(const Mark& mark) const;
+
+  /// As events(), but the per-thread buffers are concatenated with the
+  /// prefix-summed parallel scatter (concat_thread_buffers) and then
+  /// cleared — the bulk path for exporting a long trace.  `ex` must
+  /// have at least as many participants as this Trace has buffers.
+  std::vector<TraceEvent> drain(Executor& ex);
+
+  void reset();
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  void push(int tid, TraceEvent e);
+
+  bool enabled_ = true;
+  std::vector<Padded<std::vector<TraceEvent>>> buffers_;
+};
+
+/// RAII span.  The null-Trace* form lets substrates take an optional
+/// tracer and open spans unconditionally.  The enabled decision is
+/// taken once at construction.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, const char* name) {
+    if (trace != nullptr && trace->enabled()) {
+      trace_ = trace;
+      name_ = name;
+      trace_->begin(name);
+    }
+  }
+  TraceSpan(Trace& trace, const char* name) : TraceSpan(&trace, name) {}
+  ~TraceSpan() { close(); }
+
+  /// End the span before scope exit (idempotent).
+  void close() {
+    if (trace_ != nullptr) {
+      trace_->end(name_);
+      trace_ = nullptr;
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Trace* trace_ = nullptr;
+  const char* name_ = nullptr;
+};
+
+/// One traced run in a Chrome export (rendered as its own process row).
+struct TraceSegment {
+  std::string label;
+  std::vector<TraceEvent> events;
+  TraceReport report;
+};
+
+/// Chrome trace-event JSON: `{"traceEvents": [...], "parbccReports":
+/// [...]}`.  Spans become B/E pairs, counters "C" events, charges "X"
+/// complete events flagged `"charged": true`; the rollup of each
+/// segment rides along under the (viewer-ignored) "parbccReports" key.
+std::string chrome_trace_json(std::span<const TraceSegment> segments);
+
+/// Write chrome_trace_json to `path`; false (with a message on stderr)
+/// on I/O failure.
+bool write_chrome_json(const std::string& path,
+                       std::span<const TraceSegment> segments);
+
+}  // namespace parbcc

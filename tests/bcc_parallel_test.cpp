@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "core/bcc.hpp"
@@ -180,6 +181,28 @@ TEST(BccParallel, StepTimesArePopulated) {
   }
 }
 
+TEST(BccParallel, StepTimesAccountingBalancesAgainstTotal) {
+  // The steps are derived from the same trace rollup for every
+  // algorithm, so accounted + unattributed must reproduce the measured
+  // wall clock — the drift the old per-driver stopwatches allowed.
+  const EdgeList g = gen::random_connected_gnm(3000, 13000, 7);
+  Executor ex(4);
+  for (const BccAlgorithm algorithm :
+       {BccAlgorithm::kSequential, BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt,
+        BccAlgorithm::kTvFilter, BccAlgorithm::kAuto}) {
+    BccOptions opt;
+    opt.algorithm = algorithm;
+    const BccResult r = biconnected_components(ex, g, opt);
+    EXPECT_GT(r.times.total, 0.0) << to_string(algorithm);
+    EXPECT_GE(r.times.unattributed, 0.0) << to_string(algorithm);
+    EXPECT_NEAR(r.times.accounted() + r.times.unattributed, r.times.total,
+                std::max(0.01 * r.times.total, 1e-6))
+        << to_string(algorithm);
+    // The rollup itself rides along on the result.
+    EXPECT_FALSE(r.trace.phases.empty()) << to_string(algorithm);
+  }
+}
+
 TEST(BccParallel, AutoPicksFilterForDenseAndOptForSparse) {
   Executor ex(2);
   // Dense: m > 4n.
@@ -188,10 +211,48 @@ TEST(BccParallel, AutoPicksFilterForDenseAndOptForSparse) {
   opt.algorithm = BccAlgorithm::kAuto;
   const BccResult rd = biconnected_components(ex, dense, opt);
   EXPECT_GT(rd.times.filtering, 0.0);
+  EXPECT_NE(rd.trace.find_path("TV-filter"), nullptr);
   // Sparse: m <= 4n -> TV-opt, no filtering step.
   const EdgeList sparse = gen::random_connected_gnm(200, 600, 1);
   const BccResult rs = biconnected_components(ex, sparse, opt);
   EXPECT_EQ(rs.times.filtering, 0.0);
+  EXPECT_NE(rs.trace.find_path("TV-opt"), nullptr);
+}
+
+TEST(BccParallel, AutoDispatchIgnoresLoopsAndParallelEdges) {
+  // A ring of 300 vertices padded with 1500 copies of one edge and 300
+  // self-loops: the raw count (m = 2100) and even the loop-stripped
+  // count (1800) both clear the 4n = 1200 bar, but only 300 distinct
+  // edges exist — effectively a tree-like density where the paper's
+  // rule prescribes the TV-opt fallback, not TV-filter.
+  EdgeList g;
+  g.n = 300;
+  for (vid v = 0; v < g.n; ++v) g.edges.push_back({v, (v + 1) % g.n});
+  for (int i = 0; i < 1500; ++i) g.edges.push_back({0, 1});
+  for (vid v = 0; v < g.n; ++v) g.edges.push_back({v, v});
+  ASSERT_GT(g.m() - g.n, 4ull * g.n);  // still "dense" after loop strip
+
+  Executor ex(4);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kAuto;
+  const BccResult r = biconnected_components(ex, g, opt);
+  EXPECT_EQ(r.times.filtering, 0.0);
+  EXPECT_NE(r.trace.find_path("TV-opt"), nullptr);
+  EXPECT_EQ(r.trace.find_path("TV-filter"), nullptr);
+  EXPECT_EQ(r.trace.counter_total("dispatch_unique_edges"), 300.0);
+
+  BccOptions seq;
+  seq.algorithm = BccAlgorithm::kSequential;
+  const BccResult base = biconnected_components(ex, g, seq);
+  ASSERT_EQ(r.num_components, base.num_components);
+  EXPECT_TRUE(
+      testutil::same_partition(r.edge_component, base.edge_component));
+
+  // Control: a genuinely dense simple graph keeps the TV-filter pick.
+  const EdgeList dense = gen::random_connected_gnm(200, 1200, 3);
+  const BccResult rd = biconnected_components(ex, dense, opt);
+  EXPECT_GT(rd.times.filtering, 0.0);
+  EXPECT_NE(rd.trace.find_path("TV-filter"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a bench --trace-out artifact (CI trace smoke).
+
+Checks, per segment of the Chrome export written by bench_fig4:
+  1. the file is well-formed JSON with traceEvents + parbccReports;
+  2. every B(egin) has a matching E(nd) per (pid, tid) stack — spans
+     balance, so the rollup the drivers derive StepTimes from saw the
+     same tree the viewer renders;
+  3. each algorithm's rollup contains every paper step it performs
+     exactly once (the rollup must aggregate repeated spans such as
+     TV-filter's two "filtering" stretches into one phase);
+  4. the TV-filter segment carries the telemetry counters the paper's
+     discussion leans on (SV rounds, BFS inspections, arena peak).
+
+Usage: validate_trace.py <trace.json>
+"""
+
+import json
+import sys
+
+# Fig. 4 steps each algorithm performs (rollup phase *names*).
+EXPECTED_STEPS = {
+    "sequential": {"conversion"},
+    "TV-SMP": {
+        "spanning_tree",
+        "euler_tour",
+        "root_tree",
+        "low_high",
+        "label_edge",
+        "connected_components",
+    },
+    "TV-opt": {
+        "conversion",
+        "spanning_tree",
+        "euler_tour",
+        "root_tree",
+        "low_high",
+        "label_edge",
+        "connected_components",
+    },
+    "TV-filter": {
+        "conversion",
+        "spanning_tree",
+        "euler_tour",
+        "root_tree",
+        "low_high",
+        "label_edge",
+        "connected_components",
+        "filtering",
+    },
+}
+
+REQUIRED_FILTER_COUNTERS = [
+    "sv_rounds",
+    "bfs_inspected_edges",
+    "peak_workspace_bytes",
+]
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_span_balance(events):
+    stacks = {}
+    for e in events:
+        key = (e.get("pid"), e.get("tid"))
+        ph = e.get("ph")
+        if ph == "B":
+            stacks.setdefault(key, []).append(e["name"])
+        elif ph == "E":
+            stack = stacks.setdefault(key, [])
+            if not stack:
+                fail(f"E event {e['name']!r} with no open span on {key}")
+            stack.pop()
+    for key, stack in stacks.items():
+        if stack:
+            fail(f"unclosed spans {stack!r} on {key}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_trace.py <trace.json>")
+    with open(sys.argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    reports = doc.get("parbccReports")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    if not isinstance(reports, list) or not reports:
+        fail("parbccReports missing or empty")
+
+    check_span_balance(events)
+
+    seen = set()
+    for report in reports:
+        label = report.get("label")
+        if label not in EXPECTED_STEPS:
+            fail(f"unexpected segment label {label!r}")
+        seen.add(label)
+        names = [p["name"] for p in report.get("phases", [])]
+        for step in EXPECTED_STEPS[label]:
+            count = names.count(step)
+            if count != 1:
+                fail(
+                    f"{label}: step {step!r} appears {count} times in the "
+                    f"rollup (want exactly 1; phases: {names})"
+                )
+        for phase in report.get("phases", []):
+            if phase.get("inclusive", -1) < 0:
+                fail(f"{label}: phase {phase['name']!r} negative inclusive")
+        counters = report.get("counters", {})
+        if label == "TV-filter":
+            for counter in REQUIRED_FILTER_COUNTERS:
+                if counters.get(counter, 0) <= 0:
+                    fail(f"TV-filter: counter {counter!r} missing or zero")
+            # The rollup must have folded both filtering stretches.
+            calls = {
+                p["name"]: p["calls"] for p in report.get("phases", [])
+            }
+            if calls.get("filtering", 0) != 2:
+                fail(
+                    "TV-filter: 'filtering' should aggregate 2 calls, got "
+                    f"{calls.get('filtering', 0)}"
+                )
+
+    missing = set(EXPECTED_STEPS) - seen
+    if missing:
+        fail(f"segments missing from artifact: {sorted(missing)}")
+
+    print(
+        f"validate_trace: OK ({len(events)} events, "
+        f"{len(reports)} segments)"
+    )
+
+
+if __name__ == "__main__":
+    main()
