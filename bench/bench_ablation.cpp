@@ -9,14 +9,22 @@
 //  (c) frontier engines: BFS top-down vs bottom-up vs the
 //      direction-optimizing hybrid (edge inspections + round mix), and
 //      Shiloach-Vishkin classic vs FastSV (convergence rounds), on a
-//      low-diameter random graph and a high-diameter torus.
+//      low-diameter random graph and a high-diameter torus;
+//  (d) the aux pipeline: fused union-find hooking (AuxMode::kFused)
+//      against the staged/compacted G' + Shiloach-Vishkin chain
+//      (kMaterialized), at m = 4n and m = 20n and at p = 1 and full
+//      width — the four cells the acceptance table reads.
 //
 // Each variant is timed in isolation on the same workload so the cost
 // the paper attributes to "list ranking instead of prefix sums" is
 // directly visible.  Section (c) hard-fails (exit 1) if the hybrid BFS
 // does not beat top-down on inspections for the low-diameter family or
-// FastSV does not converge in fewer rounds than classic — so a broken
-// switching heuristic fails CI loudly instead of silently regressing.
+// FastSV does not converge in fewer rounds than classic; section (d)
+// hard-fails if the fused route's aux chain (label_edge +
+// connected_components) is not faster than the materialized chain, if
+// its workspace high-water mark is not smaller (the 3m staging buffer
+// must actually be gone), or if the two routes' labels differ — so a
+// broken kernel fails CI loudly instead of silently regressing.
 //
 // `--json <path>` additionally writes every measured configuration as
 // a JSON record (see bench_common.hpp).
@@ -126,6 +134,91 @@ bool frontier_section(Executor& ex, JsonWriter& json, const char* family,
   return ok;
 }
 
+/// Section (d): fused vs materialized aux pipeline on one graph.
+/// Both routes run behind tv_label_edges on the same TV-opt-style tree,
+/// so the timed difference is exactly the Alg. 1 + CC chain.  Returns
+/// false if an acceptance assertion failed.
+bool aux_fusion_section(Executor& ex, JsonWriter& json, const char* family,
+                        const EdgeList& g) {
+  const Csr csr = Csr::build(ex, g);
+  RootedSpanningTree tree;
+  tree.root = 0;
+  {
+    const TraversalTree tt = traversal_spanning_tree(ex, csr, 0);
+    tree.parent = tt.parent;
+    tree.parent_edge = tt.parent_edge;
+  }
+  const ChildrenCsr children = build_children(ex, tree.parent, 0);
+  const LevelStructure levels = build_levels(ex, children, 0);
+  preorder_and_size(ex, children, levels, 0, tree.pre, tree.sub);
+  const std::vector<vid> owner = make_tree_owner(ex, g.m(), tree);
+
+  bool ok = true;
+  std::printf("  %s (n = %u, m = %u, p = %d)\n", family, g.n, g.m(),
+              ex.threads());
+  std::printf("    %-14s %10s %10s %12s %12s %14s\n", "route", "min(s)",
+              "median(s)", "label(s)", "cc(s)", "peak scratch");
+
+  const struct {
+    AuxMode mode;
+    const char* name;
+  } routes[] = {{AuxMode::kMaterialized, "materialized"},
+                {AuxMode::kFused, "fused"}};
+  double chain[2] = {0, 0};
+  double label_s[2] = {0, 0};
+  double cc_s[2] = {0, 0};
+  std::size_t peak[2] = {0, 0};
+  std::vector<vid> labels[2];
+  for (int i = 0; i < 2; ++i) {
+    Workspace ws;
+    chain[i] = 1e300;
+    const RepStats st = timed_reps([&] {
+      TvCoreTimes t;
+      labels[i] = tv_label_edges(ex, ws, g.edges, tree, owner,
+                                 LowHighMethod::kLevelSweep, &children,
+                                 &levels, SvMode::kAuto, routes[i].mode, &t);
+      const double c = t.label_edge + t.connected_components;
+      if (c < chain[i]) {
+        chain[i] = c;
+        label_s[i] = t.label_edge;
+        cc_s[i] = t.connected_components;
+      }
+    });
+    peak[i] = ws.peak_bytes();
+    std::printf("    %-14s %10.3f %10.3f %12.3f %12.3f %14zu\n",
+                routes[i].name, st.min, st.median, label_s[i], cc_s[i],
+                peak[i]);
+    json.add({"ablation-aux", g.n, g.m(), ex.threads(),
+              std::string(family) + "/" + routes[i].name, {}, st.min,
+              st.median,
+              {{"aux_chain_seconds", chain[i]},
+               {"label_edge_seconds", label_s[i]},
+               {"connected_components_seconds", cc_s[i]},
+               {"peak_workspace_bytes", static_cast<double>(peak[i])}}});
+  }
+
+  if (labels[0] != labels[1]) {
+    std::printf("!! fused and materialized labels differ on %s\n", family);
+    ok = false;
+  }
+  if (chain[1] >= chain[0]) {
+    std::printf("!! fused aux chain %.4fs is not faster than "
+                "materialized %.4fs on %s\n",
+                chain[1], chain[0], family);
+    ok = false;
+  }
+  if (peak[1] >= peak[0]) {
+    std::printf("!! fused peak scratch %zu B is not below materialized "
+                "%zu B on %s\n",
+                peak[1], peak[0], family);
+    ok = false;
+  }
+  std::printf("    fused/materialized aux chain: %.2fx  (%.0f%% saved)\n\n",
+              chain[0] > 0 ? chain[1] / chain[0] : 0.0,
+              chain[0] > 0 ? 100.0 * (1.0 - chain[1] / chain[0]) : 0.0);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +318,21 @@ int main(int argc, char** argv) {
     if (side < 3) side = 3;
     const EdgeList torus = gen::grid_torus(side, side);
     ok &= frontier_section(ex, json, "torus", torus, false);
+  }
+
+  std::printf("(d) aux pipeline: fused hooks vs staged+compacted G'\n");
+  {
+    // The acceptance table's four cells: {m = 4n, m = 20n} x {p = 1,
+    // full width}, all from one run so BENCH_aux.json is self-contained.
+    Executor ex1(1);
+    const EdgeList g4 =
+        gen::random_connected_gnm(n, 4 * static_cast<eid>(n), seed + 1);
+    const EdgeList g20 =
+        gen::random_connected_gnm(n, 20 * static_cast<eid>(n), seed + 2);
+    ok &= aux_fusion_section(ex1, json, "gnm-4n", g4);
+    ok &= aux_fusion_section(ex, json, "gnm-4n", g4);
+    ok &= aux_fusion_section(ex1, json, "gnm-20n", g20);
+    ok &= aux_fusion_section(ex, json, "gnm-20n", g20);
   }
 
   if (!json.flush()) ok = false;

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate for parbcc: configure + build + full ctest on the regular
-# tree, a fast bench smoke (the frontier ablation's built-in
-# assertions catch a broken BFS-direction or SV-convergence heuristic
-# that unit tests alone would miss), then a ThreadSanitizer tree
+# tree, a fast bench smoke (the ablation's built-in assertions catch a
+# broken BFS-direction or SV-convergence heuristic and a fused aux
+# kernel that is slower, fatter, or wrong vs the materialized chain —
+# failures unit tests alone would miss), then a ThreadSanitizer tree
 # running the curated `sanitize-smoke` label (lock-free CSR scatter,
-# work-stealing traversal, SV grafting, bitmap frontier engines, and
-# the arena-backed context-reuse sweep, all at 12-way SPMD width).
+# work-stealing traversal, SV grafting, bitmap frontier engines, the
+# concurrent union-find behind the fused aux kernel, and the
+# arena-backed context-reuse sweep, all at 12-way SPMD width).
 # Exits non-zero on the first failure.
 #
 #   ./ci.sh              # full gate
@@ -40,7 +42,8 @@ cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
 
 echo "==> tsan: build smoke set"
 cmake --build build-tsan -j "$JOBS" --target stress_test csr_test \
-    workspace_test frontier_test trace_test
+    workspace_test frontier_test trace_test concurrent_uf_test \
+    auxgraph_test
 
 echo "==> tsan: ctest -L sanitize-smoke"
 ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "connectivity/shiloach_vishkin.hpp"
+#include "core/aux_graph.hpp"
 #include "eulertour/euler_tour.hpp"
 #include "spanning/bfs_tree.hpp"
 #include "util/trace.hpp"
@@ -97,15 +98,24 @@ struct BccOptions {
   bool compute_cut_info = true;
   /// List-ranking algorithm for TV-SMP's Root-tree step.
   ListRanker ranker = ListRanker::kHelmanJaja;
-  /// Arc-sorting strategy for TV-SMP's Euler-tour step.
-  ArcSort arc_sort = ArcSort::kSampleSort;
+  /// Arc-sorting strategy for TV-SMP's Euler-tour step.  The bucket
+  /// scatter is the default everywhere; the paper-faithful sample sort
+  /// stays opt-in (paper_fidelity_test pins it).
+  ArcSort arc_sort = ArcSort::kCountingSort;
   /// Frontier policy for TV-filter's BFS tree (kAuto = Beamer's
   /// direction-optimizing hybrid; forced modes for the ablation bench).
   BfsMode bfs_mode = BfsMode::kAuto;
   /// Hooking/shortcut scheme for every Shiloach-Vishkin use — the
-  /// spanning forests of TV-SMP/TV-opt/TV-filter and the
-  /// auxiliary-graph components of all three (kAuto = FastSV).
+  /// spanning forests of TV-SMP/TV-opt/TV-filter and, under
+  /// kMaterialized aux_mode, the auxiliary-graph components of all
+  /// three (kAuto = FastSV).
   SvMode sv_mode = SvMode::kAuto;
+  /// Alg. 1 route for the TV drivers: kFused hooks aux pairs into a
+  /// concurrent union-find as they are generated (no staged 3m buffer,
+  /// no compaction); kMaterialized builds G' explicitly and solves it
+  /// with Shiloach-Vishkin — the paper-faithful reference kept for
+  /// fidelity tests and the ablation bench.
+  AuxMode aux_mode = AuxMode::kFused;
   /// Adjacency the caller already holds for the input graph, so the
   /// dispatcher never rebuilds it (StepTimes::conversion then reports
   /// 0).  Must be the Csr::build of exactly the edge list passed in;

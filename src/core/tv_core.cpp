@@ -30,8 +30,8 @@ std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
                                 LowHighMethod method,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
-                                SvMode sv_mode, TvCoreTimes* times,
-                                Trace* trace) {
+                                SvMode sv_mode, AuxMode aux_mode,
+                                TvCoreTimes* times, Trace* trace) {
   Timer timer;
 
   // Step 4: low/high.
@@ -53,6 +53,22 @@ std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
     }
   }
   if (times) times->low_high = timer.lap();
+
+  // Steps 5+6 fused: hook aux pairs straight into a concurrent
+  // union-find as conditions 1-3 emit them, then read labels back in
+  // one sweep.  The kernel opens the label_edge /
+  // connected_components spans itself and reports their split.
+  if (aux_mode == AuxMode::kFused) {
+    FusedAuxStats stats;
+    std::vector<vid> labels =
+        fused_aux_components(ex, ws, edges, tree, tree_owner, lh, trace,
+                             &stats);
+    if (times) {
+      times->label_edge = stats.label_edge_seconds;
+      times->connected_components = stats.connected_components_seconds;
+    }
+    return labels;
+  }
 
   // Step 5: Label-edge (Alg. 1).
   TraceSpan label_span(trace, "label_edge");
@@ -88,10 +104,11 @@ std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
                                 LowHighMethod method,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
-                                SvMode sv_mode, TvCoreTimes* times) {
+                                SvMode sv_mode, AuxMode aux_mode,
+                                TvCoreTimes* times) {
   Workspace ws;
   return tv_label_edges(ex, ws, edges, tree, tree_owner, method, children,
-                        levels, sv_mode, times);
+                        levels, sv_mode, aux_mode, times);
 }
 
 }  // namespace parbcc

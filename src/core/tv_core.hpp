@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "connectivity/shiloach_vishkin.hpp"
+#include "core/aux_graph.hpp"
 #include "core/lowhigh.hpp"
 #include "eulertour/tree_computations.hpp"
 #include "graph/edge_list.hpp"
@@ -26,6 +27,9 @@ enum class LowHighMethod {
 
 struct TvCoreTimes {
   double low_high = 0;
+  /// In kFused mode the hook sweep (Alg. 1's work) is booked here and
+  /// the label-read sweep under connected_components, mirroring the
+  /// trace spans the fused kernel opens.
   double label_edge = 0;
   double connected_components = 0;
 };
@@ -39,12 +43,19 @@ std::vector<vid> make_tree_owner(Executor& ex, std::size_t num_edges,
 /// `children`/`levels` are required for kLevelSweep and ignored for
 /// kRmq.  Returns one label per edge; labels are auxiliary-graph root
 /// ids in [0, n + #nontree) — canonical as a partition, not as values.
-/// All intermediate arrays (low/high scatter, aux staging, aux
-/// component labels) are Workspace scratch.  With a `trace`, the three
-/// steps record themselves as the "low_high" / "label_edge" /
-/// "connected_components" spans (plus an sv_rounds counter), so the
-/// caller's StepTimes derive without a stopwatch; `times` remains for
-/// callers that want the raw splits (the ablation bench).
+/// `aux_mode` picks the Alg. 1 route: kFused (default) hooks aux
+/// pairs into a concurrent union-find as they are generated and reads
+/// the labels back in one sweep (`sv_mode` is then unused); with
+/// kMaterialized the staged/compacted G' is built and solved with
+/// Shiloach-Vishkin under `sv_mode`.  Both routes produce identical
+/// labels (the component-minimum aux id), not merely the same
+/// partition.  All intermediate arrays (low/high scatter, aux staging
+/// or union-find parents, aux component labels) are Workspace
+/// scratch.  With a `trace`, the three steps record themselves as the
+/// "low_high" / "label_edge" / "connected_components" spans (plus
+/// sv_rounds or aux_hooks/aux_find_depth counters), so the caller's
+/// StepTimes derive without a stopwatch; `times` remains for callers
+/// that want the raw splits (the ablation bench).
 std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
                                 std::span<const Edge> edges,
                                 const RootedSpanningTree& tree,
@@ -53,6 +64,7 @@ std::vector<vid> tv_label_edges(Executor& ex, Workspace& ws,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
                                 SvMode sv_mode = SvMode::kAuto,
+                                AuxMode aux_mode = AuxMode::kFused,
                                 TvCoreTimes* times = nullptr,
                                 Trace* trace = nullptr);
 std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
@@ -62,6 +74,7 @@ std::vector<vid> tv_label_edges(Executor& ex, std::span<const Edge> edges,
                                 const ChildrenCsr* children,
                                 const LevelStructure* levels,
                                 SvMode sv_mode = SvMode::kAuto,
+                                AuxMode aux_mode = AuxMode::kFused,
                                 TvCoreTimes* times = nullptr);
 
 }  // namespace parbcc

@@ -146,7 +146,8 @@ BccResult tv_filter_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   }
   const std::vector<vid> h_labels =
       tv_label_edges(ex, ws, h_edges, tree, owner, LowHighMethod::kLevelSweep,
-                     &children, &levels, opt.sv_mode, nullptr, &tr);
+                     &children, &levels, opt.sv_mode, opt.aux_mode, nullptr,
+                     &tr);
 
   // Alg. 2 step 4: scatter H labels back; every filtered edge (u,v)
   // joins the component of the tree edge below its higher-preorder

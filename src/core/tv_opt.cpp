@@ -78,7 +78,8 @@ BccResult tv_opt_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   }
   result.edge_component =
       tv_label_edges(ex, ws, g.edges, tree, owner, LowHighMethod::kLevelSweep,
-                     &children, &levels, opt.sv_mode, nullptr, &tr);
+                     &children, &levels, opt.sv_mode, opt.aux_mode, nullptr,
+                     &tr);
 
   {
     TraceSpan span(tr, "normalize");

@@ -43,7 +43,8 @@ BccResult tv_smp_bcc(Executor& ex, Workspace& ws, const EdgeList& g,
   }
   result.edge_component =
       tv_label_edges(ex, ws, g.edges, tree, owner, LowHighMethod::kRmq,
-                     nullptr, nullptr, opt.sv_mode, nullptr, &tr);
+                     nullptr, nullptr, opt.sv_mode, opt.aux_mode, nullptr,
+                     &tr);
 
   {
     TraceSpan span(tr, "normalize");

@@ -11,20 +11,21 @@
 namespace parbcc {
 namespace {
 
-/// Endpoints of arc `a` over the tree edge list.
-struct ArcView {
-  std::span<const Edge> edges;
-  std::span<const eid> tree_edges;
-
-  vid src(vid a) const {
-    const Edge& e = edges[tree_edges[a >> 1]];
-    return (a & 1) ? e.v : e.u;
-  }
-  vid dst(vid a) const {
-    const Edge& e = edges[tree_edges[a >> 1]];
-    return (a & 1) ? e.u : e.v;
-  }
-};
+/// Per-arc source endpoints, materialized once per circuit build:
+/// ends[a] is the tail of arc a and ends[a ^ 1] its head.  Every sweep
+/// below walks this flat array instead of chasing the
+/// edges[tree_edges[a >> 1]] double indirection per access.
+std::span<vid> materialize_arc_ends(Executor& ex, Workspace& ws,
+                                    std::span<const Edge> edges,
+                                    std::span<const eid> tree_edges) {
+  std::span<vid> ends = ws.alloc<vid>(2 * tree_edges.size());
+  ex.parallel_for(tree_edges.size(), [&](std::size_t t) {
+    const Edge& e = edges[tree_edges[t]];
+    ends[2 * t] = e.u;
+    ends[2 * t + 1] = e.v;
+  });
+  return ends;
+}
 
 }  // namespace
 
@@ -35,9 +36,9 @@ EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
   const std::size_t num_arcs = 2 * tree_edges.size();
   EulerCircuit out;
   if (num_arcs == 0) return out;
-  const ArcView arcs{edges, tree_edges};
 
   Workspace::Frame frame(ws);
+  std::span<const vid> ends = materialize_arc_ends(ex, ws, edges, tree_edges);
 
   // --- Group arcs by source vertex. ----------------------------------
   // offsets[v] .. offsets[v+1] delimit v's arc group in sorted_arcs.
@@ -46,8 +47,7 @@ EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
     std::span<eid> deg = ws.alloc<eid>(n);
     ex.parallel_for(n, [&](std::size_t v) { deg[v] = 0; });
     ex.parallel_for(num_arcs, [&](std::size_t a) {
-      std::atomic_ref(deg[arcs.src(static_cast<vid>(a))])
-          .fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref(deg[ends[a]]).fetch_add(1, std::memory_order_relaxed);
     });
     const eid total =
         exclusive_scan(ex, ws, deg.data(), offsets.data(), n, eid{0});
@@ -62,9 +62,7 @@ EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
     // valid circular adjacency.
     std::span<std::uint64_t> items = ws.alloc<std::uint64_t>(num_arcs);
     ex.parallel_for(num_arcs, [&](std::size_t a) {
-      items[a] = (static_cast<std::uint64_t>(arcs.src(static_cast<vid>(a)))
-                  << 32) |
-                 a;
+      items[a] = (static_cast<std::uint64_t>(ends[a]) << 32) | a;
     });
     sample_sort(ex, ws, items.data(), num_arcs);
     ex.parallel_for(num_arcs, [&](std::size_t i) {
@@ -75,7 +73,7 @@ EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
     std::span<eid> cursor = ws.alloc<eid>(n);
     ex.parallel_for(n, [&](std::size_t v) { cursor[v] = offsets[v]; });
     ex.parallel_for(num_arcs, [&](std::size_t a) {
-      const eid slot = std::atomic_ref(cursor[arcs.src(static_cast<vid>(a))])
+      const eid slot = std::atomic_ref(cursor[ends[a]])
                            .fetch_add(1, std::memory_order_relaxed);
       sorted_arcs[slot] = static_cast<vid>(a);
     });
@@ -92,7 +90,7 @@ EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
   out.succ.resize(num_arcs);
   ex.parallel_for(num_arcs, [&](std::size_t a) {
     const vid twin = static_cast<vid>(a ^ 1);
-    const vid v = arcs.src(twin);
+    const vid v = ends[twin];
     const eid idx = arc_pos[twin];
     const eid next = (idx + 1 == offsets[v + 1]) ? offsets[v] : idx + 1;
     out.succ[a] = sorted_arcs[next];
@@ -147,10 +145,10 @@ RootedSpanningTree root_tree_via_euler_tour(Executor& ex, Workspace& ws,
   circuit_span.close();
   if (times) times->circuit = timer.lap();
   const std::size_t num_arcs = 2 * tree_edges.size();
-  const ArcView arcs{edges, tree_edges};
 
   TraceSpan rooting_span(trace, "root_tree");
   Workspace::Frame frame(ws);
+  std::span<const vid> ends = materialize_arc_ends(ex, ws, edges, tree_edges);
   std::span<vid> rank = ws.alloc<vid>(num_arcs);
   {
     TraceSpan span(trace, "list_ranking");
@@ -176,8 +174,8 @@ RootedSpanningTree root_tree_via_euler_tour(Executor& ex, Workspace& ws,
   ex.parallel_for(tree_edges.size(), [&](std::size_t t) {
     const vid down = rank[2 * t] < rank[2 * t + 1] ? static_cast<vid>(2 * t)
                                                    : static_cast<vid>(2 * t + 1);
-    const vid child = arcs.dst(down);
-    tree.parent[child] = arcs.src(down);
+    const vid child = ends[static_cast<std::size_t>(down) ^ 1];
+    tree.parent[child] = ends[down];
     tree.parent_edge[child] = tree_edges[t];
     // sub = (rank(up) - rank(down) + 1) / 2: the arcs strictly between
     // the two are exactly the 2(sub-1) arcs inside the subtree.
@@ -196,7 +194,7 @@ RootedSpanningTree root_tree_via_euler_tour(Executor& ex, Workspace& ws,
   ex.parallel_for(tree_edges.size(), [&](std::size_t t) {
     const vid down = rank[2 * t] < rank[2 * t + 1] ? static_cast<vid>(2 * t)
                                                    : static_cast<vid>(2 * t + 1);
-    tree.pre[arcs.dst(down)] = by_rank[rank[down]] + 1;
+    tree.pre[ends[static_cast<std::size_t>(down) ^ 1]] = by_rank[rank[down]] + 1;
   });
   if (times) times->rooting = timer.lap();
   return tree;

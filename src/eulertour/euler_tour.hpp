@@ -18,10 +18,12 @@
 /// 2t is tree_edges[t] traversed u->v and arc 2t+1 is its anti-parallel
 /// mate, so twin(a) == a ^ 1.  The paper's implementation discovers the
 /// mates by sample-sorting arcs keyed (min, max); `kSampleSort` keeps
-/// that cost in the measured pipeline, while `kCountingSort` is the
-/// cheap bucket alternative.  Rooting then ranks the circuit with a
-/// list-ranking algorithm and reads preorder numbers and subtree sizes
-/// off the arc ranks.
+/// that cost in the measured pipeline (opt-in, for the paper-fidelity
+/// path), while `kCountingSort` — the default — is the cheap bucket
+/// scatter.  Both yield valid circuits and identical rooted trees; only
+/// the within-group arc order differs.  Rooting then ranks the circuit
+/// with a list-ranking algorithm and reads preorder numbers and subtree
+/// sizes off the arc ranks.
 
 namespace parbcc {
 
@@ -45,12 +47,12 @@ struct EulerCircuit {
 EulerCircuit build_euler_circuit(Executor& ex, Workspace& ws, vid n,
                                  std::span<const Edge> edges,
                                  std::span<const eid> tree_edges, vid root,
-                                 ArcSort sort = ArcSort::kSampleSort,
+                                 ArcSort sort = ArcSort::kCountingSort,
                                  Trace* trace = nullptr);
 EulerCircuit build_euler_circuit(Executor& ex, vid n,
                                  std::span<const Edge> edges,
                                  std::span<const eid> tree_edges, vid root,
-                                 ArcSort sort = ArcSort::kSampleSort);
+                                 ArcSort sort = ArcSort::kCountingSort);
 
 /// Wall-clock split of the rooting pipeline, matching the paper's
 /// Euler-tour vs Root-tree bars in Fig. 4.
@@ -68,12 +70,12 @@ RootedSpanningTree root_tree_via_euler_tour(
     Executor& ex, Workspace& ws, vid n, std::span<const Edge> edges,
     std::span<const eid> tree_edges, vid root,
     ListRanker ranker = ListRanker::kHelmanJaja,
-    ArcSort sort = ArcSort::kSampleSort, EulerTourTimes* times = nullptr,
+    ArcSort sort = ArcSort::kCountingSort, EulerTourTimes* times = nullptr,
     Trace* trace = nullptr);
 RootedSpanningTree root_tree_via_euler_tour(
     Executor& ex, vid n, std::span<const Edge> edges,
     std::span<const eid> tree_edges, vid root,
     ListRanker ranker = ListRanker::kHelmanJaja,
-    ArcSort sort = ArcSort::kSampleSort, EulerTourTimes* times = nullptr);
+    ArcSort sort = ArcSort::kCountingSort, EulerTourTimes* times = nullptr);
 
 }  // namespace parbcc

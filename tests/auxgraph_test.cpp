@@ -8,6 +8,7 @@
 #include "core/tv_core.hpp"
 #include "eulertour/tree_computations.hpp"
 #include "graph/generators.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace parbcc {
@@ -31,6 +32,76 @@ struct Manual {
     owner = make_tree_owner(ex, g.m(), tree);
   }
 };
+
+/// BFS orientation of a connected graph wrapped in the Manual fixture.
+Manual bfs_fixture(Executor& ex, const EdgeList& g) {
+  std::vector<vid> parent(g.n, kNoVertex);
+  std::vector<eid> parent_edge(g.n, kNoEdge);
+  std::vector<std::vector<std::pair<vid, eid>>> adj(g.n);
+  for (eid e = 0; e < g.m(); ++e) {
+    adj[g.edges[e].u].push_back({g.edges[e].v, e});
+    adj[g.edges[e].v].push_back({g.edges[e].u, e});
+  }
+  parent[0] = 0;
+  std::vector<vid> queue = {0};
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const vid v = queue[i];
+    for (const auto& [w, e] : adj[v]) {
+      if (parent[w] == kNoVertex) {
+        parent[w] = v;
+        parent_edge[w] = e;
+        queue.push_back(w);
+      }
+    }
+  }
+  return Manual(ex, g, std::move(parent), std::move(parent_edge), 0);
+}
+
+/// Connected variant of the fuzz-construction families
+/// (fuzz_construction_test.cpp): bridges, cycles and cliques glued
+/// onto existing vertices only, so a spanning tree always exists and
+/// the tv_core kernels can run directly.
+EdgeList fuzz_connected(std::uint64_t seed, int ops) {
+  Xoshiro256 rng(seed);
+  EdgeList g;
+  g.n = 1;
+  const auto fresh = [&] { return g.n++; };
+  const auto anchor = [&] { return static_cast<vid>(rng.below(g.n)); };
+  for (int k = 0; k < ops; ++k) {
+    switch (rng.below(3)) {
+      case 0: {  // bridge
+        const vid a = anchor();
+        g.add_edge(a, fresh());
+        break;
+      }
+      case 1: {  // cycle
+        const vid len = static_cast<vid>(3 + rng.below(6));
+        const vid a = anchor();
+        vid prev = a;
+        for (vid i = 1; i < len; ++i) {
+          const vid v = fresh();
+          g.add_edge(prev, v);
+          prev = v;
+        }
+        g.add_edge(prev, a);
+        break;
+      }
+      default: {  // clique
+        const vid size = static_cast<vid>(3 + rng.below(4));
+        const vid a = anchor();
+        std::vector<vid> members{a};
+        for (vid i = 1; i < size; ++i) members.push_back(fresh());
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          for (std::size_t j = i + 1; j < members.size(); ++j) {
+            g.add_edge(members[i], members[j]);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return g;
+}
 
 TEST(AuxGraph, TrianglePlusPendantHandChecked) {
   Executor ex(1);
@@ -79,28 +150,7 @@ TEST(AuxGraph, ConditionCountsOnTheCycle) {
 TEST(AuxGraph, MappingIsInjective) {
   Executor ex(4);
   const EdgeList g = gen::random_connected_gnm(300, 900, 4);
-  // Build via the tv_core fixtures indirectly: reuse Manual with a BFS
-  // orientation computed by hand here.
-  std::vector<vid> parent(g.n, kNoVertex);
-  std::vector<eid> parent_edge(g.n, kNoEdge);
-  std::vector<std::vector<std::pair<vid, eid>>> adj(g.n);
-  for (eid e = 0; e < g.m(); ++e) {
-    adj[g.edges[e].u].push_back({g.edges[e].v, e});
-    adj[g.edges[e].v].push_back({g.edges[e].u, e});
-  }
-  parent[0] = 0;
-  std::vector<vid> queue = {0};
-  for (std::size_t i = 0; i < queue.size(); ++i) {
-    const vid v = queue[i];
-    for (const auto& [w, e] : adj[v]) {
-      if (parent[w] == kNoVertex) {
-        parent[w] = v;
-        parent_edge[w] = e;
-        queue.push_back(w);
-      }
-    }
-  }
-  Manual fx(ex, g, std::move(parent), std::move(parent_edge), 0);
+  Manual fx = bfs_fixture(ex, g);
   const LowHigh lh = compute_low_high_levels(ex, g.edges, fx.tree, fx.owner,
                                              fx.children, fx.levels);
   const AuxGraph aux = build_aux_graph(ex, g.edges, fx.tree, fx.owner, lh);
@@ -126,6 +176,61 @@ TEST(AuxGraph, MappingIsInjective) {
     EXPECT_LT(e.u, aux.num_vertices);
     EXPECT_LT(e.v, aux.num_vertices);
   }
+}
+
+/// Property suite for the fused kernel: on every fuzz-construction
+/// family and SPMD width, the fused route's labels equal the
+/// materialized route's — exactly, not merely as a partition, because
+/// both contract each component to its minimum aux id.
+class FusedVsMaterialized
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FusedVsMaterialized, IdenticalLabelsOnFuzzFamilies) {
+  const auto [threads, seed] = GetParam();
+  Executor ex(threads);
+  const EdgeList g =
+      fuzz_connected(static_cast<std::uint64_t>(seed) * 77 + 5, 40);
+  Manual fx = bfs_fixture(ex, g);
+  const std::vector<vid> mat = tv_label_edges(
+      ex, g.edges, fx.tree, fx.owner, LowHighMethod::kLevelSweep,
+      &fx.children, &fx.levels, SvMode::kAuto, AuxMode::kMaterialized);
+  const std::vector<vid> fused = tv_label_edges(
+      ex, g.edges, fx.tree, fx.owner, LowHighMethod::kLevelSweep,
+      &fx.children, &fx.levels, SvMode::kAuto, AuxMode::kFused);
+  EXPECT_EQ(fused, mat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FusedVsMaterialized,
+                         ::testing::Combine(::testing::Values(1, 4, 12),
+                                            ::testing::Range(0, 8)));
+
+/// The fused kernel's telemetry is consistent with the materialized
+/// graph it replaces: |V'| matches, the spanning hook count is
+/// |V'| - #components of G', and every label is a component minimum.
+TEST(FusedAux, StatsMatchMaterializedStructure) {
+  Executor ex(4);
+  const EdgeList g = fuzz_connected(4242, 60);
+  Manual fx = bfs_fixture(ex, g);
+  const LowHigh lh = compute_low_high_levels(ex, g.edges, fx.tree, fx.owner,
+                                             fx.children, fx.levels);
+  const AuxGraph aux = build_aux_graph(ex, g.edges, fx.tree, fx.owner, lh);
+  FusedAuxStats stats;
+  const std::vector<vid> labels =
+      fused_aux_components(ex, g.edges, fx.tree, fx.owner, lh, &stats);
+  EXPECT_EQ(stats.num_vertices, aux.num_vertices);
+  // Labels are component minima: each label is <= the aux id it came
+  // from, and label slots are fixed points (their own component min).
+  std::set<vid> roots;
+  for (eid e = 0; e < g.m(); ++e) {
+    EXPECT_LE(labels[e], aux.aux_id[e]);
+    roots.insert(labels[e]);
+  }
+  // Each successful hook merges two components, so V' splits into
+  // |V'| - hooks components.  Every aux vertex except the root's
+  // unused slot is some edge's image (the mapping is onto
+  // V' \ {root}), so the distinct labels count all components but one.
+  EXPECT_EQ(static_cast<std::uint64_t>(aux.num_vertices) - stats.hooks,
+            static_cast<std::uint64_t>(roots.size()) + 1);
 }
 
 }  // namespace

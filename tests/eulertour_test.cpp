@@ -152,6 +152,45 @@ INSTANTIATE_TEST_SUITE_P(Sweep, TourParam,
                                             ::testing::Values(2, 3, 10, 500,
                                                               5000)));
 
+TEST(ArcSortEquivalence, BothOrdersYieldIdenticalTrees) {
+  // At p = 1 the bucket scatter fills each source group in arc-id
+  // order — exactly the sample sort's (source, arc id) key — so the
+  // two circuits, and hence every rank and preorder number, are
+  // bit-identical.  At p > 1 the bucket within-group order is arrival
+  // order; parent links and subtree sizes are order-independent and
+  // must still match exactly, while preorder stays a valid DFS
+  // numbering for both.
+  const EdgeList tree = random_tree(4000, 99);
+  const auto tree_ids = all_edge_ids(tree);
+  {
+    Executor ex(1);
+    const RootedSpanningTree a = root_tree_via_euler_tour(
+        ex, tree.n, tree.edges, tree_ids, 0, ListRanker::kHelmanJaja,
+        ArcSort::kSampleSort);
+    const RootedSpanningTree b = root_tree_via_euler_tour(
+        ex, tree.n, tree.edges, tree_ids, 0, ListRanker::kHelmanJaja,
+        ArcSort::kCountingSort);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.parent_edge, b.parent_edge);
+    EXPECT_EQ(a.pre, b.pre);
+    EXPECT_EQ(a.sub, b.sub);
+  }
+  for (const int threads : {4, 8}) {
+    Executor ex(threads);
+    const RootedSpanningTree a = root_tree_via_euler_tour(
+        ex, tree.n, tree.edges, tree_ids, 0, ListRanker::kHelmanJaja,
+        ArcSort::kSampleSort);
+    const RootedSpanningTree b = root_tree_via_euler_tour(
+        ex, tree.n, tree.edges, tree_ids, 0, ListRanker::kHelmanJaja,
+        ArcSort::kCountingSort);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.parent_edge, b.parent_edge);
+    EXPECT_EQ(a.sub, b.sub);
+    expect_consistent_preorder(a);
+    expect_consistent_preorder(b);
+  }
+}
+
 TEST(TreeComputations, LevelPipelineMatchesDfsReference) {
   for (const int threads : {1, 4}) {
     Executor ex(threads);

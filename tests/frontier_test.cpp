@@ -141,26 +141,32 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SvModeParam,
                                             ::testing::Values(1, 2, 3)));
 
 TEST(FastSv, ConvergesInFewerRoundsThanClassic) {
-  // Round counts are scheduling-sensitive at low widths: labels
-  // written early in a pass are visible later in the same pass, so a
-  // nearly serial interleave can collapse classic to its 2-round
-  // minimum on small inputs.  At full SPMD width on the paper-style
-  // instances the separation is stable: stride-2 hooking plus full
-  // per-round flattening lands FastSV at 2 rounds while classic's
-  // single jump needs 4+.
+  // Round counts are scheduling-sensitive: labels written early in a
+  // pass are visible later in the same pass, so a nearly serial
+  // interleave — including workers descheduled by a loaded machine —
+  // can collapse classic to its 2-round minimum even at full SPMD
+  // width.  The stable property is separation under the typical
+  // schedule (stride-2 hooking plus full per-round flattening lands
+  // FastSV at 2 rounds while classic's single jump needs 4+), so the
+  // round assertion gets a small retry budget; label equality stays
+  // unconditional.
   Executor ex(12);
   const EdgeList torus = gen::grid_torus(141, 141);
   const EdgeList random = gen::random_connected_gnm(20000, 160000, 20050404);
-  for (const EdgeList* g : {&torus, &random}) {
-    SvStats classic, fast;
-    const auto lc =
-        connected_components_sv(ex, g->n, g->edges, SvMode::kClassic,
-                                &classic);
-    const auto lf =
-        connected_components_sv(ex, g->n, g->edges, SvMode::kFastSV, &fast);
-    EXPECT_EQ(lc, lf);
-    EXPECT_LT(fast.rounds, classic.rounds);
+  bool separated = false;
+  for (int attempt = 0; attempt < 5 && !separated; ++attempt) {
+    separated = true;
+    for (const EdgeList* g : {&torus, &random}) {
+      SvStats classic, fast;
+      const auto lc = connected_components_sv(ex, g->n, g->edges,
+                                              SvMode::kClassic, &classic);
+      const auto lf =
+          connected_components_sv(ex, g->n, g->edges, SvMode::kFastSV, &fast);
+      ASSERT_EQ(lc, lf);
+      separated = separated && fast.rounds < classic.rounds;
+    }
   }
+  EXPECT_TRUE(separated);
 }
 
 TEST(FastSv, SubsetForestRestrictsEdges) {

@@ -10,7 +10,12 @@ Checks, per segment of the Chrome export written by bench_fig4:
      exactly once (the rollup must aggregate repeated spans such as
      TV-filter's two "filtering" stretches into one phase);
   4. the TV-filter segment carries the telemetry counters the paper's
-     discussion leans on (SV rounds, BFS inspections, arena peak).
+     discussion leans on (SV rounds, BFS inspections, arena peak);
+  5. every TV segment ran the fused aux kernel: the label_edge /
+     connected_components paper steps nest the fused sub-spans
+     (aux_hook, aux_gather) instead of the materialized chain
+     (aux_stage, aux_compact), and the aux_vertices / aux_hooks /
+     aux_find_depth counters are populated.
 
 Usage: validate_trace.py <trace.json>
 """
@@ -55,6 +60,14 @@ REQUIRED_FILTER_COUNTERS = [
     "bfs_inspected_edges",
     "peak_workspace_bytes",
 ]
+
+# Sub-spans of the default (fused) aux pipeline, present in every TV
+# segment; the materialized chain's spans must be absent — if they show
+# up, a driver regressed to the staged route.
+FUSED_AUX_SPANS = ["aux_vertex_map", "aux_hook", "aux_gather"]
+MATERIALIZED_AUX_SPANS = ["aux_stage", "aux_compact"]
+REQUIRED_TV_AUX_COUNTERS = ["aux_vertices", "aux_hooks", "aux_find_depth"]
+TV_SEGMENTS = {"TV-SMP", "TV-opt", "TV-filter"}
 
 
 def fail(msg):
@@ -112,6 +125,22 @@ def main():
             if phase.get("inclusive", -1) < 0:
                 fail(f"{label}: phase {phase['name']!r} negative inclusive")
         counters = report.get("counters", {})
+        if label in TV_SEGMENTS:
+            for span in FUSED_AUX_SPANS:
+                if names.count(span) != 1:
+                    fail(
+                        f"{label}: fused aux span {span!r} appears "
+                        f"{names.count(span)} times (want exactly 1)"
+                    )
+            for span in MATERIALIZED_AUX_SPANS:
+                if span in names:
+                    fail(
+                        f"{label}: materialized aux span {span!r} present — "
+                        "driver fell back to the staged route"
+                    )
+            for counter in REQUIRED_TV_AUX_COUNTERS:
+                if counters.get(counter, 0) <= 0:
+                    fail(f"{label}: counter {counter!r} missing or zero")
         if label == "TV-filter":
             for counter in REQUIRED_FILTER_COUNTERS:
                 if counters.get(counter, 0) <= 0:
