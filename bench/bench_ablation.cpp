@@ -30,9 +30,11 @@
 // a JSON record (see bench_common.hpp).
 
 #include <cstdio>
+#include <string_view>
 
 #include "bench_common.hpp"
 #include "connectivity/shiloach_vishkin.hpp"
+#include "core/bcc.hpp"
 #include "core/lowhigh.hpp"
 #include "core/tv_core.hpp"
 #include "eulertour/euler_tour.hpp"
@@ -219,6 +221,97 @@ bool aux_fusion_section(Executor& ex, JsonWriter& json, const char* family,
   return ok;
 }
 
+/// Section (e): whole-solve FastBCC vs TV-filter through the public
+/// dispatcher, plus the kAuto pick for the same cell.  Warm contexts:
+/// the conversion is paid once up front so the timed reps measure the
+/// engines, not the shared CSR build.  Returns false if an acceptance
+/// assertion failed.
+bool fastbcc_section(Executor& ex, JsonWriter& json, const char* family,
+                     const EdgeList& g, bool assert_fastbcc_wins,
+                     BccAlgorithm expected_auto_pick) {
+  bool ok = true;
+  std::printf("  %s (n = %u, m = %u, p = %d)\n", family, g.n, g.m(),
+              ex.threads());
+  std::printf("    %-14s %10s %10s %14s\n", "engine", "min(s)", "median(s)",
+              "peak scratch");
+
+  const struct {
+    BccAlgorithm alg;
+    const char* name;
+  } engines[] = {{BccAlgorithm::kTvFilter, "tv-filter"},
+                 {BccAlgorithm::kFastBcc, "fastbcc"}};
+  double best[2] = {0, 0};
+  std::size_t peak[2] = {0, 0};
+  std::vector<vid> labels[2];
+  for (int i = 0; i < 2; ++i) {
+    BccContext ctx(ex);
+    BccOptions opt;
+    opt.algorithm = engines[i].alg;
+    opt.compute_cut_info = false;
+    (void)biconnected_components(ctx, g, opt);  // warm conversion + arena
+    BccResult r;
+    const RepStats st =
+        timed_reps([&] { r = biconnected_components(ctx, g, opt); });
+    best[i] = st.min;
+    peak[i] = r.peak_workspace_bytes;
+    labels[i] = std::move(r.edge_component);
+    std::printf("    %-14s %10.3f %10.3f %14zu\n", engines[i].name, st.min,
+                st.median, peak[i]);
+    json.add({"ablation-fastbcc", g.n, g.m(), ex.threads(),
+              std::string(family) + "/" + engines[i].name, {}, st.min,
+              st.median,
+              {{"peak_workspace_bytes", static_cast<double>(peak[i])}}});
+  }
+
+  // Both engines normalize labels by first appearance over the same
+  // edge order, so identical partitions mean identical vectors.
+  if (labels[0] != labels[1]) {
+    std::printf("!! fastbcc and tv-filter labels differ on %s\n", family);
+    ok = false;
+  }
+  if (peak[1] >= peak[0]) {
+    std::printf("!! fastbcc peak scratch %zu B is not below tv-filter "
+                "%zu B on %s\n",
+                peak[1], peak[0], family);
+    ok = false;
+  }
+  if (assert_fastbcc_wins && best[1] >= best[0]) {
+    std::printf("!! fastbcc %.4fs is not faster than tv-filter %.4fs on %s "
+                "(p = %d)\n",
+                best[1], best[0], family, ex.threads());
+    ok = false;
+  }
+
+  // The dispatcher's own verdict for this cell, read off the rollup
+  // span it opened.
+  BccContext auto_ctx(ex);
+  BccOptions auto_opt;
+  auto_opt.algorithm = BccAlgorithm::kAuto;
+  auto_opt.compute_cut_info = false;
+  const BccResult ra = biconnected_components(auto_ctx, g, auto_opt);
+  const char* picked = "?";
+  for (const BccAlgorithm alg :
+       {BccAlgorithm::kSequential, BccAlgorithm::kTvOpt,
+        BccAlgorithm::kTvFilter, BccAlgorithm::kFastBcc}) {
+    if (ra.trace.find_path(to_string(alg)) != nullptr) picked = to_string(alg);
+  }
+  std::printf("    auto pick: %s (expected %s)\n", picked,
+              to_string(expected_auto_pick));
+  json.add({"ablation-fastbcc", g.n, g.m(), ex.threads(),
+            std::string(family) + "/auto", {}, 0.0, 0.0,
+            {{"picked_fastbcc",
+              ra.trace.find_path("FastBCC") != nullptr ? 1.0 : 0.0}}});
+  if (ra.trace.find_path(to_string(expected_auto_pick)) == nullptr) {
+    std::printf("!! auto picked %s instead of %s on %s (p = %d)\n", picked,
+                to_string(expected_auto_pick), family, ex.threads());
+    ok = false;
+  }
+  std::printf("    fastbcc/tv-filter: %.2fx  (%.0f%% saved)\n\n",
+              best[0] > 0 ? best[1] / best[0] : 0.0,
+              best[0] > 0 ? 100.0 * (1.0 - best[1] / best[0]) : 0.0);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,11 +320,17 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = env_seed();
   const eid m = 8 * static_cast<eid>(n);
   JsonWriter json(argc, argv);
+  bool fastbcc_only = false;  // CI smoke: skip (a)-(d), run (e) alone
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--fastbcc-only") fastbcc_only = true;
+  }
 
   print_header("A1 - rooting and low/high ablation");
   std::printf("n = %u, m = %u, p = %d, reps = %d\n\n", n, m, p, env_reps());
 
   Executor ex(p);
+  bool ok = true;
+  if (!fastbcc_only) {
   const EdgeList g = gen::random_connected_gnm(n, m, seed);
   const SpanningForest forest = sv_spanning_forest(ex, g.n, g.edges);
 
@@ -306,7 +405,6 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n(c) frontier engines: BFS direction + SV convergence\n");
-  bool ok = true;
   // Low-diameter, above-average density: the hybrid's home turf, so
   // the inspection assertion applies here.
   ok &= frontier_section(ex, json, "random-8n", g, true);
@@ -333,6 +431,29 @@ int main(int argc, char** argv) {
     ok &= aux_fusion_section(ex, json, "gnm-4n", g4);
     ok &= aux_fusion_section(ex1, json, "gnm-20n", g20);
     ok &= aux_fusion_section(ex, json, "gnm-20n", g20);
+  }
+  }  // !fastbcc_only
+
+  std::printf("(e) full-solve engines: FastBCC vs TV-filter, with the "
+              "kAuto verdict\n");
+  {
+    // Same four cells as (d), now end to end through the dispatcher.
+    // The hard time bound applies at the dense full-width cell (the
+    // regime kAuto routes to FastBCC); the peak-scratch and
+    // label-equality bounds apply everywhere.  kAuto must pick TV-opt
+    // at m = 4n (the paper's fallback rule) and FastBCC at m = 20n.
+    Executor ex1(1);
+    const EdgeList g4 =
+        gen::random_connected_gnm(n, 4 * static_cast<eid>(n), seed + 1);
+    const EdgeList g20 =
+        gen::random_connected_gnm(n, 20 * static_cast<eid>(n), seed + 2);
+    ok &= fastbcc_section(ex1, json, "gnm-4n", g4, false,
+                          BccAlgorithm::kTvOpt);
+    ok &= fastbcc_section(ex, json, "gnm-4n", g4, false, BccAlgorithm::kTvOpt);
+    ok &= fastbcc_section(ex1, json, "gnm-20n", g20, false,
+                          BccAlgorithm::kFastBcc);
+    ok &= fastbcc_section(ex, json, "gnm-20n", g20, true,
+                          BccAlgorithm::kFastBcc);
   }
 
   if (!json.flush()) ok = false;

@@ -1,8 +1,9 @@
 // Fig. 4 reproduction: breakdown of execution time into the paper's
 // steps — Spanning-tree, Euler-tour, Root, Low-high, Label-edge,
-// Connected-components, Filtering — for TV-SMP, TV-opt and TV-filter at
-// 12 processors, on random graphs of 1M vertices (PARBCC_N to scale)
-// with m in {4n, 10n, 20n}.
+// Connected-components, Filtering — for TV-SMP, TV-opt, TV-filter and
+// FastBCC at 12 processors, on random graphs of 1M vertices (PARBCC_N
+// to scale) with m in {4n, 10n, 20n}.  (FastBCC has no Filtering bar;
+// its Euler-tour/Low-high rows cover the compressed tagging sweeps.)
 //
 // One extra row, "conversion", reports the edge-list -> adjacency
 // conversion TV-opt and TV-filter pay (the representation-discrepancy
@@ -43,8 +44,8 @@ RepRun run(const EdgeList& g, BccAlgorithm algorithm, int threads) {
   return out;
 }
 
-void print_row(const char* label, double a, double b, double c) {
-  std::printf("  %-22s %10.3f %10.3f %10.3f\n", label, a, b, c);
+void print_row(const char* label, double a, double b, double c, double d) {
+  std::printf("  %-22s %10.3f %10.3f %10.3f %10.3f\n", label, a, b, c, d);
 }
 
 }  // namespace
@@ -66,30 +67,37 @@ int main(int argc, char** argv) {
     const RepRun smp_run = run(g, BccAlgorithm::kTvSmp, p);
     const RepRun opt_run = run(g, BccAlgorithm::kTvOpt, p);
     const RepRun filter_run = run(g, BccAlgorithm::kTvFilter, p);
+    const RepRun fast_run = run(g, BccAlgorithm::kFastBcc, p);
     const StepTimes& smp = smp_run.best;
     const StepTimes& opt = opt_run.best;
     const StepTimes& filter = filter_run.best;
+    const StepTimes& fast = fast_run.best;
 
     std::printf("--- m = %u (= %un)   seconds per step\n", m,
                 static_cast<unsigned>(mult));
-    std::printf("  %-22s %10s %10s %10s\n", "step", "TV-SMP", "TV-opt",
-                "TV-filter");
-    print_row("conversion", smp.conversion, opt.conversion, filter.conversion);
+    std::printf("  %-22s %10s %10s %10s %10s\n", "step", "TV-SMP", "TV-opt",
+                "TV-filter", "FastBCC");
+    print_row("conversion", smp.conversion, opt.conversion, filter.conversion,
+              fast.conversion);
     print_row("Spanning-tree", smp.spanning_tree, opt.spanning_tree,
-              filter.spanning_tree);
-    print_row("Euler-tour", smp.euler_tour, opt.euler_tour,
-              filter.euler_tour);
-    print_row("Root", smp.root_tree, opt.root_tree, filter.root_tree);
-    print_row("Low-high", smp.low_high, opt.low_high, filter.low_high);
-    print_row("Label-edge", smp.label_edge, opt.label_edge,
-              filter.label_edge);
+              filter.spanning_tree, fast.spanning_tree);
+    print_row("Euler-tour", smp.euler_tour, opt.euler_tour, filter.euler_tour,
+              fast.euler_tour);
+    print_row("Root", smp.root_tree, opt.root_tree, filter.root_tree,
+              fast.root_tree);
+    print_row("Low-high", smp.low_high, opt.low_high, filter.low_high,
+              fast.low_high);
+    print_row("Label-edge", smp.label_edge, opt.label_edge, filter.label_edge,
+              fast.label_edge);
     print_row("Connected-components", smp.connected_components,
-              opt.connected_components, filter.connected_components);
-    print_row("Filtering", smp.filtering, opt.filtering, filter.filtering);
+              opt.connected_components, filter.connected_components,
+              fast.connected_components);
+    print_row("Filtering", smp.filtering, opt.filtering, filter.filtering,
+              fast.filtering);
     print_row("TOTAL (min)", smp_run.total.min, opt_run.total.min,
-              filter_run.total.min);
+              filter_run.total.min, fast_run.total.min);
     print_row("TOTAL (median)", smp_run.total.median, opt_run.total.median,
-              filter_run.total.median);
+              filter_run.total.median, fast_run.total.median);
     std::printf("\n");
   }
 
@@ -103,7 +111,8 @@ int main(int argc, char** argv) {
         gen::random_connected_gnm(n, 4 * static_cast<eid>(n), seed + 4);
     for (const BccAlgorithm alg :
          {BccAlgorithm::kSequential, BccAlgorithm::kTvSmp,
-          BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+          BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
+          BccAlgorithm::kFastBcc}) {
       Trace trace(p);
       BccOptions opt;
       opt.algorithm = alg;

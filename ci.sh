@@ -32,6 +32,11 @@ PARBCC_N=20000 PARBCC_REPS=1 ./build/bench/bench_ablation \
     --json build/bench_smoke.json >/dev/null
 grep -q '"bench"' build/bench_smoke.json
 
+echo "==> bench smoke: FastBCC vs TV-filter engine ablation (section e)"
+PARBCC_N=20000 PARBCC_REPS=2 ./build/bench/bench_ablation --fastbcc-only \
+    --json build/bench_fastbcc_smoke.json >/dev/null
+grep -q 'ablation-fastbcc' build/bench_fastbcc_smoke.json
+
 echo "==> trace smoke: one traced solve per algorithm"
 PARBCC_N=4000 PARBCC_REPS=1 ./build/bench/bench_fig4 \
     --trace-out=build/trace_smoke.json >/dev/null
@@ -43,7 +48,7 @@ cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
 echo "==> tsan: build smoke set"
 cmake --build build-tsan -j "$JOBS" --target stress_test csr_test \
     workspace_test frontier_test trace_test concurrent_uf_test \
-    auxgraph_test
+    auxgraph_test fastbcc_test
 
 echo "==> tsan: ctest -L sanitize-smoke"
 ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 
@@ -53,6 +54,48 @@ std::uint64_t count_unique_edges(Executor& ex, Workspace& ws, const Csr& g) {
   return total;
 }
 
+/// Maximum vertex degree, reduced per thread block off the CSR offsets.
+eid max_degree(Executor& ex, Workspace& ws, const Csr& g) {
+  const vid n = g.num_vertices();
+  if (n == 0) return 0;
+  const int p = ex.threads();
+  Workspace::Frame frame(ws);
+  std::span<Padded<eid>> best =
+      ws.alloc<Padded<eid>>(static_cast<std::size_t>(p));
+  ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+    eid d = 0;
+    for (std::size_t v = begin; v < end; ++v) {
+      d = std::max(d, g.degree(static_cast<vid>(v)));
+    }
+    best[static_cast<std::size_t>(tid)].value = d;
+  });
+  eid out = 0;
+  for (int t = 0; t < p; ++t) {
+    out = std::max(out, best[static_cast<std::size_t>(t)].value);
+  }
+  return out;
+}
+
+/// kAuto's measured cost model.
+///
+/// Below the tiny cutoff any parallel pipeline loses to plain
+/// Hopcroft-Tarjan on barrier overhead alone.  At or above it the
+/// paper's §4 rule applies first (distinct m <= 4n -> TV-opt); in the
+/// genuinely dense regime the choice between FastBCC and TV-filter
+/// comes from per-element costs fitted to BENCH_fastbcc.json runs on
+/// the 12-way dev host (least squares over the n = 200k cells at
+/// m = 4n..20n; the ratio is what matters, and it is stable across
+/// p = 1 and p = 12 because both pipelines parallelize the same
+/// sweeps).  Degree skew taxes FastBCC: its union-find hook sweep
+/// serializes on hub roots, while TV-filter only ever runs the
+/// union-find on the 2(n-1)-edge graph H.
+inline constexpr std::uint64_t kTinySolveCutoff = 2048;  // n + m
+inline constexpr double kFastBccNsPerVertex = 330.0;
+inline constexpr double kFastBccNsPerEdge = 36.0;
+inline constexpr double kFilterNsPerVertex = 390.0;
+inline constexpr double kFilterNsPerEdge = 48.0;
+inline constexpr double kFastBccSkewPenalty = 0.05;  // per log2 of skew
+
 /// Solve a connected, loop-free graph, building adjacency on demand
 /// for the drivers that need it.
 BccResult run_connected(Executor& ex, Workspace& ws, const EdgeList& g,
@@ -67,6 +110,10 @@ BccResult run_connected(Executor& ex, Workspace& ws, const EdgeList& g,
     case BccAlgorithm::kTvFilter: {
       const PreparedGraph pg(ex, ws, g);
       return tv_filter_bcc(ex, ws, pg, opt);
+    }
+    case BccAlgorithm::kFastBcc: {
+      const PreparedGraph pg(ex, ws, g);
+      return fast_bcc(ex, ws, pg, opt);
     }
     case BccAlgorithm::kSequential:
     case BccAlgorithm::kAuto:
@@ -86,6 +133,8 @@ BccResult run_connected(Executor& ex, Workspace& ws, const PreparedGraph& pg,
       return tv_opt_bcc(ex, ws, pg, opt);
     case BccAlgorithm::kTvFilter:
       return tv_filter_bcc(ex, ws, pg, opt);
+    case BccAlgorithm::kFastBcc:
+      return fast_bcc(ex, ws, pg, opt);
     case BccAlgorithm::kSequential:
     case BccAlgorithm::kAuto:
       break;
@@ -196,6 +245,8 @@ const char* to_string(BccAlgorithm algorithm) {
       return "TV-opt";
     case BccAlgorithm::kTvFilter:
       return "TV-filter";
+    case BccAlgorithm::kFastBcc:
+      return "FastBCC";
     case BccAlgorithm::kAuto:
       return "auto";
   }
@@ -247,17 +298,19 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
   const std::uint64_t reuse_before = ws.reuse_hits();
 
   // Self-loops never participate in biconnectivity: split them off as
-  // their own components and solve the stripped graph.
-  std::vector<eid> kept;
+  // their own components and solve the stripped graph.  The loop-free
+  // copy lives in the context, keyed on the caller's graph identity,
+  // so a warm re-solve of a loopy graph reuses both the copy and the
+  // conversion cache built over it instead of rebuilding per call.
   const bool has_loops = [&] {
     for (const Edge& e : g.edges) {
       if (e.u == e.v) return true;
     }
     return false;
   }();
-  const EdgeList stripped =
-      has_loops ? remove_self_loops(g, &kept) : EdgeList{};
-  const EdgeList& work = has_loops ? stripped : g;
+  const BccContext::StrippedGraph* stripped =
+      has_loops ? &ctx.strip(g) : nullptr;
+  const EdgeList& work = stripped != nullptr ? stripped->graph : g;
 
   // A caller-supplied adjacency applies only when `work` is the exact
   // graph it was built from (stripping self-loops renumbers edges).
@@ -270,20 +323,26 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
     pg = &*built;
   }
 
-  // The context's conversion cache may only hold the caller's graph
-  // object: `stripped` is a local temporary and would dangle.
-  BccContext* cache = has_loops ? nullptr : &ctx;
+  // Both the raw and the stripped graph live long enough to key the
+  // context's conversion cache (the stripped copy is context-owned).
+  BccContext* cache = &ctx;
 
-  // Paper §4: "if m <= 4n, we can always fall back to TV-opt" — on the
-  // *effective* edge count.  Self-loops are already stripped, but
-  // parallel edges still inflate m and could flip a graph that is
-  // effectively sparse to TV-filter; count distinct edges off the
-  // adjacency (which both candidate algorithms need anyway) before
-  // deciding.  m <= 4n needs no adjacency: duplicates only ever shrink
-  // the count, so the TV-opt verdict already stands.
+  // kAuto's decision cascade, cheapest probe first:
+  //  - degenerate (no effective edges) and tiny inputs go straight to
+  //    Hopcroft-Tarjan — no adjacency probe, no "dispatch" span;
+  //  - paper §4: "if m <= 4n, we can always fall back to TV-opt" — on
+  //    the *effective* edge count.  m <= 4n needs no adjacency
+  //    (duplicates only shrink the count); past it, distinct edges are
+  //    counted off the adjacency both candidate engines need anyway;
+  //  - genuinely dense inputs pick between FastBCC and TV-filter from
+  //    the measured per-element costs, with a degree-skew penalty on
+  //    FastBCC's hub-contended hook sweep.
   BccAlgorithm algorithm = options.algorithm;
   if (algorithm == BccAlgorithm::kAuto) {
-    if (work.m() <= 4ull * work.n) {
+    if (work.m() == 0 ||
+        static_cast<std::uint64_t>(work.n) + work.m() < kTinySolveCutoff) {
+      algorithm = BccAlgorithm::kSequential;
+    } else if (work.m() <= 4ull * work.n) {
       algorithm = BccAlgorithm::kTvOpt;
     } else {
       TraceSpan span(tr, "dispatch");
@@ -297,8 +356,23 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
       }
       const std::uint64_t unique = count_unique_edges(ex, ws, pg->csr());
       tr.counter("dispatch_unique_edges", static_cast<double>(unique));
-      algorithm = unique > 4ull * work.n ? BccAlgorithm::kTvFilter
-                                         : BccAlgorithm::kTvOpt;
+      if (unique <= 4ull * work.n) {
+        algorithm = BccAlgorithm::kTvOpt;
+      } else {
+        const double nn = static_cast<double>(work.n);
+        const double mm = static_cast<double>(work.m());
+        const eid dmax = max_degree(ex, ws, pg->csr());
+        const double skew = static_cast<double>(dmax) * nn / (2.0 * mm);
+        const double fast_ns =
+            (kFastBccNsPerVertex * nn + kFastBccNsPerEdge * mm) *
+            (1.0 + kFastBccSkewPenalty * std::log2(std::max(1.0, skew)));
+        const double filter_ns = kFilterNsPerVertex * nn + kFilterNsPerEdge * mm;
+        tr.counter("dispatch_max_degree", static_cast<double>(dmax));
+        tr.counter("dispatch_pred_fastbcc_ms", fast_ns * 1e-6);
+        tr.counter("dispatch_pred_filter_ms", filter_ns * 1e-6);
+        algorithm = fast_ns <= filter_ns ? BccAlgorithm::kFastBcc
+                                         : BccAlgorithm::kTvFilter;
+      }
     }
   }
 
@@ -328,6 +402,7 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
 
     if (has_loops) {
       TraceSpan span(tr, "loop_components");
+      const std::vector<eid>& kept = stripped->kept;
       std::vector<vid> full(g.m());
       for (eid j = 0; j < kept.size(); ++j) {
         full[kept[j]] = result.edge_component[j];

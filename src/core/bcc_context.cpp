@@ -18,4 +18,24 @@ const PreparedGraph& BccContext::prepare(const EdgeList& g) {
   return *cache_;
 }
 
+const BccContext::StrippedGraph& BccContext::strip(const EdgeList& g) {
+  if (strip_ && strip_source_ == &g && strip_n_ == g.n &&
+      strip_m_ == g.m()) {
+    return *strip_;
+  }
+  // The storage is rebuilt in place (same address), so a conversion
+  // cache keyed on the old stripped graph could serve a stale CSR if
+  // the new one happened to match on (n, m); drop it first.
+  if (strip_ && cached_graph_ == &strip_->graph) {
+    cache_.reset();
+    cached_graph_ = nullptr;
+  }
+  strip_.emplace();
+  strip_->graph = remove_self_loops(g, &strip_->kept);
+  strip_source_ = &g;
+  strip_n_ = g.n;
+  strip_m_ = g.m();
+  return *strip_;
+}
+
 }  // namespace parbcc

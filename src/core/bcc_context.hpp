@@ -50,10 +50,27 @@ class BccContext {
   /// of a cached graph in place; after doing so, call invalidate().
   const PreparedGraph& prepare(const EdgeList& g);
 
-  /// Drop the conversion cache (keeps the Executor and the arena).
+  /// A context-owned loop-free copy of an input graph, plus the map
+  /// from surviving edges back to their original indices.
+  struct StrippedGraph {
+    EdgeList graph;
+    std::vector<eid> kept;
+  };
+
+  /// Loop-free view of `g`, built on first use and cached keyed on
+  /// (&g, n, m) exactly like prepare() — so the dispatcher's warm
+  /// re-solve of a loop-containing graph skips both the strip pass and
+  /// the stripped adjacency rebuild.  Same in-place-mutation caveat as
+  /// prepare(): call invalidate() after editing a cached graph's edges.
+  const StrippedGraph& strip(const EdgeList& g);
+
+  /// Drop the conversion and stripped-graph caches (keeps the Executor
+  /// and the arena).
   void invalidate() {
     cache_.reset();
     cached_graph_ = nullptr;
+    strip_.reset();
+    strip_source_ = nullptr;
   }
 
  private:
@@ -64,6 +81,10 @@ class BccContext {
   const EdgeList* cached_graph_ = nullptr;
   vid cached_n_ = 0;
   eid cached_m_ = 0;
+  std::optional<StrippedGraph> strip_;
+  const EdgeList* strip_source_ = nullptr;
+  vid strip_n_ = 0;
+  eid strip_m_ = 0;
 };
 
 }  // namespace parbcc

@@ -29,8 +29,18 @@ enum class BccAlgorithm {
   kTvOpt,
   /// The paper's new edge-filtering algorithm (Alg. 2, §4).
   kTvFilter,
-  /// TV-filter when m > 4n, TV-opt otherwise — the fallback rule the
-  /// paper prescribes at the end of §4.
+  /// Connectivity-first skeleton algorithm (Dong, Wang, Gu & Sun 2023):
+  /// BFS spanning tree, compressed Euler-tour tagging (preorder
+  /// intervals + subtree low/high), and BCC labels straight out of a
+  /// concurrent union-find over the skeleton — no auxiliary graph, no
+  /// per-edge TV machinery.
+  kFastBcc,
+  /// Measured cost model over cheap probes: Hopcroft-Tarjan for tiny
+  /// inputs, TV-opt when the distinct-edge count is at most 4n (the
+  /// paper's §4 fallback rule), and otherwise whichever of FastBCC /
+  /// TV-filter the fitted per-element costs predict faster (degree
+  /// skew penalizes FastBCC's union-find hooking).  Degenerate inputs
+  /// (no edges after self-loop stripping) dispatch without probing.
   kAuto,
 };
 

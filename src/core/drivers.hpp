@@ -94,4 +94,16 @@ BccResult tv_filter_bcc(Executor& ex, const EdgeList& g,
 BccResult tv_filter_bcc(Executor& ex, const PreparedGraph& pg,
                         const BccOptions& opt);
 
+/// FastBCC (Dong, Wang, Gu & Sun, PPoPP 2023): BFS spanning tree,
+/// preorder-interval tagging with subtree low/high sweeps, then one
+/// concurrent-union-find pass over the skeleton — non-critical tree
+/// edges and cross edges hook, back edges are implied — and each edge
+/// is labeled by its deeper endpoint's cluster.  O(n) arena scratch
+/// beyond the tree structures; never materializes an auxiliary graph.
+BccResult fast_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
+                   const BccOptions& opt);
+BccResult fast_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt);
+BccResult fast_bcc(Executor& ex, const PreparedGraph& pg,
+                   const BccOptions& opt);
+
 }  // namespace parbcc

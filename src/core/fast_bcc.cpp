@@ -1,0 +1,229 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "connectivity/concurrent_union_find.hpp"
+#include "connectivity/shiloach_vishkin.hpp"
+#include "core/drivers.hpp"
+#include "eulertour/tree_computations.hpp"
+#include "graph/csr.hpp"
+#include "spanning/bfs_tree.hpp"
+#include "util/padded.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+/// \file fast_bcc.cpp
+/// FastBCC (Dong, Wang, Gu & Sun, PPoPP 2023) adapted to this
+/// codebase's primitives.  The pipeline replaces the whole
+/// Tarjan-Vishkin chain (Euler tour / low-high per edge / auxiliary
+/// graph) with tags on the spanning tree itself:
+///
+///  1. Spanning-tree: direction-optimizing BFS (shared with TV-filter).
+///  2. Compressed Euler-tour tagging: 1-based preorder `first[v]` and
+///     interval end `last[v] = first[v] + sub[v] - 1` from the level
+///     sweeps; then low[v] / high[v] = min / max neighbour preorder
+///     over v's whole subtree (one CSR sweep + subtree min/max).
+///  3. Skeleton connectivity via the concurrent union-find: the tree
+///     edge (parent(v), v) hooks unless it is *critical* — every edge
+///     out of subtree(v) stays inside parent(v)'s preorder interval
+///     (low[v] >= first[parent], high[v] <= last[parent]), in which
+///     case parent(v) is the head of the BCC containing that tree edge
+///     and v seeds a new cluster.  Non-tree *cross* edges (neither
+///     endpoint an ancestor of the other) hook their endpoints; back
+///     edges are skipped — the tree path below them is non-critical
+///     edge by edge, so they add nothing the tree sweep did not.
+///  4. Label-edge: every edge belongs to the cluster of its deeper
+///     endpoint (the one that is not the BCC head); for cross edges
+///     both endpoints share a cluster by step 3, so either works.
+///
+/// Correctness of the criticality rule does not need a DFS tree: the
+/// test reads only preorder intervals, which any rooted spanning tree
+/// provides, and BFS trees merely add cross edges — handled in step 3.
+/// Root children are always critical (every preorder lies inside the
+/// root's interval), so the root is the head of each of its BCCs and
+/// never labels an edge.
+
+namespace parbcc {
+
+BccResult fast_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
+  Workspace ws;
+  // Representation conversion, as in TV-opt / TV-filter: the BFS and
+  // the tagging sweep both need adjacency.
+  const PreparedGraph pg(ex, ws, g);
+  return fast_bcc(ex, ws, pg, opt);
+}
+
+BccResult fast_bcc(Executor& ex, const PreparedGraph& pg,
+                   const BccOptions& opt) {
+  Workspace ws;
+  return fast_bcc(ex, ws, pg, opt);
+}
+
+BccResult fast_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
+                   const BccOptions& opt) {
+  const EdgeList& g = pg.graph();
+  const Csr& csr = pg.csr();
+  BccResult result;
+  Trace local_trace(ex.threads());
+  Trace& tr = opt.trace != nullptr ? *opt.trace : local_trace;
+  const Trace::Mark mark = tr.mark();
+  Timer total;
+  if (pg.conversion_seconds() > 0) {
+    tr.charge(steps::kConversion, pg.conversion_seconds());
+  }
+  const vid n = g.n;
+  const eid m = g.m();
+  const int p = ex.threads();
+
+  // Step 1: BFS spanning tree (Beamer hybrid, as TV-filter).
+  BfsTree bfs;
+  {
+    TraceSpan span(tr, steps::kSpanningTree);
+    bfs = bfs_tree(ex, ws, csr, opt.root, opt.bfs_mode, &tr);
+  }
+  if (bfs.reached != n) {
+    throw std::invalid_argument("fast_bcc: graph must be connected");
+  }
+
+  // Step 2a: rooted-tree structure (child lists + level buckets), the
+  // compressed substitute for materializing the Euler circuit.
+  RootedSpanningTree tree;
+  ChildrenCsr children;
+  LevelStructure levels;
+  {
+    TraceSpan span(tr, steps::kEulerTour);
+    tree.root = opt.root;
+    tree.parent = std::move(bfs.parent);
+    tree.parent_edge = std::move(bfs.parent_edge);
+    children = build_children(ex, ws, tree.parent, tree.root, &tr);
+    levels = build_levels(ex, children, tree.root, &tr);
+  }
+  {
+    TraceSpan span(tr, steps::kRootTree);
+    preorder_and_size(ex, children, levels, tree.root, tree.pre, tree.sub,
+                      &tr);
+  }
+
+  // All per-vertex scratch for the rest of the solve: low/high tags and
+  // the union-find parent array — 3n vids, the whole reason this
+  // driver's high-water mark undercuts TV-filter's per-edge buffers.
+  Workspace::Frame frame(ws);
+  std::span<vid> low = ws.alloc<vid>(n);
+  std::span<vid> high = ws.alloc<vid>(n);
+  std::span<vid> cluster = ws.alloc<vid>(n);
+
+  // Step 2b: low/high tagging.  Tree neighbours may participate: their
+  // preorders always lie inside the parent interval the criticality
+  // test checks against, so they never flip a verdict and filtering
+  // them would only cost branches.  The per-vertex scan is
+  // degree-skewed, so the chunks are claimed dynamically.
+  {
+    TraceSpan span(tr, steps::kLowHigh);
+    ex.parallel_for_dynamic(n, /*grain=*/512, [&](std::size_t v) {
+      vid lo = tree.pre[v];
+      vid hi = lo;
+      for (const vid w : csr.neighbors(static_cast<vid>(v))) {
+        const vid pw = tree.pre[w];
+        lo = std::min(lo, pw);
+        hi = std::max(hi, pw);
+      }
+      low[v] = lo;
+      high[v] = hi;
+    });
+    subtree_min(ex, children, levels, low.data());
+    subtree_max(ex, children, levels, high.data());
+  }
+
+  // Step 3: skeleton connectivity.  Two hook sweeps into one
+  // concurrent union-find: non-critical tree edges, then cross edges
+  // (the parallel_for boundaries are the barriers separating hook and
+  // read phases the structure requires).
+  const ConcurrentUnionFind uf(cluster);
+  {
+    TraceSpan span(tr, steps::kConnectedComponents);
+    ConcurrentUnionFind::init(ex, cluster);
+    std::span<Padded<std::uint64_t>> thread_hooks =
+        ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
+    std::span<Padded<std::uint64_t>> thread_depth =
+        ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
+    std::span<Padded<std::uint64_t>> thread_critical =
+        ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
+    std::span<Padded<std::uint64_t>> thread_cross =
+        ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
+    TraceSpan hook_span(tr, "skeleton_hook");
+    ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+      std::uint64_t hooks = 0;
+      std::uint64_t depth = 0;
+      std::uint64_t critical = 0;
+      for (std::size_t v = begin; v < end; ++v) {
+        if (v == tree.root) continue;
+        const vid par = tree.parent[v];
+        const vid par_first = tree.pre[par];
+        const vid par_last = par_first + tree.sub[par] - 1;
+        if (low[v] >= par_first && high[v] <= par_last) {
+          ++critical;  // parent(v) heads this BCC: v seeds the cluster
+          continue;
+        }
+        if (uf.unite(static_cast<vid>(v), par, depth)) ++hooks;
+      }
+      thread_hooks[static_cast<std::size_t>(tid)].value = hooks;
+      thread_depth[static_cast<std::size_t>(tid)].value = depth;
+      thread_critical[static_cast<std::size_t>(tid)].value = critical;
+    });
+    ex.parallel_blocks(m, [&](int tid, std::size_t begin, std::size_t end) {
+      std::uint64_t hooks = 0;
+      std::uint64_t depth = 0;
+      std::uint64_t cross = 0;
+      for (std::size_t e = begin; e < end; ++e) {
+        const vid u = g.edges[e].u;
+        const vid v = g.edges[e].v;
+        // Ancestor-related pairs cover tree edges, their parallel
+        // copies and genuine back edges alike: all skipped.
+        if (tree.is_ancestor(u, v) || tree.is_ancestor(v, u)) continue;
+        ++cross;
+        if (uf.unite(u, v, depth)) ++hooks;
+      }
+      thread_hooks[static_cast<std::size_t>(tid)].value += hooks;
+      thread_depth[static_cast<std::size_t>(tid)].value += depth;
+      thread_cross[static_cast<std::size_t>(tid)].value = cross;
+    });
+    hook_span.close();
+    uf.flatten(ex);
+    std::uint64_t total_hooks = 0;
+    std::uint64_t total_depth = 0;
+    std::uint64_t total_critical = 0;
+    std::uint64_t total_cross = 0;
+    for (int t = 0; t < p; ++t) {
+      total_hooks += thread_hooks[static_cast<std::size_t>(t)].value;
+      total_depth += thread_depth[static_cast<std::size_t>(t)].value;
+      total_critical += thread_critical[static_cast<std::size_t>(t)].value;
+      total_cross += thread_cross[static_cast<std::size_t>(t)].value;
+    }
+    tr.counter("fastbcc_hooks", static_cast<double>(total_hooks));
+    tr.counter("fastbcc_find_depth", static_cast<double>(total_depth));
+    tr.counter("fastbcc_critical", static_cast<double>(total_critical));
+    tr.counter("fastbcc_cross_edges", static_cast<double>(total_cross));
+  }
+
+  // Step 4: per-edge labels off the flattened clusters.
+  {
+    TraceSpan span(tr, steps::kLabelEdge);
+    result.edge_component.resize(m);
+    ex.parallel_for(m, [&](std::size_t e) {
+      const vid u = g.edges[e].u;
+      const vid v = g.edges[e].v;
+      const vid deeper = tree.is_ancestor(u, v) ? v : u;
+      result.edge_component[e] = cluster[deeper];
+    });
+  }
+
+  {
+    TraceSpan span(tr, "normalize");
+    result.num_components = normalize_labels(result.edge_component);
+  }
+  result.trace = tr.report_since(mark);
+  result.times = derive_step_times(result.trace,
+                                   total.seconds() + pg.conversion_seconds());
+  return result;
+}
+
+}  // namespace parbcc

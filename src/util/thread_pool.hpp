@@ -105,13 +105,19 @@ class Executor {
       return;
     }
     if (grain == 0) grain = 1;
+    // Cap the grain at n: the shared counter advances by `grain` once
+    // per claim, and an oversized grain could wrap it past SIZE_MAX,
+    // handing out bogus chunk starts (duplicated or skipped indices).
+    if (grain > n) grain = n;
     std::atomic<std::size_t> next{0};
     run([&](int) {
       for (;;) {
         const std::size_t begin =
             next.fetch_add(grain, std::memory_order_relaxed);
         if (begin >= n) break;
-        const std::size_t end = std::min(begin + grain, n);
+        // Clamp via the distance to n — `begin + grain` itself could
+        // overflow, yielding end < begin and a silently empty chunk.
+        const std::size_t end = begin + std::min(grain, n - begin);
         for (std::size_t i = begin; i < end; ++i) f(i);
       }
     });

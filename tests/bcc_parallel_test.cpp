@@ -78,12 +78,12 @@ INSTANTIATE_TEST_SUITE_P(
     Families, BccEquivalence,
     ::testing::Combine(
         ::testing::Values(BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt,
-                          BccAlgorithm::kTvFilter),
+                          BccAlgorithm::kTvFilter, BccAlgorithm::kFastBcc),
         ::testing::Values("sparse_random", "dense_random", "tree_random",
                           "cactus", "clique_chain", "cycle_chain", "torus",
                           "path", "star", "complete"),
         ::testing::Values(1, 2),
-        ::testing::Values(1, 4)),
+        ::testing::Values(1, 4, 12)),
     [](const auto& info) {
       std::string name = to_string(std::get<0>(info.param));
       for (auto& c : name) {
@@ -119,6 +119,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(BccAlgorithm::kTvSmp,
                                          BccAlgorithm::kTvOpt,
                                          BccAlgorithm::kTvFilter,
+                                         BccAlgorithm::kFastBcc,
                                          BccAlgorithm::kAuto),
                        ::testing::Range(0, 12)));
 
@@ -165,7 +166,8 @@ TEST(BccParallel, StepTimesArePopulated) {
   const EdgeList g = gen::random_connected_gnm(2000, 8000, 2);
   Executor ex(2);
   for (const BccAlgorithm algorithm :
-       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
+        BccAlgorithm::kFastBcc}) {
     BccOptions opt;
     opt.algorithm = algorithm;
     const BccResult r = biconnected_components(ex, g, opt);
@@ -189,7 +191,8 @@ TEST(BccParallel, StepTimesAccountingBalancesAgainstTotal) {
   Executor ex(4);
   for (const BccAlgorithm algorithm :
        {BccAlgorithm::kSequential, BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt,
-        BccAlgorithm::kTvFilter, BccAlgorithm::kAuto}) {
+        BccAlgorithm::kTvFilter, BccAlgorithm::kFastBcc,
+        BccAlgorithm::kAuto}) {
     BccOptions opt;
     opt.algorithm = algorithm;
     const BccResult r = biconnected_components(ex, g, opt);
@@ -203,20 +206,46 @@ TEST(BccParallel, StepTimesAccountingBalancesAgainstTotal) {
   }
 }
 
-TEST(BccParallel, AutoPicksFilterForDenseAndOptForSparse) {
+TEST(BccParallel, AutoCostModelPicksPerRegime) {
   Executor ex(2);
-  // Dense: m > 4n.
-  const EdgeList dense = gen::random_connected_gnm(200, 1000, 1);
   BccOptions opt;
   opt.algorithm = BccAlgorithm::kAuto;
-  const BccResult rd = biconnected_components(ex, dense, opt);
-  EXPECT_GT(rd.times.filtering, 0.0);
-  EXPECT_NE(rd.trace.find_path("TV-filter"), nullptr);
-  // Sparse: m <= 4n -> TV-opt, no filtering step.
-  const EdgeList sparse = gen::random_connected_gnm(200, 600, 1);
+
+  // Tiny (n + m below the cutoff): parallel pipelines lose to plain
+  // Hopcroft-Tarjan on barrier overhead alone.
+  const EdgeList tiny = gen::random_connected_gnm(200, 1000, 1);
+  const BccResult rt = biconnected_components(ex, tiny, opt);
+  EXPECT_NE(rt.trace.find_path("sequential"), nullptr);
+  EXPECT_EQ(rt.trace.find_path("dispatch"), nullptr);  // no probing either
+
+  // Sparse: m <= 4n -> TV-opt (paper §4 rule), no adjacency probe.
+  const EdgeList sparse = gen::random_connected_gnm(3000, 9000, 1);
   const BccResult rs = biconnected_components(ex, sparse, opt);
   EXPECT_EQ(rs.times.filtering, 0.0);
   EXPECT_NE(rs.trace.find_path("TV-opt"), nullptr);
+  EXPECT_EQ(rs.trace.find_path("dispatch"), nullptr);
+
+  // Dense, low skew: the measured cost model favours FastBCC (its
+  // per-edge cost is one interval test + amortized union-find hook;
+  // TV-filter still runs a spanning forest and the TV core over H).
+  const EdgeList dense = gen::random_connected_gnm(3000, 15000, 1);
+  const BccResult rd = biconnected_components(ex, dense, opt);
+  EXPECT_NE(rd.trace.find_path("dispatch"), nullptr);
+  EXPECT_NE(rd.trace.find_path("FastBCC"), nullptr);
+  EXPECT_GT(rd.trace.counter_total("dispatch_max_degree"), 0.0);
+  EXPECT_GT(rd.trace.counter_total("dispatch_pred_fastbcc_ms"), 0.0);
+  EXPECT_GT(rd.trace.counter_total("dispatch_pred_filter_ms"), 0.0);
+
+  // All three picks answer identically (as partitions).
+  BccOptions seq;
+  seq.algorithm = BccAlgorithm::kSequential;
+  for (const EdgeList* g : {&tiny, &sparse, &dense}) {
+    const BccResult a = biconnected_components(ex, *g, opt);
+    const BccResult b = biconnected_components(ex, *g, seq);
+    ASSERT_EQ(a.num_components, b.num_components);
+    EXPECT_TRUE(
+        testutil::same_partition(a.edge_component, b.edge_component));
+  }
 }
 
 TEST(BccParallel, AutoDispatchIgnoresLoopsAndParallelEdges) {
@@ -248,11 +277,14 @@ TEST(BccParallel, AutoDispatchIgnoresLoopsAndParallelEdges) {
   EXPECT_TRUE(
       testutil::same_partition(r.edge_component, base.edge_component));
 
-  // Control: a genuinely dense simple graph keeps the TV-filter pick.
-  const EdgeList dense = gen::random_connected_gnm(200, 1200, 3);
+  // Control: a genuinely dense simple graph survives the probe and
+  // lands on a dense-regime engine (the cost model, not the fallback).
+  const EdgeList dense = gen::random_connected_gnm(2000, 12000, 3);
   const BccResult rd = biconnected_components(ex, dense, opt);
-  EXPECT_GT(rd.times.filtering, 0.0);
-  EXPECT_NE(rd.trace.find_path("TV-filter"), nullptr);
+  EXPECT_NE(rd.trace.find_path("FastBCC"), nullptr);
+  EXPECT_EQ(rd.trace.find_path("TV-opt"), nullptr);
+  EXPECT_GT(rd.trace.counter_total("dispatch_unique_edges"),
+            4.0 * static_cast<double>(dense.n));
 }
 
 }  // namespace

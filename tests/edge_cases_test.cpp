@@ -10,7 +10,7 @@ namespace {
 
 const BccAlgorithm kAll[] = {BccAlgorithm::kSequential, BccAlgorithm::kTvSmp,
                              BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
-                             BccAlgorithm::kAuto};
+                             BccAlgorithm::kFastBcc, BccAlgorithm::kAuto};
 
 BccResult solve(const EdgeList& g, BccAlgorithm algorithm, int threads = 2) {
   Executor ex(threads);
@@ -120,6 +120,26 @@ TEST(EdgeCases, ManySmallComponents) {
   }
 }
 
+TEST(EdgeCases, AutoSkipsProbeOnDegenerateInputs) {
+  // kAuto's probe (count_unique_edges) allocates n*p stamp scratch and
+  // scans the adjacency; degenerate inputs must short-circuit straight
+  // to the sequential solver without opening a dispatch span at all.
+  const EdgeList degenerates[] = {
+      EdgeList(0, {}),                          // empty
+      EdgeList(40, {}),                         // vertices, no edges
+      EdgeList(3, {{0, 0}, {1, 1}, {2, 2}}),    // all self-loops
+  };
+  for (const EdgeList& g : degenerates) {
+    const BccResult r = solve(g, BccAlgorithm::kAuto);
+    EXPECT_EQ(r.trace.find_path("dispatch"), nullptr) << "n=" << g.n;
+    EXPECT_EQ(r.trace.counter_total("dispatch_unique_edges"), 0.0);
+    if (g.n > 0) {  // n == 0 returns before any span opens
+      EXPECT_NE(r.trace.find_path("sequential"), nullptr) << "n=" << g.n;
+    }
+    EXPECT_EQ(r.num_components, g.n == 3 ? 3u : 0u);
+  }
+}
+
 TEST(EdgeCases, InvalidInputsThrow) {
   Executor ex(1);
   EdgeList bad(2, {{0, 5}});
@@ -145,7 +165,8 @@ TEST(EdgeCases, HighThreadOversubscription) {
   const EdgeList g = gen::random_gnm(64, 80, 9);
   const testutil::RefBcc ref = testutil::reference_bcc(g);
   for (const auto algorithm :
-       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
+        BccAlgorithm::kFastBcc}) {
     const BccResult r = solve(g, algorithm, /*threads=*/16);
     ASSERT_EQ(r.num_components, ref.count) << to_string(algorithm);
     EXPECT_TRUE(testutil::same_partition(r.edge_component, ref.edge_comp));

@@ -124,7 +124,7 @@ TEST_P(FuzzParam, TrackedStructureMatchesEveryAlgorithm) {
   Executor ex(3);
   for (const BccAlgorithm algorithm :
        {BccAlgorithm::kSequential, BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt,
-        BccAlgorithm::kTvFilter}) {
+        BccAlgorithm::kTvFilter, BccAlgorithm::kFastBcc}) {
     BccOptions opt;
     opt.algorithm = algorithm;
     const BccResult r = biconnected_components(ex, b.g, opt);

@@ -24,7 +24,8 @@ BccResult solve(const EdgeList& g, BccAlgorithm algorithm) {
 }
 
 const BccAlgorithm kParallel[] = {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt,
-                                  BccAlgorithm::kTvFilter};
+                                  BccAlgorithm::kTvFilter,
+                                  BccAlgorithm::kFastBcc};
 
 TEST(Invariance, VertexRelabelingPermutesTheResult) {
   const EdgeList g = gen::random_connected_gnm(400, 1200, 5);

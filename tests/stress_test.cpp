@@ -39,14 +39,16 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, StressParam,
     ::testing::Combine(::testing::Values(BccAlgorithm::kTvSmp,
                                          BccAlgorithm::kTvOpt,
-                                         BccAlgorithm::kTvFilter),
+                                         BccAlgorithm::kTvFilter,
+                                         BccAlgorithm::kFastBcc),
                        ::testing::Values(1, 2, 3, 4)));
 
 TEST(Stress, RmatSkewDegreesAllAlgorithms) {
   Executor ex(4);
   const EdgeList g = gen::rmat(14, 8, 3);  // 16k vertices, heavy skew
   for (const BccAlgorithm algorithm :
-       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
+        BccAlgorithm::kFastBcc}) {
     check(ex, g, algorithm);
   }
 }
@@ -56,6 +58,7 @@ TEST(Stress, LargeCactusTvFilter) {
   const EdgeList g = gen::random_cactus(5000, 12, 7);
   check(ex, g, BccAlgorithm::kTvFilter);
   check(ex, g, BccAlgorithm::kTvOpt);
+  check(ex, g, BccAlgorithm::kFastBcc);  // every cycle is its own cluster
 }
 
 TEST(Stress, WideShallowAndNarrowDeep) {
@@ -87,10 +90,14 @@ TEST(Stress, CrossAlgorithmPartitionsIdentical) {
   const BccResult b = biconnected_components(ex, g, opt);
   opt.algorithm = BccAlgorithm::kTvFilter;
   const BccResult c = biconnected_components(ex, g, opt);
+  opt.algorithm = BccAlgorithm::kFastBcc;
+  const BccResult d = biconnected_components(ex, g, opt);
   ASSERT_EQ(a.num_components, b.num_components);
   ASSERT_EQ(a.num_components, c.num_components);
+  ASSERT_EQ(a.num_components, d.num_components);
   EXPECT_TRUE(testutil::same_partition(a.edge_component, b.edge_component));
   EXPECT_TRUE(testutil::same_partition(a.edge_component, c.edge_component));
+  EXPECT_TRUE(testutil::same_partition(a.edge_component, d.edge_component));
 }
 
 TEST(Stress, FullWidthAllAlgorithms) {
@@ -101,7 +108,8 @@ TEST(Stress, FullWidthAllAlgorithms) {
   Executor ex(12);
   const EdgeList g = gen::random_connected_gnm(20000, 120000, 13);
   for (const BccAlgorithm algorithm :
-       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter}) {
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
+        BccAlgorithm::kFastBcc}) {
     check(ex, g, algorithm);
   }
 }
@@ -123,10 +131,11 @@ TEST_P(ContextReuseParam, BackToBackSolvesMatchFreshContexts) {
       gen::rmat(13, 8, 32),
       gen::random_cactus(2000, 10, 33),
       gen::cycle(50000),
+      gen::random_connected_gnm(10000, 80000, 34),
   };
   const BccAlgorithm algorithms[] = {
       BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
-      BccAlgorithm::kSequential};
+      BccAlgorithm::kSequential, BccAlgorithm::kFastBcc};
 
   for (std::size_t i = 0; i < std::size(graphs); ++i) {
     opt.algorithm = algorithms[i % std::size(algorithms)];

@@ -171,6 +171,61 @@ TEST(BccContext, InvalidateForcesReconversion) {
       testutil::same_partition(first.edge_component, again.edge_component));
 }
 
+TEST(BccContext, LoopyGraphWarmSolveHitsBothCaches) {
+  // Regression: inputs with self-loops used to bypass the context
+  // caches entirely (the dispatcher stripped into a call-local copy and
+  // solved cache-less), so every warm solve re-stripped, re-converted,
+  // and re-grew the arena.  The stripped copy now lives in the context.
+  EdgeList g = gen::random_connected_gnm(20000, 80000, 17);
+  for (vid v = 0; v < g.n; v += 97) g.add_edge(v, v);  // sprinkle loops
+  BccContext ctx(4);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvOpt;
+
+  const BccResult cold = biconnected_components(ctx, g, opt);
+  EXPECT_GT(cold.times.conversion, 0.0);
+  const std::uint64_t growth_after_cold = ctx.workspace().growth_count();
+  const std::size_t capacity_after_cold = ctx.workspace().capacity_bytes();
+
+  const BccResult warm = biconnected_components(ctx, g, opt);
+  EXPECT_EQ(warm.times.conversion, 0.0);  // stripped adjacency cache hit
+  EXPECT_EQ(ctx.workspace().growth_count(), growth_after_cold);
+  EXPECT_EQ(ctx.workspace().capacity_bytes(), capacity_after_cold);
+  EXPECT_GT(warm.arena_reuse_hits, 0u);
+  // Strictly below: the cold solve's peak included the conversion
+  // scratch the warm solve never touches (cached stripped adjacency).
+  EXPECT_LE(warm.peak_workspace_bytes, cold.peak_workspace_bytes);
+  EXPECT_EQ(cold.num_components, warm.num_components);
+  EXPECT_TRUE(
+      testutil::same_partition(cold.edge_component, warm.edge_component));
+}
+
+TEST(BccContext, AlternatingLoopyGraphsReKeyTheStripCache) {
+  // Two distinct loopy graphs through one context: each switch must
+  // rebuild the stripped copy (and drop the conversion cache keyed on
+  // its storage) rather than serve the other graph's stripped edges.
+  EdgeList a = gen::random_connected_gnm(3000, 12000, 23);
+  a.add_edge(1, 1);
+  EdgeList b = gen::random_connected_gnm(3000, 12000, 24);
+  b.add_edge(2, 2);
+  BccContext ctx(2);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kTvFilter;
+  Executor fresh(2);
+  for (int round = 0; round < 2; ++round) {
+    const BccResult ra = biconnected_components(ctx, a, opt);
+    const BccResult rb = biconnected_components(ctx, b, opt);
+    const BccResult fa = biconnected_components(fresh, a, opt);
+    const BccResult fb = biconnected_components(fresh, b, opt);
+    ASSERT_EQ(ra.num_components, fa.num_components);
+    ASSERT_EQ(rb.num_components, fb.num_components);
+    ASSERT_TRUE(
+        testutil::same_partition(ra.edge_component, fa.edge_component));
+    ASSERT_TRUE(
+        testutil::same_partition(rb.edge_component, fb.edge_component));
+  }
+}
+
 TEST(BccContext, BorrowedExecutorIsUsed) {
   Executor ex(3);
   BccContext ctx(ex);

@@ -15,7 +15,11 @@ Checks, per segment of the Chrome export written by bench_fig4:
      connected_components paper steps nest the fused sub-spans
      (aux_hook, aux_gather) instead of the materialized chain
      (aux_stage, aux_compact), and the aux_vertices / aux_hooks /
-     aux_find_depth counters are populated.
+     aux_find_depth counters are populated;
+  6. the FastBCC segment bypassed the aux pipeline entirely (no aux_*
+     span at all), ran exactly one skeleton_hook sweep, and carries the
+     skeleton counters (fastbcc_hooks, fastbcc_find_depth,
+     fastbcc_cross_edges) plus the shared BFS/arena telemetry.
 
 Usage: validate_trace.py <trace.json>
 """
@@ -53,6 +57,15 @@ EXPECTED_STEPS = {
         "connected_components",
         "filtering",
     },
+    "FastBCC": {
+        "conversion",
+        "spanning_tree",
+        "euler_tour",
+        "root_tree",
+        "low_high",
+        "label_edge",
+        "connected_components",
+    },
 }
 
 REQUIRED_FILTER_COUNTERS = [
@@ -68,6 +81,17 @@ FUSED_AUX_SPANS = ["aux_vertex_map", "aux_hook", "aux_gather"]
 MATERIALIZED_AUX_SPANS = ["aux_stage", "aux_compact"]
 REQUIRED_TV_AUX_COUNTERS = ["aux_vertices", "aux_hooks", "aux_find_depth"]
 TV_SEGMENTS = {"TV-SMP", "TV-opt", "TV-filter"}
+
+# FastBCC replaces the aux pipeline with skeleton hooking on the tree:
+# its segment must carry these counters and exactly one skeleton_hook
+# sweep, and must contain no aux_* span of either route.
+REQUIRED_FASTBCC_COUNTERS = [
+    "fastbcc_hooks",
+    "fastbcc_find_depth",
+    "fastbcc_cross_edges",
+    "bfs_inspected_edges",
+    "peak_workspace_bytes",
+]
 
 
 def fail(msg):
@@ -141,6 +165,21 @@ def main():
             for counter in REQUIRED_TV_AUX_COUNTERS:
                 if counters.get(counter, 0) <= 0:
                     fail(f"{label}: counter {counter!r} missing or zero")
+        if label == "FastBCC":
+            if names.count("skeleton_hook") != 1:
+                fail(
+                    f"FastBCC: 'skeleton_hook' appears "
+                    f"{names.count('skeleton_hook')} times (want exactly 1)"
+                )
+            aux_spans = [s for s in names if s.startswith("aux_")]
+            if aux_spans:
+                fail(
+                    f"FastBCC: aux pipeline spans present {aux_spans!r} — "
+                    "the skeleton engine must not materialize G'"
+                )
+            for counter in REQUIRED_FASTBCC_COUNTERS:
+                if counters.get(counter, 0) <= 0:
+                    fail(f"FastBCC: counter {counter!r} missing or zero")
         if label == "TV-filter":
             for counter in REQUIRED_FILTER_COUNTERS:
                 if counters.get(counter, 0) <= 0:
