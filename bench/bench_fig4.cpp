@@ -124,6 +124,23 @@ int main(int argc, char** argv) {
                   to_string(alg), g.n, g.m(), r.num_components);
       trace_out.add(to_string(alg), trace);
     }
+    // One solve under the paper's static SPMD schedule: same spans,
+    // but the sched_* fork/steal counters must be absent — the trace
+    // smoke asserts both directions of that contract.
+    {
+      Trace trace(p);
+      BccOptions opt;
+      opt.algorithm = BccAlgorithm::kTvFilter;
+      opt.threads = p;
+      opt.compute_cut_info = false;
+      opt.exec_mode = ExecMode::kSpmd;
+      opt.trace = &trace;
+      const BccResult r = biconnected_components(g, opt);
+      std::printf("trace: TV-filter-spmd solved n=%u m=%u into %u "
+                  "components\n",
+                  g.n, g.m(), r.num_components);
+      trace_out.add("TV-filter-spmd", trace);
+    }
   }
   return 0;
 }

@@ -6,8 +6,9 @@
 # failures unit tests alone would miss), then a ThreadSanitizer tree
 # running the curated `sanitize-smoke` label (lock-free CSR scatter,
 # work-stealing traversal, SV grafting, bitmap frontier engines, the
-# concurrent union-find behind the fused aux kernel, and the
-# arena-backed context-reuse sweep, all at 12-way SPMD width).
+# concurrent union-find behind the fused aux kernel, the Chase-Lev
+# fork-join scheduler itself, and the arena-backed context-reuse
+# sweep, all at 12-way width under both loop-scheduling models).
 # Exits non-zero on the first failure.
 #
 #   ./ci.sh              # full gate
@@ -37,6 +38,11 @@ PARBCC_N=20000 PARBCC_REPS=2 ./build/bench/bench_ablation --fastbcc-only \
     --json build/bench_fastbcc_smoke.json >/dev/null
 grep -q 'ablation-fastbcc' build/bench_fastbcc_smoke.json
 
+echo "==> bench smoke: work-steal vs SPMD scheduler ablation (section f)"
+PARBCC_N=20000 PARBCC_REPS=2 ./build/bench/bench_ablation --sched-only \
+    --json build/bench_sched_smoke.json >/dev/null
+grep -q 'ablation-scheduler' build/bench_sched_smoke.json
+
 echo "==> trace smoke: one traced solve per algorithm"
 PARBCC_N=4000 PARBCC_REPS=1 ./build/bench/bench_fig4 \
     --trace-out=build/trace_smoke.json >/dev/null
@@ -48,7 +54,7 @@ cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
 echo "==> tsan: build smoke set"
 cmake --build build-tsan -j "$JOBS" --target stress_test csr_test \
     workspace_test frontier_test trace_test concurrent_uf_test \
-    auxgraph_test fastbcc_test
+    auxgraph_test fastbcc_test scheduler_test
 
 echo "==> tsan: ctest -L sanitize-smoke"
 ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure

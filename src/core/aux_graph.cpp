@@ -137,10 +137,23 @@ std::vector<vid> fused_aux_components(Executor& ex, Workspace& ws,
   std::span<Padded<std::uint64_t>> thread_depth =
       ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
   const ConcurrentUnionFind uf{parent};
+  for (int t = 0; t < p; ++t) {
+    thread_hooks[static_cast<std::size_t>(t)].value = 0;
+    thread_depth[static_cast<std::size_t>(t)].value = 0;
+  }
+  // Both sweeps run as chunked grained loops with the chunk totals
+  // flushed into the executing worker's padded slot (exclusive under
+  // either scheduler): work-stealing can then rebalance chunks, which
+  // matters because hook/find depth is data-dependent and the flat
+  // per-thread blocks serialized on the unluckiest block.
+  constexpr std::size_t kSweepGrain = 2048;
+  const std::size_t chunks = (m + kSweepGrain - 1) / kSweepGrain;
   {
     TraceSpan span(trace, "aux_hook");
     ConcurrentUnionFind::init(ex, parent);
-    ex.parallel_blocks(m, [&](int tid, std::size_t begin, std::size_t end) {
+    ex.parallel_for(0, chunks, 1, [&](std::size_t c) {
+      const std::size_t begin = c * kSweepGrain;
+      const std::size_t end = std::min(m, begin + kSweepGrain);
       std::uint64_t hooks = 0;
       std::uint64_t depth = 0;
       for (std::size_t e = begin; e < end; ++e) {
@@ -170,8 +183,9 @@ std::vector<vid> fused_aux_components(Executor& ex, Workspace& ws,
           }
         }
       }
-      thread_hooks[static_cast<std::size_t>(tid)].value = hooks;
-      thread_depth[static_cast<std::size_t>(tid)].value = depth;
+      const auto w = static_cast<std::size_t>(ex.worker_id());
+      thread_hooks[w].value += hooks;
+      thread_depth[w].value += depth;
     });
   }
   label_span.close();
@@ -183,12 +197,14 @@ std::vector<vid> fused_aux_components(Executor& ex, Workspace& ws,
   TraceSpan cc_span(trace, "connected_components");
   {
     TraceSpan span(trace, "aux_gather");
-    ex.parallel_blocks(m, [&](int tid, std::size_t begin, std::size_t end) {
+    ex.parallel_for(0, chunks, 1, [&](std::size_t c) {
+      const std::size_t begin = c * kSweepGrain;
+      const std::size_t end = std::min(m, begin + kSweepGrain);
       std::uint64_t depth = 0;
       for (std::size_t e = begin; e < end; ++e) {
         labels[e] = uf.find(aux_id[e], depth);
       }
-      thread_depth[static_cast<std::size_t>(tid)].value += depth;
+      thread_depth[static_cast<std::size_t>(ex.worker_id())].value += depth;
     });
   }
   cc_span.close();

@@ -288,6 +288,19 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
   BccResult result;
   if (g.n == 0) return result;
 
+  // Apply the requested loop scheduling model for this solve only and
+  // zero the scheduler counters, so the sched_* telemetry below
+  // describes exactly this call.
+  struct ModeGuard {
+    Executor& ex;
+    ExecMode prev;
+    ModeGuard(Executor& e, ExecMode m) : ex(e), prev(e.mode()) {
+      ex.set_mode(m);
+    }
+    ~ModeGuard() { ex.set_mode(prev); }
+  } mode_guard(ex, options.exec_mode);
+  ex.reset_scheduler_stats();
+
   Trace local_trace(ex.threads());
   Trace& tr = options.trace != nullptr ? *options.trace : local_trace;
   const Trace::Mark trace_mark = tr.mark();
@@ -418,6 +431,18 @@ BccResult biconnected_components(BccContext& ctx, const EdgeList& g,
     if (options.compute_cut_info) {
       TraceSpan span(tr, "cut_info");
       annotate_cut_info(ex, ws, g, result);
+    }
+  }
+
+  // Scheduler telemetry: populated only when the work-stealing model
+  // actually forked (kSpmd solves and pure-serial paths emit nothing,
+  // which is what validate_trace.py asserts per segment).
+  if (options.exec_mode == ExecMode::kWorkSteal) {
+    const SchedulerStats sched = ex.scheduler_stats();
+    if (sched.tasks > 0) {
+      tr.counter("sched_tasks", static_cast<double>(sched.tasks));
+      tr.counter("sched_splits", static_cast<double>(sched.splits));
+      tr.counter("sched_steals", static_cast<double>(sched.steals));
     }
   }
 

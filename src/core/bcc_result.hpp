@@ -8,6 +8,7 @@
 #include "core/aux_graph.hpp"
 #include "eulertour/euler_tour.hpp"
 #include "spanning/bfs_tree.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 #include "util/types.hpp"
 
@@ -126,6 +127,12 @@ struct BccOptions {
   /// with Shiloach-Vishkin — the paper-faithful reference kept for
   /// fidelity tests and the ablation bench.
   AuxMode aux_mode = AuxMode::kFused;
+  /// Loop scheduling model for the solve.  kWorkSteal (default) runs
+  /// the parallel loops on the lazy-splitting fork-join scheduler with
+  /// nested per-vertex regions in the skew-sensitive hot paths; kSpmd
+  /// pins the paper's flat static-partition/shared-counter schedule
+  /// (the printed algorithm — paper_fidelity_test runs under it).
+  ExecMode exec_mode = ExecMode::kWorkSteal;
   /// Adjacency the caller already holds for the input graph, so the
   /// dispatcher never rebuilds it (StepTimes::conversion then reports
   /// 0).  Must be the Csr::build of exactly the edge list passed in;

@@ -43,6 +43,45 @@
 /// never labels an edge.
 
 namespace parbcc {
+namespace {
+
+/// Out-of-line hub reduction for the low/high sweep: min/max neighbour
+/// preorder over a high-degree adjacency via a nested parallel region
+/// (the per-vertex inner parallel_for of PASGAL's euler_tour_tree).
+/// Deliberately noinline and value-in / value-out: inlining it put an
+/// inner closure inside the per-vertex lambda that captured the common
+/// path's lo/hi accumulators by reference, pinning them to the stack
+/// and blocking vectorization of the tight degree loop — a 4x low_high
+/// regression on graphs that never take the hub path at all.
+[[gnu::noinline]] std::pair<vid, vid> hub_pre_minmax(
+    Executor& ex, const vid* pre, std::span<const vid> nbrs, vid seed) {
+  constexpr std::size_t kInnerGrain = 1024;
+  constexpr std::size_t kMaxChunks = 64;
+  const std::size_t deg = nbrs.size();
+  const std::size_t chunks = std::min(kMaxChunks, deg / kInnerGrain);
+  Padded<std::pair<vid, vid>> part[kMaxChunks];
+  ex.parallel_for(0, chunks, 1, [&](std::size_t c) {
+    const auto [cb, ce] = Executor::block_range(deg, static_cast<int>(chunks),
+                                                static_cast<int>(c));
+    vid l = seed;
+    vid h = seed;
+    for (std::size_t j = cb; j < ce; ++j) {
+      const vid pw = pre[nbrs[j]];
+      l = std::min(l, pw);
+      h = std::max(h, pw);
+    }
+    part[c].value = {l, h};
+  });
+  vid lo = seed;
+  vid hi = seed;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    lo = std::min(lo, part[c].value.first);
+    hi = std::max(hi, part[c].value.second);
+  }
+  return {lo, hi};
+}
+
+}  // namespace
 
 BccResult fast_bcc(Executor& ex, const EdgeList& g, const BccOptions& opt) {
   Workspace ws;
@@ -115,16 +154,31 @@ BccResult fast_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
   // preorders always lie inside the parent interval the criticality
   // test checks against, so they never flip a verdict and filtering
   // them would only cost branches.  The per-vertex scan is
-  // degree-skewed, so the chunks are claimed dynamically.
+  // degree-skewed, so the chunks are claimed dynamically — and under
+  // work-stealing a heavy hub's adjacency itself becomes a nested
+  // parallel region (the per-vertex inner parallel_for of PASGAL's
+  // euler_tour_tree), so one vertex owning a quarter of the edges no
+  // longer strands its whole scan on a single worker.
   {
     TraceSpan span(tr, steps::kLowHigh);
+    constexpr std::size_t kHubDegree = 2048;  // 2x the helper's grain
+    const bool nest =
+        ex.mode() == ExecMode::kWorkSteal && ex.threads() > 1;
+    const vid* pre = tree.pre.data();
     ex.parallel_for_dynamic(n, /*grain=*/512, [&](std::size_t v) {
-      vid lo = tree.pre[v];
+      const std::span<const vid> nbrs = csr.neighbors(static_cast<vid>(v));
+      vid lo = pre[v];
       vid hi = lo;
-      for (const vid w : csr.neighbors(static_cast<vid>(v))) {
-        const vid pw = tree.pre[w];
-        lo = std::min(lo, pw);
-        hi = std::max(hi, pw);
+      if (nest && nbrs.size() > kHubDegree) {
+        const std::pair<vid, vid> lh = hub_pre_minmax(ex, pre, nbrs, lo);
+        lo = lh.first;
+        hi = lh.second;
+      } else {
+        for (const vid w : nbrs) {
+          const vid pw = pre[w];
+          lo = std::min(lo, pw);
+          hi = std::max(hi, pw);
+        }
       }
       low[v] = lo;
       high[v] = hi;
@@ -149,8 +203,23 @@ BccResult fast_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
         ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
     std::span<Padded<std::uint64_t>> thread_cross =
         ws.alloc<Padded<std::uint64_t>>(static_cast<std::size_t>(p));
+    for (int t = 0; t < p; ++t) {
+      thread_hooks[static_cast<std::size_t>(t)].value = 0;
+      thread_depth[static_cast<std::size_t>(t)].value = 0;
+      thread_critical[static_cast<std::size_t>(t)].value = 0;
+      thread_cross[static_cast<std::size_t>(t)].value = 0;
+    }
+    // Both sweeps run as chunked grained loops: chunk-local register
+    // accumulation flushed into the executing worker's padded slot
+    // (exclusive per slot under either scheduler), so work-stealing can
+    // rebalance chunks — union-find hook depth is data-dependent and
+    // the SPMD blocks serialized on the unluckiest block.
     TraceSpan hook_span(tr, "skeleton_hook");
-    ex.parallel_blocks(n, [&](int tid, std::size_t begin, std::size_t end) {
+    constexpr std::size_t kHookGrain = 2048;
+    const std::size_t vchunks = (n + kHookGrain - 1) / kHookGrain;
+    ex.parallel_for(0, vchunks, 1, [&](std::size_t c) {
+      const std::size_t begin = c * kHookGrain;
+      const std::size_t end = std::min<std::size_t>(n, begin + kHookGrain);
       std::uint64_t hooks = 0;
       std::uint64_t depth = 0;
       std::uint64_t critical = 0;
@@ -165,11 +234,15 @@ BccResult fast_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
         }
         if (uf.unite(static_cast<vid>(v), par, depth)) ++hooks;
       }
-      thread_hooks[static_cast<std::size_t>(tid)].value = hooks;
-      thread_depth[static_cast<std::size_t>(tid)].value = depth;
-      thread_critical[static_cast<std::size_t>(tid)].value = critical;
+      const auto w = static_cast<std::size_t>(ex.worker_id());
+      thread_hooks[w].value += hooks;
+      thread_depth[w].value += depth;
+      thread_critical[w].value += critical;
     });
-    ex.parallel_blocks(m, [&](int tid, std::size_t begin, std::size_t end) {
+    const std::size_t echunks = (m + kHookGrain - 1) / kHookGrain;
+    ex.parallel_for(0, echunks, 1, [&](std::size_t c) {
+      const std::size_t begin = c * kHookGrain;
+      const std::size_t end = std::min<std::size_t>(m, begin + kHookGrain);
       std::uint64_t hooks = 0;
       std::uint64_t depth = 0;
       std::uint64_t cross = 0;
@@ -182,9 +255,10 @@ BccResult fast_bcc(Executor& ex, Workspace& ws, const PreparedGraph& pg,
         ++cross;
         if (uf.unite(u, v, depth)) ++hooks;
       }
-      thread_hooks[static_cast<std::size_t>(tid)].value += hooks;
-      thread_depth[static_cast<std::size_t>(tid)].value += depth;
-      thread_cross[static_cast<std::size_t>(tid)].value = cross;
+      const auto w = static_cast<std::size_t>(ex.worker_id());
+      thread_hooks[w].value += hooks;
+      thread_depth[w].value += depth;
+      thread_cross[w].value += cross;
     });
     hook_span.close();
     uf.flatten(ex);

@@ -25,6 +25,17 @@ EdgeList random_gnm(vid n, eid m, std::uint64_t seed);
 /// m - (n-1) distinct random extra edges.  Requires m >= n-1.
 EdgeList random_connected_gnm(vid n, eid m, std::uint64_t seed);
 
+/// Connected Chung-Lu power-law graph: endpoint v is drawn with
+/// probability proportional to (v+1)^(-1/(alpha-1)), so the degree
+/// tail follows exponent `alpha` and the low-id vertices become hubs.
+/// Connectivity comes from a weighted-attachment spanning-tree
+/// backbone (each vertex picks a weighted parent among its
+/// predecessors); the remaining m - (n-1) edges are distinct weighted
+/// draws.  Requires alpha > 1 and n-1 <= m <= n*(n-1)/2.  The skew is
+/// the scheduler stress case: a static edge partition puts most of
+/// the arc mass on whichever thread owns the hubs.
+EdgeList random_power_law(vid n, eid m, double alpha, std::uint64_t seed);
+
 /// Path 0-1-...-n-1 (every edge is a bridge; n-1 BCCs).
 EdgeList path(vid n);
 

@@ -1,5 +1,6 @@
 #include "spanning/bfs_tree.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "scan/compact.hpp"
@@ -19,6 +20,52 @@ namespace {
 constexpr std::uint64_t kAlpha = 14;
 constexpr std::uint64_t kBeta = 24;
 
+/// Under work-stealing, a vertex whose degree exceeds twice this grain
+/// has its edge loop run as a nested parallel region (per-vertex inner
+/// parallel_for, the parlay/PASGAL idiom) instead of serially on the
+/// worker that drew it.
+constexpr std::size_t kInnerGrain = 1024;
+
+struct HubProbe {
+  std::size_t hit;
+  std::uint64_t probes;
+};
+
+/// Out-of-line hub probe for bottom-up rounds: chunks of a high-degree
+/// adjacency race to the *minimum-index* frontier hit, so the chosen
+/// parent matches the serial scan.  Deliberately noinline and
+/// value-in / value-out: inlined into the per-word lambda, its inner
+/// closure captured the hot probe loop's accumulators by reference,
+/// which pinned them to the stack for every word — including the vast
+/// majority that never see a hub.
+[[gnu::noinline]] HubProbe hub_probe(Executor& ex, const BitSpan& bits,
+                                     std::span<const vid> nbrs) {
+  const std::size_t deg = nbrs.size();
+  const std::size_t chunks = deg / kInnerGrain;
+  std::atomic<std::size_t> first_hit{deg};
+  std::atomic<std::uint64_t> probes{0};
+  ex.parallel_for(0, chunks, 1, [&](std::size_t c) {
+    const auto [jb, je] = Executor::block_range(deg, static_cast<int>(chunks),
+                                                static_cast<int>(c));
+    std::uint64_t local_probes = 0;
+    for (std::size_t j = jb; j < je; ++j) {
+      ++local_probes;
+      if (bits.get(nbrs[j])) {
+        // Minimum over each chunk's first hit == the global first
+        // hit, so the parent choice is schedule-free.
+        std::size_t cur = first_hit.load(std::memory_order_relaxed);
+        while (j < cur && !first_hit.compare_exchange_weak(
+                              cur, j, std::memory_order_relaxed)) {
+        }
+        break;
+      }
+    }
+    probes.fetch_add(local_probes, std::memory_order_relaxed);
+  });
+  return {first_hit.load(std::memory_order_relaxed),
+          probes.load(std::memory_order_relaxed)};
+}
+
 }  // namespace
 
 BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
@@ -29,6 +76,7 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
   out.parent.assign(n, kNoVertex);
   out.parent_edge.assign(n, kNoEdge);
   out.level.assign(n, kNoVertex);
+  out.slot_inspected.assign(static_cast<std::size_t>(ex.threads()), 0);
   if (n == 0) return out;
 
   // The output parent array doubles as the discovery array: top-down
@@ -41,6 +89,8 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
   const int p = ex.threads();
   const std::size_t num_words = BitSpan::words_for(n);
   const std::uint64_t num_arcs = g.offsets()[n];
+
+  const bool nest = ex.mode() == ExecMode::kWorkSteal && p > 1;
 
   Workspace::Frame frame(ws);
   std::span<vid> frontier = ws.alloc<vid>(n);
@@ -109,37 +159,56 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
     }
 
     if (!dense) {
-      // Top-down: each thread scans a slice of the frontier and claims
-      // undiscovered neighbours with a CAS on the parent slot.
+      // Top-down: workers scan frontier chunks and claim undiscovered
+      // neighbours with a CAS on the parent slot.  Buffers and
+      // accumulators are indexed by the *executing worker* (exclusive
+      // under either scheduler; == tid under kSpmd), which is what
+      // makes the nested split legal: a hub's adjacency goes through an
+      // inner parallel region whose pieces land on other workers and
+      // append to those workers' own buffers.
       for (auto& buf : local) buf.value.clear();
-      ex.parallel_blocks(
-          frontier_size, [&](int tid, std::size_t begin, std::size_t end) {
-            std::vector<vid>& next = local[static_cast<std::size_t>(tid)].value;
-            std::uint64_t inspected = 0;
-            std::uint64_t claimed_degree = 0;
-            for (std::size_t k = begin; k < end; ++k) {
-              const vid v = frontier[k];
-              const auto nbrs = g.neighbors(v);
-              const auto eids = g.incident_edges(v);
-              inspected += nbrs.size();
-              for (std::size_t j = 0; j < nbrs.size(); ++j) {
-                const vid w = nbrs[j];
-                vid expected = kNoVertex;
-                if (std::atomic_ref(parent[w])
-                        .compare_exchange_strong(expected, v,
-                                                 std::memory_order_acq_rel)) {
-                  out.parent_edge[w] = eids[j];
-                  out.level[w] = depth;
-                  claimed_degree += g.degree(w);
-                  next.push_back(w);
-                }
-              }
+      // auto_grain floors at 64 (tiny frontiers run serially rather
+      // than shatter) and targets ~8 chunks per worker on wide rounds;
+      // a chunk that drew a hub anyway re-splits through the nested
+      // region below, so coarse chunks stay stealable where it counts.
+      const std::size_t td_grain = ex.auto_grain(frontier_size);
+      ex.parallel_for(0, frontier_size, td_grain, [&](std::size_t k) {
+        const vid v = frontier[k];
+        const auto nbrs = g.neighbors(v);
+        const auto eids = g.incident_edges(v);
+        const std::size_t deg = nbrs.size();
+        const auto scan = [&](std::size_t jb, std::size_t je) {
+          const auto slot = static_cast<std::size_t>(ex.worker_id());
+          std::vector<vid>& next = local[slot].value;
+          std::uint64_t claimed_degree = 0;
+          for (std::size_t j = jb; j < je; ++j) {
+            const vid w = nbrs[j];
+            vid expected = kNoVertex;
+            if (std::atomic_ref(parent[w])
+                    .compare_exchange_strong(expected, v,
+                                             std::memory_order_acq_rel)) {
+              out.parent_edge[w] = eids[j];
+              out.level[w] = depth;
+              claimed_degree += g.degree(w);
+              next.push_back(w);
             }
-            t_inspected[static_cast<std::size_t>(tid)].value = inspected;
-            t_degree[static_cast<std::size_t>(tid)].value = claimed_degree;
+          }
+          t_degree[slot].value += claimed_degree;
+        };
+        if (nest && deg > 2 * kInnerGrain) {
+          const std::size_t chunks = deg / kInnerGrain;
+          ex.parallel_for(0, chunks, 1, [&](std::size_t c) {
+            const auto [jb, je] = Executor::block_range(
+                deg, static_cast<int>(chunks), static_cast<int>(c));
+            scan(jb, je);
           });
+        } else {
+          scan(0, deg);
+        }
+        t_inspected[static_cast<std::size_t>(ex.worker_id())].value += deg;
+      });
       // Gather the next frontier with a prefix-summed parallel scatter
-      // (each thread writes its own buffer to a disjoint range).
+      // (each worker's buffer lands in a disjoint range).
       frontier_size = concat_thread_buffers(
           ex, [&](int t) -> const std::vector<vid>& {
             return local[static_cast<std::size_t>(t)].value;
@@ -147,43 +216,58 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
           concat_offset, frontier.data());
       ++out.top_down_rounds;
     } else {
-      // Bottom-up: threads own whole bitmap words, so every write —
-      // parent, level, next-frontier bit — has exactly one writer and
-      // needs no atomics.  Undiscovered vertices probe their adjacency
-      // until they find a parent on the current frontier.
-      ex.parallel_blocks(
-          num_words, [&](int tid, std::size_t wbegin, std::size_t wend) {
-            std::uint64_t inspected = 0;
-            std::uint64_t claimed_degree = 0;
-            std::size_t claimed = 0;
-            for (std::size_t w = wbegin; w < wend; ++w) {
-              std::uint64_t next_word = 0;
-              const std::size_t base = w << 6;
-              const std::size_t limit =
-                  base + 64 < n ? base + 64 : static_cast<std::size_t>(n);
-              for (std::size_t v = base; v < limit; ++v) {
-                if (parent[v] != kNoVertex) continue;
-                const auto nbrs = g.neighbors(v);
-                const auto eids = g.incident_edges(v);
-                for (std::size_t j = 0; j < nbrs.size(); ++j) {
-                  ++inspected;
-                  if (cur_bits.get(nbrs[j])) {
-                    parent[v] = nbrs[j];
-                    out.parent_edge[v] = eids[j];
-                    out.level[v] = depth;
-                    next_word |= std::uint64_t{1} << (v & 63);
-                    claimed_degree += nbrs.size();
-                    ++claimed;
-                    break;
-                  }
-                }
+      // Bottom-up: whoever executes word w owns it outright, so every
+      // write — parent, level, next-frontier word — has exactly one
+      // writer and needs no atomics.  Undiscovered vertices probe
+      // their adjacency until they find a parent on the current
+      // frontier; a hub's probe is nested-split into chunks that race
+      // to the *first* frontier hit (minimum index, so the chosen
+      // parent matches the serial scan).
+      // Each word is 64 vertices, so 16 words per task amortizes the
+      // fork while still letting thieves grab skewed word runs.
+      constexpr std::size_t bu_grain = 16;
+      ex.parallel_for(0, num_words, bu_grain, [&](std::size_t w) {
+        std::uint64_t inspected = 0;
+        std::uint64_t claimed_degree = 0;
+        std::size_t claimed = 0;
+        std::uint64_t next_word = 0;
+        const std::size_t base = w << 6;
+        const std::size_t limit =
+            base + 64 < n ? base + 64 : static_cast<std::size_t>(n);
+        for (std::size_t v = base; v < limit; ++v) {
+          if (parent[v] != kNoVertex) continue;
+          const auto nbrs = g.neighbors(v);
+          const auto eids = g.incident_edges(v);
+          const std::size_t deg = nbrs.size();
+          std::size_t hit = deg;
+          if (nest && deg > 2 * kInnerGrain) {
+            const HubProbe hp = hub_probe(ex, cur_bits, nbrs);
+            hit = hp.hit;
+            inspected += hp.probes;
+          } else {
+            for (std::size_t j = 0; j < deg; ++j) {
+              ++inspected;
+              if (cur_bits.get(nbrs[j])) {
+                hit = j;
+                break;
               }
-              next_bits.words()[w] = next_word;
             }
-            t_inspected[static_cast<std::size_t>(tid)].value = inspected;
-            t_degree[static_cast<std::size_t>(tid)].value = claimed_degree;
-            t_count[static_cast<std::size_t>(tid)].value = claimed;
-          });
+          }
+          if (hit < deg) {
+            parent[v] = nbrs[hit];
+            out.parent_edge[v] = eids[hit];
+            out.level[v] = depth;
+            next_word |= std::uint64_t{1} << (v & 63);
+            claimed_degree += deg;
+            ++claimed;
+          }
+        }
+        next_bits.words()[w] = next_word;
+        const auto slot = static_cast<std::size_t>(ex.worker_id());
+        t_inspected[slot].value += inspected;
+        t_degree[slot].value += claimed_degree;
+        t_count[slot].value += claimed;
+      });
       std::size_t total = 0;
       for (int t = 0; t < p; ++t) {
         total += t_count[static_cast<std::size_t>(t)].value;
@@ -196,6 +280,8 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
     frontier_degree = 0;
     for (int t = 0; t < p; ++t) {
       out.inspected_edges += t_inspected[static_cast<std::size_t>(t)].value;
+      out.slot_inspected[static_cast<std::size_t>(t)] +=
+          t_inspected[static_cast<std::size_t>(t)].value;
       frontier_degree += t_degree[static_cast<std::size_t>(t)].value;
     }
     unexplored_arcs -= frontier_degree;

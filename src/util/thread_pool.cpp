@@ -1,13 +1,23 @@
 #include "util/thread_pool.hpp"
 
+#include <time.h>
+
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 namespace parbcc {
 
+thread_local Executor* Executor::tls_executor_ = nullptr;
+thread_local int Executor::tls_slot_ = -1;
+
 Executor::Executor(int threads) : threads_(threads), barrier_(threads) {
   if (threads < 1) {
     throw std::invalid_argument("Executor: thread count must be >= 1");
+  }
+  state_.reserve(static_cast<std::size_t>(threads));
+  for (int tid = 0; tid < threads; ++tid) {
+    state_.push_back(std::make_unique<WorkerState>());
   }
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int tid = 1; tid < threads; ++tid) {
@@ -24,11 +34,50 @@ Executor::~Executor() {
   for (auto& w : workers_) w.join();
 }
 
+std::uint64_t Executor::thread_cpu_ns() {
+#if defined(__linux__)
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+SchedulerStats Executor::scheduler_stats() const {
+  SchedulerStats s;
+  bool any_busy = false;
+  s.busy_ns.reserve(state_.size());
+  for (const auto& w : state_) {
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.splits += w->splits.load(std::memory_order_relaxed);
+    s.tasks += w->tasks.load(std::memory_order_relaxed);
+    const std::uint64_t busy = w->busy_ns.load(std::memory_order_relaxed);
+    any_busy = any_busy || busy != 0;
+    s.busy_ns.push_back(busy);
+  }
+  if (!any_busy) s.busy_ns.clear();
+  return s;
+}
+
+void Executor::reset_scheduler_stats() {
+  for (auto& w : state_) {
+    w->steals.store(0, std::memory_order_relaxed);
+    w->splits.store(0, std::memory_order_relaxed);
+    w->tasks.store(0, std::memory_order_relaxed);
+    w->busy_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
 void Executor::run(const std::function<void(int)>& f) {
   if (threads_ == 1) {
     f(0);
     return;
   }
+  assert(!fj_active_.load(std::memory_order_relaxed) &&
+         "Executor::run must not be called from inside a fork-join task");
   first_error_ = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -58,28 +107,110 @@ void Executor::run(const std::function<void(int)>& f) {
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
+void Executor::run_task_body(ForkTask* t, WorkerState& me) {
+  try {
+    t->run_task();
+  } catch (...) {
+    t->error = std::current_exception();
+  }
+  me.tasks.fetch_add(1, std::memory_order_relaxed);
+  // Publishes the result (and the frame-may-die handshake) to the
+  // joiner; after this store the task object must not be touched.
+  t->done.store(true, std::memory_order_release);
+}
+
+bool Executor::try_steal_once(WorkerState& me) {
+  const int p = threads_;
+  const int self = tls_slot_;
+  for (int k = 1; k <= p; ++k) {
+    const int victim = (self + k) % p;
+    if (victim == self) continue;
+    if (ForkTask* t = state_[static_cast<std::size_t>(victim)]->deque.steal()) {
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      run_task_body(t, me);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Executor::join_task(ForkTask* t, WorkerState& me) {
+  if (ForkTask* popped = me.deque.pop()) {
+    // Fork-join is strictly nested, so the bottom of our own deque at a
+    // join point is exactly the task being joined (everything pushed
+    // above it was already joined inside the left half).
+    assert(popped == t && "deque LIFO invariant violated");
+    run_task_body(popped, me);
+  } else {
+    // Stolen: help with other work while the thief finishes it.
+    int idle = 0;
+    while (!t->done.load(std::memory_order_acquire)) {
+      if (try_steal_once(me)) {
+        idle = 0;
+        continue;
+      }
+      if (++idle >= 8) {
+        // Nothing to steal: let the thief (possibly sharing this core)
+        // run.  Thread CPU-time accounting ignores this wait either
+        // way, but on an oversubscribed host yielding is what lets the
+        // steal make progress at all.
+        std::this_thread::yield();
+        idle = 0;
+      }
+    }
+  }
+  if (t->error) std::rethrow_exception(t->error);
+}
+
+void Executor::steal_loop(WorkerState& me) {
+  int idle = 0;
+  while (fj_active_.load(std::memory_order_acquire)) {
+    if (try_steal_once(me)) {
+      idle = 0;
+      continue;
+    }
+    if (++idle >= 8) {
+      std::this_thread::yield();
+      idle = 0;
+    }
+  }
+}
+
 void Executor::worker_loop(int tid) {
+  tls_executor_ = this;
+  tls_slot_ = tid;
+  WorkerState& me = *state_[static_cast<std::size_t>(tid)];
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      cv_.wait(lock, [&] {
+        return stop_ || epoch_ != seen_epoch ||
+               fj_active_.load(std::memory_order_relaxed);
+      });
       if (stop_) return;
-      seen_epoch = epoch_;
-      job = job_;
+      if (epoch_ != seen_epoch) {
+        seen_epoch = epoch_;
+        job = job_;
+      }
     }
-    try {
-      (*job)(tid);
-    } catch (...) {
-      std::lock_guard<std::mutex> elock(error_mu_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last worker out wakes the caller.  The lock pairs with the
-      // caller's wait() so the notify cannot be lost.
-      std::lock_guard<std::mutex> lock(done_mu_);
-      done_cv_.notify_one();
+    if (job) {
+      try {
+        (*job)(tid);
+      } catch (...) {
+        std::lock_guard<std::mutex> elock(error_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last worker out wakes the caller.  The lock pairs with the
+        // caller's wait() so the notify cannot be lost.
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done_cv_.notify_one();
+      }
+    } else {
+      // Woken for a fork-join region: steal until it closes.
+      steal_loop(me);
     }
   }
 }

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+
+#include "util/types.hpp"
+
+/// \file work_deque.hpp
+/// Bounded Chase–Lev work-stealing deque, one per Executor worker slot.
+///
+/// The owner pushes and pops fork-join task descriptors at the bottom
+/// (LIFO, cache-warm); thieves steal from the top (FIFO, largest
+/// remaining range first under lazy binary splitting).  All operations
+/// use seq_cst atomics on `top_` / `bottom_` and atomic buffer slots —
+/// deliberately *not* the fence-optimized published variant, because
+/// ThreadSanitizer does not model standalone atomic_thread_fence and
+/// the TSan tree is a tier-1 gate here.  The deque moves pointers, not
+/// work, so the stronger ordering is noise next to task execution.
+///
+/// Capacity is fixed: fork-join recursion depth is logarithmic in the
+/// range being split, so a full deque means runaway forking — callers
+/// handle a failed push by executing the task inline (serial fallback),
+/// never by blocking.
+
+namespace parbcc {
+
+/// A fork-join task descriptor.  Tasks are stack-allocated in the
+/// forking frame: fork-join is strictly nested, so the joiner's stack
+/// outlives the task, and `done` is the handshake that keeps the thief
+/// from touching a dead frame (release store after execution, acquire
+/// load in join).  An exception thrown by a stolen task is captured in
+/// `error` and rethrown at the join point.
+struct ForkTask {
+  std::atomic<bool> done{false};
+  std::exception_ptr error;
+
+  virtual void run_task() = 0;
+
+ protected:
+  ~ForkTask() = default;
+};
+
+class WorkDeque {
+ public:
+  static constexpr std::size_t kCapacity = 8192;  // power of two
+
+  /// Owner-only.  Returns false when full (caller runs inline).
+  bool push(ForkTask* task) {
+    const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+    const std::uint64_t t = top_.load(std::memory_order_seq_cst);
+    if (b - t >= kCapacity) return false;
+    buffer_[b & kMask].store(task, std::memory_order_seq_cst);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner-only.  Pops the most recently pushed task, or nullptr if the
+  /// deque is empty (possibly because a thief won the last element).
+  ForkTask* pop() {
+    std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+    std::uint64_t t = top_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;  // empty — avoid underflowing bottom_
+    b -= 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // a thief emptied it under us; restore
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return nullptr;
+    }
+    ForkTask* task = buffer_[b & kMask].load(std::memory_order_seq_cst);
+    if (t == b) {
+      // Last element: race the thieves for it via top_.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return won ? task : nullptr;
+    }
+    return task;
+  }
+
+  /// Thief-side.  Returns nullptr on empty or lost race.  The slot is
+  /// read *before* the CAS and the pointer is only dereferenced by the
+  /// caller after the CAS succeeds — top_ is monotonic, so a stale read
+  /// always loses the CAS and the dead pointer is discarded.
+  ForkTask* steal() {
+    std::uint64_t t = top_.load(std::memory_order_seq_cst);
+    const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    ForkTask* task = buffer_[t & kMask].load(std::memory_order_seq_cst);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return nullptr;
+    }
+    return task;
+  }
+
+  bool empty() const {
+    return top_.load(std::memory_order_seq_cst) >=
+           bottom_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  static constexpr std::uint64_t kMask = kCapacity - 1;
+  static_assert((kCapacity & kMask) == 0, "capacity must be a power of two");
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> top_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> bottom_{0};
+  std::array<std::atomic<ForkTask*>, kCapacity> buffer_{};
+};
+
+}  // namespace parbcc

@@ -149,8 +149,12 @@ TEST(FastSv, ConvergesInFewerRoundsThanClassic) {
   // schedule (stride-2 hooking plus full per-round flattening lands
   // FastSV at 2 rounds while classic's single jump needs 4+), so the
   // round assertion gets a small retry budget; label equality stays
-  // unconditional.
+  // unconditional.  The separation is a property of the paper's SPMD
+  // schedule — work-stealing's lazy splitting executes mostly in index
+  // order on an idle machine, which is exactly the nearly serial
+  // interleave that collapses classic — so the test pins kSpmd.
   Executor ex(12);
+  ex.set_mode(ExecMode::kSpmd);
   const EdgeList torus = gen::grid_torus(141, 141);
   const EdgeList random = gen::random_connected_gnm(20000, 160000, 20050404);
   bool separated = false;

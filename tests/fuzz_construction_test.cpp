@@ -150,5 +150,38 @@ TEST_P(FuzzParam, TrackedStructureMatchesEveryAlgorithm) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FuzzParam, ::testing::Range(0, 25));
 
+/// Generator-driven leg of the fuzz sweep: no tracked structure, so
+/// correctness is cross-algorithm agreement plus the independent
+/// validator.  Power-law instances push the hub-splitting paths the
+/// builder graphs (bounded block sizes) never reach.
+class PowerLawFuzzParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerLawFuzzParam, AlgorithmsAgreeAndValidateOnPowerLaw) {
+  const int seed = GetParam();
+  const vid n = static_cast<vid>(400 + 130 * seed);
+  const eid m = static_cast<eid>(n) * static_cast<eid>(3 + seed % 4);
+  const double alpha = 2.05 + 0.1 * (seed % 5);
+  const EdgeList g =
+      gen::random_power_law(n, m, alpha, static_cast<std::uint64_t>(seed));
+
+  Executor ex(3);
+  BccOptions base;
+  base.algorithm = BccAlgorithm::kSequential;
+  const BccResult ref = biconnected_components(ex, g, base);
+  for (const BccAlgorithm algorithm :
+       {BccAlgorithm::kTvSmp, BccAlgorithm::kTvOpt, BccAlgorithm::kTvFilter,
+        BccAlgorithm::kFastBcc}) {
+    BccOptions opt;
+    opt.algorithm = algorithm;
+    const BccResult r = biconnected_components(ex, g, opt);
+    ASSERT_EQ(r.num_components, ref.num_components) << to_string(algorithm);
+    ASSERT_EQ(r.bridges, ref.bridges) << to_string(algorithm);
+    ASSERT_EQ(r.is_articulation, ref.is_articulation) << to_string(algorithm);
+    ASSERT_TRUE(validate_bcc(ex, g, r).ok) << to_string(algorithm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PowerLawFuzzParam, ::testing::Range(0, 8));
+
 }  // namespace
 }  // namespace parbcc

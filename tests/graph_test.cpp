@@ -218,6 +218,42 @@ TEST(Generators, RmatDeterministicAndParamChecked) {
   EXPECT_THROW(gen::rmat(8, 4, 7, 0.5, 0.3, 0.3), std::invalid_argument);
 }
 
+TEST(Generators, PowerLawConnectedSkewedAndExactlySized) {
+  const vid n = 2000;
+  const eid m = 10000;
+  const EdgeList g = gen::random_power_law(n, m, 2.1, 7);
+  EXPECT_EQ(g.n, n);
+  EXPECT_EQ(g.m(), m);
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(canonical_edge_set(g).size(), g.m());
+  EXPECT_EQ(testutil::component_count(g), 1u);
+  // Hub mass: the maximum degree dwarfs both the average and the
+  // n/100 floor the scheduler ablation's skew case relies on.
+  std::vector<eid> deg(g.n, 0);
+  for (const Edge& e : g.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  const eid max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GE(max_deg, n / 100);
+  EXPECT_GT(max_deg, 10u * (2u * m / n));
+}
+
+TEST(Generators, PowerLawDeterministicAndParamChecked) {
+  const EdgeList a = gen::random_power_law(500, 2000, 2.1, 11);
+  const EdgeList b = gen::random_power_law(500, 2000, 2.1, 11);
+  EXPECT_EQ(a.edges, b.edges);
+  const EdgeList c = gen::random_power_law(500, 2000, 2.1, 12);
+  EXPECT_NE(a.edges, c.edges);
+  // A tree-only instance stays connected with zero extra edges.
+  const EdgeList t = gen::random_power_law(300, 299, 2.5, 1);
+  EXPECT_EQ(t.m(), 299u);
+  EXPECT_EQ(testutil::component_count(t), 1u);
+  EXPECT_THROW(gen::random_power_law(100, 98, 2.1, 1), std::invalid_argument);
+  EXPECT_THROW(gen::random_power_law(100, 200, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(gen::random_power_law(10, 100, 2.1, 1), std::invalid_argument);
+}
+
 TEST(Generators, WheelShape) {
   const EdgeList g = gen::wheel(6);
   EXPECT_EQ(g.n, 6u);

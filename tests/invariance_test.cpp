@@ -138,6 +138,31 @@ TEST(Invariance, DuplicatingABridgeRemovesIt) {
   }
 }
 
+TEST(Invariance, ExecModeNeverChangesThePartition) {
+  // Work-stealing and the paper's SPMD schedule interleave hooks and
+  // CAS claims completely differently; the partition must not care.
+  // The power-law instance is the adversarial case: its hub adjacency
+  // is exactly what the nested regions re-split at run time.
+  for (const EdgeList& g : {gen::random_power_law(1500, 9000, 2.1, 13),
+                            gen::random_connected_gnm(800, 4000, 14)}) {
+    for (const auto algorithm : kParallel) {
+      Executor ex(4);
+      BccOptions opt;
+      opt.algorithm = algorithm;
+      opt.exec_mode = ExecMode::kWorkSteal;
+      const BccResult ws = biconnected_components(ex, g, opt);
+      opt.exec_mode = ExecMode::kSpmd;
+      const BccResult spmd = biconnected_components(ex, g, opt);
+      ASSERT_EQ(ws.num_components, spmd.num_components)
+          << to_string(algorithm);
+      EXPECT_TRUE(testutil::same_partition(ws.edge_component,
+                                           spmd.edge_component));
+      EXPECT_EQ(ws.is_articulation, spmd.is_articulation);
+      EXPECT_EQ(ws.bridges, spmd.bridges);
+    }
+  }
+}
+
 TEST(Invariance, ThreadCountNeverChangesThePartition) {
   const EdgeList g = gen::random_connected_gnm(500, 2500, 12);
   for (const auto algorithm : kParallel) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -118,6 +119,39 @@ TEST(Executor, BlockRangePartitionsWithoutGapsOrOverlap) {
       }
       EXPECT_EQ(expected_begin, n);
     }
+  }
+}
+
+TEST(Executor, BlockRangeSurvivesHugeN) {
+  // n * tid wraps 64-bit multiplication for n > SIZE_MAX / p; the
+  // partition must still be exact (the products are taken in 128-bit).
+  const std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  for (const std::size_t n : {kMax, kMax - 1, kMax / 2 + 3}) {
+    for (const int p : {2, 3, 12, 16}) {
+      std::size_t expected_begin = 0;
+      for (int tid = 0; tid < p; ++tid) {
+        const auto [begin, end] = Executor::block_range(n, p, tid);
+        ASSERT_EQ(begin, expected_begin) << "n=" << n << " p=" << p;
+        ASSERT_LE(begin, end);
+        // Balanced: every block within one element of n / p.
+        ASSERT_LE(end - begin, n / static_cast<std::size_t>(p) + 1);
+        expected_begin = end;
+      }
+      ASSERT_EQ(expected_begin, n);
+    }
+  }
+  // Exact boundary: the largest n whose product with tid = p - 1 still
+  // fits in 64 bits, and its successor (first wrapping value).
+  const int p = 12;
+  const std::size_t fits = kMax / (p - 1);
+  for (const std::size_t n : {fits, fits + 1}) {
+    std::size_t expected_begin = 0;
+    for (int tid = 0; tid < p; ++tid) {
+      const auto [begin, end] = Executor::block_range(n, p, tid);
+      ASSERT_EQ(begin, expected_begin) << "n=" << n;
+      expected_begin = end;
+    }
+    ASSERT_EQ(expected_begin, n);
   }
 }
 

@@ -19,7 +19,12 @@ Checks, per segment of the Chrome export written by bench_fig4:
   6. the FastBCC segment bypassed the aux pipeline entirely (no aux_*
      span at all), ran exactly one skeleton_hook sweep, and carries the
      skeleton counters (fastbcc_hooks, fastbcc_find_depth,
-     fastbcc_cross_edges) plus the shared BFS/arena telemetry.
+     fastbcc_cross_edges) plus the shared BFS/arena telemetry;
+  7. every parallel segment run under the default work-stealing
+     schedule forked (sched_tasks and sched_splits counters positive,
+     sched_steals present), while the TV-filter-spmd segment — the same
+     solve pinned to the paper's static SPMD schedule — carries no
+     sched_* counter at all: the fallback must not touch the deques.
 
 Usage: validate_trace.py <trace.json>
 """
@@ -66,6 +71,16 @@ EXPECTED_STEPS = {
         "label_edge",
         "connected_components",
     },
+    "TV-filter-spmd": {
+        "conversion",
+        "spanning_tree",
+        "euler_tour",
+        "root_tree",
+        "low_high",
+        "label_edge",
+        "connected_components",
+        "filtering",
+    },
 }
 
 REQUIRED_FILTER_COUNTERS = [
@@ -80,7 +95,15 @@ REQUIRED_FILTER_COUNTERS = [
 FUSED_AUX_SPANS = ["aux_vertex_map", "aux_hook", "aux_gather"]
 MATERIALIZED_AUX_SPANS = ["aux_stage", "aux_compact"]
 REQUIRED_TV_AUX_COUNTERS = ["aux_vertices", "aux_hooks", "aux_find_depth"]
-TV_SEGMENTS = {"TV-SMP", "TV-opt", "TV-filter"}
+TV_SEGMENTS = {"TV-SMP", "TV-opt", "TV-filter", "TV-filter-spmd"}
+
+# Segments solved under the default work-stealing schedule must show a
+# forked schedule; the pinned-SPMD segment must show none (the fallback
+# routes around the deques entirely, so a single stray counter means a
+# loop escaped the mode switch).
+WS_SEGMENTS = {"TV-SMP", "TV-opt", "TV-filter", "FastBCC"}
+SPMD_SEGMENTS = {"TV-filter-spmd"}
+SCHED_COUNTERS = ["sched_tasks", "sched_splits", "sched_steals"]
 
 # FastBCC replaces the aux pipeline with skeleton hooking on the tree:
 # its segment must carry these counters and exactly one skeleton_hook
@@ -149,6 +172,22 @@ def main():
             if phase.get("inclusive", -1) < 0:
                 fail(f"{label}: phase {phase['name']!r} negative inclusive")
         counters = report.get("counters", {})
+        if label in WS_SEGMENTS:
+            for counter in ("sched_tasks", "sched_splits"):
+                if counters.get(counter, 0) <= 0:
+                    fail(
+                        f"{label}: counter {counter!r} missing or zero — "
+                        "the work-stealing schedule never forked"
+                    )
+            if "sched_steals" not in counters:
+                fail(f"{label}: counter 'sched_steals' missing")
+        if label in SPMD_SEGMENTS:
+            present = [c for c in SCHED_COUNTERS if c in counters]
+            if present:
+                fail(
+                    f"{label}: sched counters {present!r} present in a "
+                    "pinned-SPMD solve — a loop escaped the mode switch"
+                )
         if label in TV_SEGMENTS:
             for span in FUSED_AUX_SPANS:
                 if names.count(span) != 1:
@@ -180,17 +219,17 @@ def main():
             for counter in REQUIRED_FASTBCC_COUNTERS:
                 if counters.get(counter, 0) <= 0:
                     fail(f"FastBCC: counter {counter!r} missing or zero")
-        if label == "TV-filter":
+        if label in ("TV-filter", "TV-filter-spmd"):
             for counter in REQUIRED_FILTER_COUNTERS:
                 if counters.get(counter, 0) <= 0:
-                    fail(f"TV-filter: counter {counter!r} missing or zero")
+                    fail(f"{label}: counter {counter!r} missing or zero")
             # The rollup must have folded both filtering stretches.
             calls = {
                 p["name"]: p["calls"] for p in report.get("phases", [])
             }
             if calls.get("filtering", 0) != 2:
                 fail(
-                    "TV-filter: 'filtering' should aggregate 2 calls, got "
+                    f"{label}: 'filtering' should aggregate 2 calls, got "
                     f"{calls.get('filtering', 0)}"
                 )
 
