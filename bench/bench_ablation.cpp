@@ -14,6 +14,14 @@
 //      against the staged/compacted G' + Shiloach-Vishkin chain
 //      (kMaterialized), at m = 4n and m = 20n and at p = 1 and full
 //      width — the four cells the acceptance table reads.
+//  (g) the batch-dynamic engine: apply_batch against a fresh re-solve
+//      on the streaming-churn workload (dynamic_churn.hpp), at the
+//      acceptance scale n = 200k on the random and power-law families
+//      and p in {1, full width}.  Hard-fails when batch-update
+//      throughput is below 10x the re-solve arm at batch <= 1% of m,
+//      or when the engine's labels ever diverge from the fresh-solve
+//      oracle.  `--dynamic-only` runs it alone (the BENCH_dynamic.json
+//      gate in ci.sh).
 //
 // Each variant is timed in isolation on the same workload so the cost
 // the paper attributes to "list ranking instead of prefix sums" is
@@ -35,6 +43,7 @@
 #include "bench_common.hpp"
 #include "connectivity/shiloach_vishkin.hpp"
 #include "core/bcc.hpp"
+#include "dynamic_churn.hpp"
 #include "core/lowhigh.hpp"
 #include "core/tv_core.hpp"
 #include "eulertour/euler_tour.hpp"
@@ -543,6 +552,49 @@ bool scheduler_section(Executor& ex, JsonWriter& json, const char* family,
   return ok;
 }
 
+/// Section (g): the batch-dynamic engine against a fresh re-solve on
+/// the streaming-churn workload (dynamic_churn.hpp) — the committed
+/// BENCH_dynamic.json gate.  Returns false when the configuration's
+/// batch-update throughput misses the 10x bar at batch <= 1% of m, or
+/// when the engine's labels ever diverge from the fresh-solve oracle.
+bool dynamic_section(JsonWriter& json, const char* family, EdgeList g,
+                     int p, std::uint64_t seed) {
+  constexpr double kMinSpeedup = 10.0;
+  const vid n = g.n;
+  const eid m = g.m();
+  const ChurnOutcome r = run_streaming_churn(std::move(g), p, seed, nullptr);
+  bool ok = true;
+  if (r.label_fail_round >= 0) {
+    std::printf("!! (g) %s p=%d round %d: batch-dynamic labels diverge "
+                "from the fresh solve\n",
+                family, p, r.label_fail_round);
+    ok = false;
+  } else if (r.speedup < kMinSpeedup) {
+    std::printf("!! (g) %s p=%d: batch-update speedup %.1fx is below the "
+                "%.0fx gate (apply %.3f ms, re-solve %.3f ms)\n",
+                family, p, r.speedup, kMinSpeedup, r.dyn_mean * 1e3,
+                r.ref_mean * 1e3);
+    ok = false;
+  }
+  std::printf("    %-9s p=%-2d  batch %u+%u (%.2f%% of m)  apply %8.3f ms  "
+              "re-solve %8.3f ms  %5.1fx  fallbacks %llu\n",
+              family, p, r.batch, r.batch,
+              m > 0 ? 200.0 * r.batch / static_cast<double>(m) : 0.0,
+              r.dyn_mean * 1e3, r.ref_mean * 1e3, r.speedup,
+              static_cast<unsigned long long>(r.fallbacks));
+  json.add({"ablation-dynamic", n, m, p, std::string("churn:") + family,
+            {{"batch_apply", r.dyn_mean},
+             {"resolve", r.ref_mean},
+             {"speedup", r.speedup}},
+            r.dyn_stats.min, r.dyn_stats.median,
+            {{"batch_edges", 2.0 * r.batch},
+             {"updates_per_s", r.updates_per_s},
+             {"region_edges_mean", r.region_mean},
+             {"fallbacks", static_cast<double>(r.fallbacks)},
+             {"gate_min_speedup", kMinSpeedup}}});
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -553,9 +605,11 @@ int main(int argc, char** argv) {
   JsonWriter json(argc, argv);
   bool fastbcc_only = false;  // CI smoke: skip (a)-(d), run (e) alone
   bool sched_only = false;    // BENCH_sched.json: run (f) alone
+  bool dynamic_only = false;  // BENCH_dynamic.json gate: run (g) alone
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--fastbcc-only") fastbcc_only = true;
     if (std::string_view(argv[i]) == "--sched-only") sched_only = true;
+    if (std::string_view(argv[i]) == "--dynamic-only") dynamic_only = true;
   }
 
   print_header("A1 - rooting and low/high ablation");
@@ -570,7 +624,7 @@ int main(int argc, char** argv) {
   // dispatcher-driven solves in (e)/(f) pin exec_mode per solve.
   ex.set_mode(ExecMode::kSpmd);
   bool ok = true;
-  if (!fastbcc_only && !sched_only) {
+  if (!fastbcc_only && !sched_only && !dynamic_only) {
   const EdgeList g = gen::random_connected_gnm(n, m, seed);
   const SpanningForest forest = sv_spanning_forest(ex, g.n, g.edges);
 
@@ -673,9 +727,9 @@ int main(int argc, char** argv) {
     ok &= aux_fusion_section(ex1, json, "gnm-20n", g20);
     ok &= aux_fusion_section(ex, json, "gnm-20n", g20);
   }
-  }  // !fastbcc_only && !sched_only
+  }  // !fastbcc_only && !sched_only && !dynamic_only
 
-  if (!sched_only) {
+  if (!sched_only && !dynamic_only) {
   std::printf("(e) full-solve engines: FastBCC vs TV-filter, with the "
               "kAuto verdict\n");
   {
@@ -697,9 +751,9 @@ int main(int argc, char** argv) {
     ok &= fastbcc_section(ex, json, "gnm-20n", g20, true,
                           BccAlgorithm::kFastBcc);
   }
-  }  // !sched_only
+  }  // !sched_only && !dynamic_only
 
-  if (!fastbcc_only) {
+  if (!fastbcc_only && !dynamic_only) {
     std::printf("(f) scheduler: work-stealing vs the static SPMD "
                 "schedule\n");
     // The skew case is the power-law family the generator dedicates to
@@ -722,6 +776,24 @@ int main(int argc, char** argv) {
                             BccAlgorithm::kFastBcc);
     ok &= scheduler_section(ex, json, "gnm-5n", uni, BccAlgorithm::kTvFilter);
     ok &= scheduler_section(ex, json, "torus", torus, BccAlgorithm::kFastBcc);
+  }
+
+  if (dynamic_only || (!fastbcc_only && !sched_only)) {
+    std::printf("(g) batch-dynamic engine: apply_batch vs fresh re-solve\n");
+    // The acceptance cells are fixed: n = 200k (PARBCC_N still
+    // overrides, for smokes), random + power-law at 1.25n edges,
+    // p in {1, full width}, batch = 1% of m per round.
+    const vid dn = env_n(200000);
+    const eid dm = static_cast<eid>(dn) + static_cast<eid>(dn) / 4;
+    for (const int dp : {1, p}) {
+      ok &= dynamic_section(json, "random",
+                            gen::random_connected_gnm(dn, dm, seed), dp,
+                            seed);
+      ok &= dynamic_section(json, "powerlaw",
+                            gen::random_power_law(dn, dm, 2.5, seed), dp,
+                            seed);
+    }
+    std::printf("\n");
   }
 
   if (!json.flush()) ok = false;

@@ -1,0 +1,105 @@
+// Extension bench: batch-dynamic biconnectivity under streaming churn.
+//
+// The workload (peripheral link flapping with a down pool, re-solve
+// arm as oracle) lives in dynamic_churn.hpp, shared with the committed
+// hard gate in bench_ablation section (g) so both drive the identical
+// stream.  This binary is the measuring side: per-configuration tables
+// and BENCH_dynamic.json records.
+//
+// --json <path> and --trace-out <path> follow the shared conventions;
+// trace segments are labeled dynamic:<family>:p<p> and carry only the
+// engine's batch_apply spans and batch counters (sub-solves run
+// untraced), which is what tools/validate_trace.py checks for dynamic
+// segments.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "dynamic_churn.hpp"
+
+using namespace parbcc;
+using namespace parbcc::bench;
+
+namespace {
+
+struct FamilySpec {
+  const char* name;
+  EdgeList (*make)(vid n, eid m, std::uint64_t seed);
+};
+
+EdgeList make_random(vid n, eid m, std::uint64_t seed) {
+  return gen::random_connected_gnm(n, m, seed);
+}
+EdgeList make_power_law(vid n, eid m, std::uint64_t seed) {
+  return gen::random_power_law(n, m, 2.5, seed);
+}
+
+bool run_config(const FamilySpec& fam, vid n, eid m, int p,
+                std::uint64_t seed, JsonWriter& json, TraceOut& traces) {
+  Trace trace;
+  const ChurnOutcome r =
+      run_streaming_churn(fam.make(n, m, seed), p, seed, &trace);
+  if (r.label_fail_round >= 0) {
+    std::printf("!! %s p=%d round %d: batch-dynamic labels diverge from "
+                "the fresh solve\n",
+                fam.name, p, r.label_fail_round);
+    return false;
+  }
+
+  std::printf(
+      "%-9s p=%-2d  batch %6u+%-6u  apply %8.3f ms  re-solve %8.3f ms  "
+      "%6.1fx  %9.0f upd/s  region %6.0f  fallbacks %llu\n",
+      fam.name, p, r.batch, r.batch, r.dyn_mean * 1e3, r.ref_mean * 1e3,
+      r.speedup, r.updates_per_s, r.region_mean,
+      static_cast<unsigned long long>(r.fallbacks));
+
+  JsonRecord rec;
+  rec.bench = "dynamic";
+  rec.n = n;
+  rec.m = m;
+  rec.p = p;
+  rec.algorithm = std::string("batch-dynamic:") + fam.name;
+  rec.phase_times = {{"batch_apply", r.dyn_mean},
+                     {"resolve", r.ref_mean},
+                     {"speedup", r.speedup}};
+  rec.min = r.dyn_stats.min;
+  rec.median = r.dyn_stats.median;
+  rec.extra = {{"rounds", kChurnRounds},
+               {"batch_edges", 2.0 * r.batch},
+               {"resolve_min_us", r.ref_stats.min * 1e6},
+               {"updates_per_s", r.updates_per_s},
+               {"region_edges_mean", r.region_mean},
+               {"fallbacks", static_cast<double>(r.fallbacks)}};
+  json.add(std::move(rec));
+
+  traces.add(std::string("dynamic:") + fam.name + ":p" + std::to_string(p),
+             trace);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vid n = env_n(200000);
+  const eid m = static_cast<eid>(n) + static_cast<eid>(n) / 4;  // 1.25 n
+  const std::uint64_t seed = env_seed();
+  JsonWriter json(argc, argv);
+  TraceOut traces(argc, argv);
+
+  print_header("Batch-dynamic biconnectivity under streaming churn");
+  std::printf("n = %u, m = %u, %d rounds, batch = 1%% of m "
+              "(peripheral churn, block cap %u edges)\n\n",
+              n, m, kChurnRounds, kChurnPeriphCap);
+
+  const FamilySpec families[] = {{"random", make_random},
+                                 {"powerlaw", make_power_law}};
+  bool ok = true;
+  for (const int p : {1, env_threads()}) {
+    for (const FamilySpec& fam : families) {
+      ok = run_config(fam, n, m, p, seed, json, traces) && ok;
+    }
+  }
+  if (!json.flush()) ok = false;
+  return ok ? 0 : 1;
+}

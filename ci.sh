@@ -7,8 +7,9 @@
 # running the curated `sanitize-smoke` label (lock-free CSR scatter,
 # work-stealing traversal, SV grafting, bitmap frontier engines, the
 # concurrent union-find behind the fused aux kernel, the Chase-Lev
-# fork-join scheduler itself, and the arena-backed context-reuse
-# sweep, all at 12-way width under both loop-scheduling models).
+# fork-join scheduler itself, the arena-backed context-reuse sweep,
+# and the batch-dynamic probe/splice/solve cycle, all at 12-way width
+# under both loop-scheduling models).
 # Exits non-zero on the first failure.
 #
 #   ./ci.sh              # full gate
@@ -48,13 +49,27 @@ PARBCC_N=4000 PARBCC_REPS=1 ./build/bench/bench_fig4 \
     --trace-out=build/trace_smoke.json >/dev/null
 python3 tools/validate_trace.py build/trace_smoke.json
 
+# The streaming bench checks its own oracle (labels vs a fresh solve
+# every round) and exits non-zero on divergence; the full ≥10x
+# throughput gate runs at bench scale via `bench_ablation
+# --dynamic-only` section (g).
+echo "==> bench smoke: batch-dynamic streaming churn with --json"
+PARBCC_N=20000 ./build/bench/bench_dynamic \
+    --json build/bench_dynamic_smoke.json >/dev/null
+grep -q 'batch-dynamic' build/bench_dynamic_smoke.json
+
+echo "==> trace smoke: batch-dynamic segments"
+PARBCC_N=20000 ./build/bench/bench_dynamic \
+    --trace-out=build/trace_dynamic_smoke.json >/dev/null
+python3 tools/validate_trace.py build/trace_dynamic_smoke.json
+
 echo "==> tsan: configure (build-tsan/, PARBCC_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
 
 echo "==> tsan: build smoke set"
 cmake --build build-tsan -j "$JOBS" --target stress_test csr_test \
     workspace_test frontier_test trace_test concurrent_uf_test \
-    auxgraph_test fastbcc_test scheduler_test
+    auxgraph_test fastbcc_test scheduler_test batch_dynamic_test
 
 echo "==> tsan: ctest -L sanitize-smoke"
 ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure

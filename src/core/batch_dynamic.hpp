@@ -1,0 +1,297 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bcc_context.hpp"
+#include "core/bcc_result.hpp"
+#include "graph/edge_list.hpp"
+#include "util/trace.hpp"
+
+/// \file batch_dynamic.hpp
+/// Batch-dynamic biconnectivity: apply a batch of edge insertions and
+/// deletions to a standing graph and republish its BCC labels without
+/// re-solving from scratch.
+///
+/// The engine keeps the previous solve's edge labels and exploits the
+/// locality of block structure under edits:
+///
+///  - a deletion can only split the block containing the deleted edge;
+///  - an insertion can only merge the blocks along the block-cut-tree
+///    path between its endpoints (or mint a fresh bridge block when the
+///    endpoints were disconnected).
+///
+/// Alongside the labels it maintains *exact* connected-component ids
+/// across batches (see comp_id_ below): an insertion joining two
+/// components is an O(alpha) union; a deletion that disconnects its
+/// endpoints is detected by a bidirectional BFS over the engine's
+/// incidence lists whose cost is the size of the detached side — the
+/// first side to run out of frontier *is* the split-off component and
+/// is relabeled under a fresh id.  Exact ids make insertion
+/// classification free: two finds decide same-component vs
+/// cross-component, no search.
+///
+/// Per batch the engine (1) collects the *affected region* — the union
+/// of complete blocks that any batch edge can touch.  Deletions flag
+/// the block holding the deleted edge.  A same-component insertion
+/// flags a path: the block-decomposition fact is that *any* simple u-v
+/// path crosses exactly the blocks on the block-cut-tree path between
+/// u and v (an excursion out of a block must re-enter through the same
+/// articulation vertex, so it is never simple), so a capped
+/// bidirectional BFS meeting in the middle flags such a path in work
+/// proportional to the meeting balls — no per-batch CSR build and no
+/// whole-component traversal.  Cross-component insertions merge
+/// nothing on their own — the new edge becomes a bridge block — unless
+/// the batch closes a cycle over standing components; a union-find
+/// over the per-batch component multigraph (keyed by the exact
+/// component ids) detects that, and the response flags, for every
+/// endpoint group of the cyclic classes, the paths from one
+/// representative to each other member — which covers all pairwise
+/// block-cut-tree paths, and the union of per-edge tree paths is
+/// exactly the set of blocks any added-edge combination can merge.
+/// (2) It extracts that region plus the inserted edges as a compact
+/// subgraph and solves only it, going through a sparse
+/// 2-vertex-connectivity certificate (`sparse_certificate_vertex`)
+/// first when the region is dense — the omitted edges are labeled
+/// afterwards by the certificate's F1 scatter rule; and (3) splices
+/// the region's fresh labels back with previously unused label values,
+/// patching the cut info only where it can change.
+///
+/// Everything the splice path touches is O(batch + region) plus a few
+/// sequential O(m) sweeps with tiny constants (region collection, the
+/// damage numerator, the ascending bridge list) — never an O(n + m)
+/// rebuild, re-normalization, or full cut-info recomputation:
+///
+///  - deletions compact `graph().edges` by swapping the last edge into
+///    the hole, so the incidence lists need only O(degree) surgery at
+///    the four affected endpoints (ids of unaffected edges never move
+///    en masse);
+///  - spliced region labels take fresh ids from a monotone counter
+///    (`label_bound()` is the exclusive upper bound); the published
+///    array is renormalized opportunistically only when the id space
+///    outgrows ~2(n + m), so labels are *partition*-canonical but not
+///    contiguous — exactly the guarantee bcc_result.hpp already limits
+///    callers to.  `num_components` stays exact by arithmetic: flagged
+///    blocks vanish with the region, the region solve's blocks appear;
+///  - `is_articulation` is recomputed only for vertices incident to the
+///    region or the batch (no other vertex's incident label multiset
+///    changed), and bridges are maintained as a per-edge mask patched
+///    by the splice, from which the ascending id list is re-emitted.
+///
+/// Region growth is the damage model: when the touched-vertex fraction
+/// passes `BatchDynamicOptions::damage_threshold`, patching would cost
+/// as much as solving, so the engine falls back to a full solve through
+/// the shared `BccContext` path (counter `batch_fallbacks`).  The
+/// fallback also reseeds the component ids, bulk-loading an
+/// `IncrementalBiconnectivity` tracker with the whole edge list.
+///
+/// Tracing: every batch opens a `batch_apply` span with `damage_probe`
+/// and (on the incremental path) `certificate_solve` nested inside, and
+/// charges the `batch_touched_vertices` / `batch_fallbacks` counters —
+/// the streaming bench's segments are validated against exactly these
+/// names by tools/validate_trace.py.
+
+namespace parbcc {
+
+struct BatchDynamicOptions {
+  /// Fall back to a full re-solve when the affected region touches more
+  /// than this fraction of the graph's vertices.  The default is the
+  /// measured crossover of the streaming bench (see EXPERIMENTS.md A6):
+  /// below ~15% damage the region solve plus the O(batch + region)
+  /// splice beats the full pipeline; above it the region solve
+  /// converges to the full solve while still paying the probe.
+  double damage_threshold = 0.15;
+  /// Route the region solve through a sparse k=2 BFS certificate when
+  /// the region has more than this many edges per vertex; sparser
+  /// regions are solved directly (the certificate could not drop enough
+  /// edges to pay for its construction).
+  double certificate_density = 3.0;
+  /// Algorithm for the region and fallback solves.
+  BccAlgorithm algorithm = BccAlgorithm::kAuto;
+  /// Maintain `BccResult::is_articulation` / `bridges` after each batch
+  /// (patched incrementally where the region touches them).
+  bool compute_cut_info = true;
+  /// Per-side exploration cap of the bidirectional searches (both the
+  /// insertion path searches and the deletion split checks).  A search
+  /// whose both sides hit the cap without a verdict is undecidable
+  /// within budget and forces a full re-solve (counted as a fallback).
+  /// The default covers meets across the bulk of a power-law giant
+  /// component while bounding the worst batch.
+  vid search_cap = 1u << 16;
+  /// Event sink shared by every batch (spans + counters as above).
+  Trace* trace = nullptr;
+};
+
+/// Telemetry of the most recent apply_batch call.
+struct BatchStats {
+  /// Vertices incident to the affected region (the damage numerator).
+  vid touched_vertices = 0;
+  /// Edges of the extracted region subgraph (insertions included).
+  eid region_edges = 0;
+  /// Edges of the sparse certificate the region solve ran on; 0 when
+  /// the region was solved directly or the batch fell back.
+  eid certificate_edges = 0;
+  /// True when the damage threshold forced a full re-solve.
+  bool fell_back = false;
+};
+
+class BatchDynamicBcc {
+ public:
+  /// Take ownership of `base` (must be loop-free) and solve it once to
+  /// seed the standing labels.  The context supplies the executor, the
+  /// scratch arena and the conversion cache for every later batch.
+  BatchDynamicBcc(BccContext& ctx, EdgeList base,
+                  const BatchDynamicOptions& options = {});
+
+  /// The standing graph after all batches so far.  A deletion swaps the
+  /// last edge into the freed slot (ids of the swapped edges change;
+  /// everything else keeps its id); insertions append.  The result's
+  /// labels, bridges and stats are always in this numbering.
+  const EdgeList& graph() const { return g_; }
+
+  /// The standing result: labels (and cut info) of graph(), updated by
+  /// every apply_batch.  Labels are partition-canonical with values in
+  /// [0, label_bound()) — contiguous right after construction or a
+  /// fallback, sparse after splices until the opportunistic
+  /// renormalization (bcc_result.hpp already limits callers to the
+  /// partition); num_components is always exact.
+  const BccResult& result() const { return result_; }
+
+  /// Exclusive upper bound of the label values in result(); size
+  /// per-label scratch by this, not by num_components.
+  vid label_bound() const { return next_label_; }
+
+  const BatchStats& last_batch() const { return stats_; }
+
+  /// Full re-solves forced by the damage threshold since construction.
+  std::uint64_t fallbacks() const { return fallbacks_; }
+
+  /// Apply one batch: drop `deletions` (edge ids into graph().edges as
+  /// numbered *before* this call; duplicates rejected), append
+  /// `insertions` (loop-free; parallel edges allowed), and republish
+  /// the labels.  Returns the updated standing result.
+  const BccResult& apply_batch(std::span<const Edge> insertions,
+                               std::span<const eid> deletions);
+
+ private:
+  /// Verdict of one bidirectional path search (see search_pair).
+  enum class Probe { kMeet, kUndecided };
+
+  void full_solve();
+  /// Rebuild the bridge mask and the label counter after a full solve.
+  void reset_bookkeeping();
+  /// Rebuild comp_id_ / the component union-find from scratch by
+  /// bulk-loading an IncrementalBiconnectivity tracker with the whole
+  /// standing edge list (construction and fallback re-solves; the
+  /// incremental path maintains the ids exactly instead).
+  void reseed_components();
+  vid comp_find(vid c);
+  /// Exact component id of vertex v (find over comp_id_[v]).
+  vid comp_of(vid v) { return comp_find(comp_id_[v]); }
+  /// Union the components of u and v (by size).  No-op if equal.
+  void comp_join(vid u, vid v);
+  /// Did deleting {u, v} disconnect them?  Bidirectional BFS over the
+  /// post-deletion incidence lists: a meet proves them still connected;
+  /// the first side to exhaust is the detached component and is
+  /// relabeled under a fresh id (cost = its size).  Returns false —
+  /// component ids unreliable — when both sides hit opt_.search_cap;
+  /// the caller must then force a full re-solve, which reseeds.
+  bool split_check(vid u, vid v);
+  /// Flags the labels of every block a batch edge can touch: deleted
+  /// edges flag their own block; each same-component insertion flags
+  /// the blocks met by its bidirectional-search path (exactly the
+  /// block-cut-tree path plus at most the meeting balls); and
+  /// component-joining insertions that close a cycle over standing
+  /// components flag representative paths inside each endpoint group.
+  /// Returns the region's touched-vertex count (the touched vertices
+  /// are also collected into touched_ for the cut-info patch); counts
+  /// distinct flagged labels in flagged_count_; sets force_full_ when a
+  /// search was undecidable.
+  vid probe_damage(std::span<const Edge> insertions,
+                   std::span<const eid> deletions,
+                   std::vector<std::uint8_t>& label_in_region);
+  /// Capped bidirectional BFS between u and v (same component by the
+  /// exact ids) over adj_.  On kMeet the labels of a simple u-v path
+  /// have been flagged into label_in_region.  kUndecided means the cap
+  /// was hit first — or a side exhausted without contact, which would
+  /// contradict the ids and is treated as undecidable for safety.
+  Probe search_pair(vid u, vid v, std::vector<std::uint8_t>& label_in_region);
+  /// Applies the batch to g_.edges, the aligned label / bridge-mask
+  /// arrays and the incidence lists: deletions swap-compact (O(degree)
+  /// surgery per affected endpoint), insertions append with fresh ids.
+  /// With maintain_components, each deletion runs its split check right
+  /// after its arcs are dropped and each insertion joins its endpoints'
+  /// components — sequential semantics, so the ids stay exact at every
+  /// step; pass false when a fallback re-solve (which reseeds) is
+  /// already decided.  Fills `region_ids` with the region's edge ids in
+  /// the new numbering (insertions get a placeholder label; they are
+  /// always in the region).
+  void rebuild_edges(std::span<const Edge> insertions,
+                     std::span<const eid> deletions,
+                     const std::vector<std::uint8_t>& label_in_region,
+                     std::vector<eid>& region_ids, bool maintain_components);
+  /// Labels of a compact region subgraph, by a direct solve or (when
+  /// dense enough) a sparse-certificate solve plus the F1 scatter rule.
+  std::vector<vid> solve_region(const EdgeList& region);
+  /// Recompute is_articulation for the touched vertices (no other
+  /// vertex's incident label multiset changed) and re-emit the
+  /// ascending bridge list from the patched mask.
+  void patch_cut_info();
+
+  BccContext& ctx_;
+  BatchDynamicOptions opt_;
+  EdgeList g_;
+  BccResult result_;
+  BatchStats stats_;
+  std::uint64_t fallbacks_ = 0;
+  Trace* trace_ = nullptr;  // opt_.trace, or null (spans become no-ops)
+  /// Set by the probe or a split check when a search was undecidable
+  /// within opt_.search_cap; apply_batch then falls back regardless of
+  /// damage.
+  bool force_full_ = false;
+
+  /// Incidence lists (neighbor, edge id) of the standing graph, kept
+  /// current across batches by rebuild_edges' per-endpoint surgery.
+  std::vector<std::vector<std::pair<vid, eid>>> adj_;
+
+  /// Exact connected-component ids, maintained across batches: splits
+  /// relabel the detached (smaller) side under a fresh id appended to
+  /// the union-find arrays; joins union by size.  Ids are indices into
+  /// comp_parent_ / comp_size_, compacted back to [0, n) whenever
+  /// splits have grown the id space past ~2n.
+  std::vector<vid> comp_id_;
+  std::vector<vid> comp_parent_;
+  std::vector<vid> comp_size_;
+
+  /// One past the largest label value in result_.edge_component; fresh
+  /// splice labels are drawn from here so unchanged blocks keep their
+  /// values (which is what makes the cut-info patch local).
+  vid next_label_ = 0;
+  /// Distinct labels flagged by the last probe == blocks that vanish
+  /// with the region (every flagged label's edges are region members or
+  /// deleted), which keeps num_components exact without a scan.
+  vid flagged_count_ = 0;
+  /// Per-edge bridge flags, aligned with g_.edges across swaps and
+  /// splices; the ascending result_.bridges list is re-emitted from it.
+  std::vector<std::uint8_t> bridge_mask_;
+
+  // Search scratch, persistent across batches and epoch-stamped so a
+  // batch initializes O(visited), not O(n).  touch_mark_ de-duplicates
+  // the damage numerator; mark_a_/mark_b_ with par_a_/par_b_ are the
+  // two search sides' visit stamps and discovery edges; visits_a_/
+  // visits_b_ replay a side's marked set so a split check can relabel
+  // the detached side without re-traversal.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> touch_mark_;
+  std::vector<vid> touched_;
+  std::uint32_t search_epoch_ = 0;
+  std::vector<std::uint32_t> mark_a_, mark_b_;
+  std::vector<eid> par_a_, par_b_;
+  std::vector<vid> front_a_, front_b_, next_a_, next_b_;
+  std::vector<vid> visits_a_, visits_b_;
+  std::vector<eid> del_scratch_;
+  std::vector<vid> sub_count_;
+};
+
+}  // namespace parbcc

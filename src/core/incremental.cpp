@@ -99,6 +99,21 @@ bool IncrementalBiconnectivity::same_block(vid u, vid v) {
   return false;
 }
 
+void IncrementalBiconnectivity::insert_edges(std::span<const Edge> batch) {
+  // Worst case each insertion mints one fresh block (one slot in each
+  // block array, one node in parent_), so one reservation covers the
+  // whole batch.  mark_ is cleared per insertion but clear() keeps the
+  // bucket array, so a single bucket reservation here removes the
+  // rehash cascade the first long walks would otherwise pay mid-batch.
+  const std::size_t extra = batch.size();
+  block_uf_.reserve(block_uf_.size() + extra);
+  block_size_.reserve(block_size_.size() + extra);
+  edge_count_.reserve(edge_count_.size() + extra);
+  parent_.reserve(parent_.size() + extra);
+  mark_.reserve(std::min<std::size_t>(extra + 64, 1u << 16));
+  for (const Edge& e : batch) insert_edge(e.u, e.v);
+}
+
 void IncrementalBiconnectivity::insert_edge(vid u, vid v) {
   if (u >= n_ || v >= n_) {
     throw std::invalid_argument("insert_edge: vertex out of range");

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "graph/edge_list.hpp"
 #include "util/types.hpp"
 
 /// \file incremental.hpp
@@ -36,7 +38,20 @@ class IncrementalBiconnectivity {
   /// edges are honoured (a doubled bridge stops being a bridge).
   void insert_edge(vid u, vid v);
 
+  /// Bulk insertion: reserves the block arrays and the LCA-walk scratch
+  /// map for the whole batch up front, then inserts in order.  The
+  /// batch-dynamic engine's connectivity tracking feeds thousands of
+  /// edges at once; without the reservation every few insertions pay a
+  /// vector reallocation or a mark_ rehash, which dominates the cheap
+  /// per-edge forest work on large batches.
+  void insert_edges(std::span<const Edge> batch);
+
   bool same_component(vid u, vid v);
+  /// Canonical representative of v's connected component.  The
+  /// batch-dynamic engine seeds its exact component labeling from
+  /// these roots after bulk-loading a tracker with the standing edge
+  /// list (at construction and after every fallback re-solve).
+  vid component_root(vid v) { return comp_find(v); }
   /// Do u and v lie in a common biconnected component?  (True for u ==
   /// v iff v is in any block, i.e. has an incident edge.)
   bool same_block(vid u, vid v);

@@ -290,6 +290,7 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
 
   out.reached = reached;
   out.num_levels = depth;  // last round discovered nothing: depth-1 levels past root
+  out.diameter_estimate = depth > 0 ? depth - 1 : 0;
   if (trace != nullptr) {
     trace->counter("bfs_inspected_edges",
                    static_cast<double>(out.inspected_edges));
@@ -297,6 +298,8 @@ BfsTree bfs_tree(Executor& ex, Workspace& ws, const Csr& g, vid root,
                    static_cast<double>(out.top_down_rounds));
     trace->counter("bfs_bottom_up_rounds",
                    static_cast<double>(out.bottom_up_rounds));
+    trace->counter("bfs_diameter_estimate",
+                   static_cast<double>(out.diameter_estimate));
   }
   return out;
 }

@@ -81,6 +81,12 @@ struct BfsTree {
   /// round that detects termination).
   vid top_down_rounds = 0;
   vid bottom_up_rounds = 0;
+  /// Diameter estimate of the traversed component: the root's
+  /// eccentricity (num_levels - 1), a lower bound within a factor 2 of
+  /// the true diameter.  Exposed so a cost model can recognize
+  /// high-diameter (torus/chain-like) inputs, whose O(d) round count
+  /// dominates the BFS term, without a second traversal.
+  vid diameter_estimate = 0;
 };
 
 /// `trace`, when given, receives the run's telemetry as counters

@@ -47,6 +47,7 @@ SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
   const int p = ex.threads();
   std::vector<std::atomic<vid>> parent(g.n);
   std::vector<eid> parent_edge(g.n, kNoEdge);
+  std::vector<vid> level(g.n, 0);
   std::vector<Padded<std::vector<vid>>> local(static_cast<std::size_t>(p));
   // One frontier buffer serves every component and round: a frontier
   // never exceeds n, and each traversal drains its own entries.
@@ -63,6 +64,7 @@ SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
     for (vid r = 0; r < g.n; ++r) {
       if (parent[r].load(std::memory_order_relaxed) != kNoVertex) continue;
       parent[r].store(r, std::memory_order_relaxed);
+      level[r] = 0;
       frontier[0] = r;
       std::size_t frontier_size = 1;
       while (frontier_size != 0) {
@@ -80,8 +82,9 @@ SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
                   vid expected = kNoVertex;
                   if (parent[nbrs[j]].compare_exchange_strong(
                           expected, v, std::memory_order_acq_rel)) {
-                    // CAS winner is the sole writer of this slot.
+                    // CAS winner is the sole writer of these slots.
                     parent_edge[nbrs[j]] = eids[j];
+                    level[nbrs[j]] = level[v] + 1;
                     next.push_back(nbrs[j]);
                   }
                 }
@@ -103,6 +106,12 @@ SparseCertificate sparse_certificate_vertex(Executor& ex, const EdgeList& g,
       }
     }
     out.forest_offsets.push_back(static_cast<eid>(out.edges.size()));
+    if (round == 0) {
+      // Keep F1's exact BFS structure for the omitted-edge scatter
+      // rule (see the header); later rounds reuse the arrays.
+      out.f1_level = level;
+      out.f1_parent_edge = parent_edge;
+    }
   }
   return out;
 }

@@ -31,6 +31,19 @@ struct SparseCertificate {
   std::vector<eid> edges;
   /// forest_offsets[i] .. forest_offsets[i+1] delimit Fi+1 in `edges`.
   std::vector<eid> forest_offsets;
+  /// BFS metadata of the first forest F1, filled by
+  /// sparse_certificate_vertex only (empty from the edge variant):
+  /// exact BFS depth per vertex (roots 0) and the tree edge to the
+  /// parent (kNoEdge for roots).  Callers use this to label the edges
+  /// the certificate omits without re-traversing: an omitted edge
+  /// {u, v} closes a cycle with its F1 tree path, so it lies in one
+  /// biconnected component with the parent tree edge of its deeper
+  /// endpoint — and BFS levels across an edge differ by at most one,
+  /// so the deeper (or, on a tie, either) endpoint is never the top
+  /// vertex of that cycle.  The batch-dynamic engine's
+  /// certificate-bounded region solve relies on this scatter rule.
+  std::vector<vid> f1_level;
+  std::vector<eid> f1_parent_edge;
 
   /// Materialize the certificate as its own EdgeList over g's vertices.
   EdgeList subgraph(const EdgeList& g) const {

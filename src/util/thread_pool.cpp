@@ -122,41 +122,54 @@ void Executor::run_task_body(ForkTask* t, WorkerState& me) {
 bool Executor::try_steal_once(WorkerState& me) {
   const int p = threads_;
   const int self = tls_slot_;
+  ForkTask* grabbed[WorkDeque::kMaxSteal];
   for (int k = 1; k <= p; ++k) {
     const int victim = (self + k) % p;
     if (victim == self) continue;
-    if (ForkTask* t = state_[static_cast<std::size_t>(victim)]->deque.steal()) {
-      me.steals.fetch_add(1, std::memory_order_relaxed);
-      run_task_body(t, me);
-      return true;
+    const std::size_t got =
+        state_[static_cast<std::size_t>(victim)]->deque.steal_half(
+            grabbed, WorkDeque::kMaxSteal);
+    if (got == 0) continue;
+    me.steals.fetch_add(1, std::memory_order_relaxed);
+    // Park the surplus on our own deque before running the first
+    // (largest) task: earlier pushes sit closer to our top, so further
+    // thieves relieve us of the bigger subranges first.  A full deque
+    // degrades to running the surplus inline.
+    for (std::size_t i = 1; i < got; ++i) {
+      if (!me.deque.push(grabbed[i])) run_task_body(grabbed[i], me);
     }
+    run_task_body(grabbed[0], me);
+    return true;
   }
   return false;
 }
 
 void Executor::join_task(ForkTask* t, WorkerState& me) {
-  if (ForkTask* popped = me.deque.pop()) {
-    // Fork-join is strictly nested, so the bottom of our own deque at a
-    // join point is exactly the task being joined (everything pushed
-    // above it was already joined inside the left half).
-    assert(popped == t && "deque LIFO invariant violated");
-    run_task_body(popped, me);
-  } else {
+  int idle = 0;
+  while (!t->done.load(std::memory_order_acquire)) {
+    // Drain our own bottom first.  Under steal-half the deque may hold
+    // surplus tasks a steal parked above the task being joined, so the
+    // old pop==t LIFO identity no longer holds; everything above `t`
+    // is ours to run, and popping `t` itself completes the join.
+    // Nothing *below* `t` is ever reached: tasks from outer frames sit
+    // deeper, and running `t` exits the loop before they surface.
+    if (ForkTask* popped = me.deque.pop()) {
+      run_task_body(popped, me);
+      idle = 0;
+      continue;
+    }
     // Stolen: help with other work while the thief finishes it.
-    int idle = 0;
-    while (!t->done.load(std::memory_order_acquire)) {
-      if (try_steal_once(me)) {
-        idle = 0;
-        continue;
-      }
-      if (++idle >= 8) {
-        // Nothing to steal: let the thief (possibly sharing this core)
-        // run.  Thread CPU-time accounting ignores this wait either
-        // way, but on an oversubscribed host yielding is what lets the
-        // steal make progress at all.
-        std::this_thread::yield();
-        idle = 0;
-      }
+    if (try_steal_once(me)) {
+      idle = 0;
+      continue;
+    }
+    if (++idle >= 8) {
+      // Nothing to steal: let the thief (possibly sharing this core)
+      // run.  Thread CPU-time accounting ignores this wait either
+      // way, but on an oversubscribed host yielding is what lets the
+      // steal make progress at all.
+      std::this_thread::yield();
+      idle = 0;
     }
   }
   if (t->error) std::rethrow_exception(t->error);

@@ -13,7 +13,9 @@
 ///
 /// The owner pushes and pops fork-join task descriptors at the bottom
 /// (LIFO, cache-warm); thieves steal from the top (FIFO, largest
-/// remaining range first under lazy binary splitting).  All operations
+/// remaining range first under lazy binary splitting), taking up to
+/// half of the visible tasks per steal so one migration rebalances a
+/// loaded victim instead of draining it leaf by leaf.  All operations
 /// use seq_cst atomics on `top_` / `bottom_` and atomic buffer slots —
 /// deliberately *not* the fence-optimized published variant, because
 /// ThreadSanitizer does not model standalone atomic_thread_fence and
@@ -81,20 +83,50 @@ class WorkDeque {
     return task;
   }
 
-  /// Thief-side.  Returns nullptr on empty or lost race.  The slot is
-  /// read *before* the CAS and the pointer is only dereferenced by the
-  /// caller after the CAS succeeds — top_ is monotonic, so a stale read
-  /// always loses the CAS and the dead pointer is discarded.
-  ForkTask* steal() {
+  /// Upper bound on tasks transferred by one steal_half call (bounds
+  /// the thief's stack-side receive buffer).
+  static constexpr std::size_t kMaxSteal = 32;
+
+  /// Thief-side.  Claims up to half of the tasks visible in the deque
+  /// (at least 1, at most `max_out`), oldest first — under lazy binary
+  /// splitting the top of the deque holds the largest remaining
+  /// subranges, so one steal rebalances half the victim's outstanding
+  /// work instead of a single leaf.  Writes the claimed pointers to
+  /// `out` and returns the count; 0 on empty or lost race.
+  ///
+  /// Elements are claimed one CAS at a time with `bottom_` re-read
+  /// before every claim.  A single k-wide CAS of `top_` would be
+  /// unsound: the owner pops non-last elements without touching
+  /// `top_`, so a thief working from a stale `bottom_` could claim an
+  /// element the owner already consumed.  Re-validating per element
+  /// makes each claim exactly the proven single-steal protocol — the
+  /// slot is read *before* the CAS and only handed out after the CAS
+  /// succeeds; top_ is monotonic, so a stale read always loses the CAS
+  /// and the dead pointer is discarded.
+  std::size_t steal_half(ForkTask** out, std::size_t max_out) {
     std::uint64_t t = top_.load(std::memory_order_seq_cst);
-    const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
-    if (t >= b) return nullptr;
-    ForkTask* task = buffer_[t & kMask].load(std::memory_order_seq_cst);
-    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                      std::memory_order_seq_cst)) {
-      return nullptr;
+    std::size_t got = 0;
+    std::size_t want = max_out;
+    for (;;) {
+      const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+      if (t >= b) break;
+      if (got == 0) {
+        // Half of what is visible now, rounded up so one task still
+        // transfers.  Fixed on the first claim: later bottom_ re-reads
+        // only guard against racing the owner, they don't grow the bite.
+        const std::size_t half = static_cast<std::size_t>((b - t + 1) / 2);
+        if (half < want) want = half;
+      }
+      ForkTask* task = buffer_[t & kMask].load(std::memory_order_seq_cst);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+        break;  // lost to another thief or the owner's last-element pop
+      }
+      out[got++] = task;
+      ++t;
+      if (got >= want) break;
     }
-    return task;
+    return got;
   }
 
   bool empty() const {

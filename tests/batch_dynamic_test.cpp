@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "connectivity/shiloach_vishkin.hpp"
+#include "core/batch_dynamic.hpp"
+#include "core/bcc.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace parbcc {
+namespace {
+
+/// The engine's contract: after every batch the standing result equals
+/// a from-scratch static solve of the standing graph.  Labels are
+/// partition-canonical (bcc_result.hpp), so both sides are compared
+/// after first-appearance normalization — identical partitions
+/// normalize to identical vectors, any algorithm is a valid oracle.
+void expect_matches_static(const BatchDynamicBcc& dyn) {
+  BccOptions opt;
+  opt.compute_cut_info = true;
+  const BccResult ref = biconnected_components(dyn.graph(), opt);
+  ASSERT_EQ(dyn.result().num_components, ref.num_components);
+  std::vector<vid> got = dyn.result().edge_component;
+  std::vector<vid> want = ref.edge_component;
+  normalize_labels(got);
+  normalize_labels(want);
+  ASSERT_EQ(got, want);
+  ASSERT_EQ(dyn.result().is_articulation, ref.is_articulation);
+  ASSERT_EQ(dyn.result().bridges, ref.bridges);
+}
+
+/// One random edit stream: alternating batches of random insertions
+/// (fresh endpoints; duplicates of standing edges allowed) and random
+/// unique deletions, each batch checked against the static oracle.
+void run_fuzz_stream(int threads, std::uint64_t seed,
+                     double damage_threshold) {
+  const vid n = 300;
+  Xoshiro256 rng(splitmix64(seed) ^ 0x5eed);
+  EdgeList base = gen::random_gnm(n, 600, seed);
+
+  BccContext ctx(threads);
+  BatchDynamicOptions opt;
+  opt.damage_threshold = damage_threshold;
+  BatchDynamicBcc dyn(ctx, base, opt);
+  expect_matches_static(dyn);
+
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Edge> ins;
+    const int num_ins = static_cast<int>(rng() % 12);
+    for (int i = 0; i < num_ins; ++i) {
+      const vid u = static_cast<vid>(rng() % n);
+      vid v = static_cast<vid>(rng() % n);
+      if (u == v) v = (v + 1) % n;
+      ins.push_back({u, v});
+    }
+    std::vector<eid> dels;
+    const eid m = dyn.graph().m();
+    if (m > 0) {
+      const int num_del = static_cast<int>(rng() % std::min<eid>(m, 12));
+      std::vector<std::uint8_t> used(m, 0);
+      for (int i = 0; i < num_del; ++i) {
+        const eid e = static_cast<eid>(rng() % m);
+        if (used[e]) continue;
+        used[e] = 1;
+        dels.push_back(e);
+      }
+    }
+    dyn.apply_batch(ins, dels);
+    expect_matches_static(dyn);
+  }
+}
+
+class BatchDynamicFuzz
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BatchDynamicFuzz, MatchesStaticSolveAfterEveryBatch) {
+  const auto [threads, seed] = GetParam();
+  // Even seeds use the default threshold (small graphs cross it, so
+  // both the splice and the fallback path run); odd seeds never fall
+  // back, hammering the region splice alone.
+  run_fuzz_stream(threads, seed, seed % 2 == 0 ? 0.15 : 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, BatchDynamicFuzz,
+    ::testing::Combine(::testing::Values(1, 4, 12),
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u)));
+
+TEST(BatchDynamic, StructuredEdits) {
+  // Path 0-1-2-3-4: all bridges.
+  BccContext ctx(4);
+  BatchDynamicOptions opt;
+  opt.damage_threshold = 1.0;  // exercise the splice on a tiny graph
+  BatchDynamicBcc dyn(ctx, gen::path(5), opt);
+  ASSERT_EQ(dyn.result().num_components, 4u);
+  ASSERT_EQ(dyn.result().bridges.size(), 4u);
+
+  // Close the cycle: one block, no articulation points.
+  const Edge close{0, 4};
+  dyn.apply_batch({&close, 1}, {});
+  expect_matches_static(dyn);
+  ASSERT_EQ(dyn.result().num_components, 1u);
+  ASSERT_TRUE(dyn.result().bridges.empty());
+
+  // Delete one cycle edge: back to a path of bridges.
+  const eid victim = 2;
+  dyn.apply_batch({}, {&victim, 1});
+  expect_matches_static(dyn);
+  ASSERT_EQ(dyn.result().num_components, 4u);
+  ASSERT_EQ(dyn.result().bridges.size(), 4u);
+}
+
+TEST(BatchDynamic, ComponentJoiningInsertions) {
+  // Two disjoint triangles; batched insertions weld them into one
+  // block (the anchor-path interaction case: the second insertion's
+  // cycle runs through blocks of both old components).
+  EdgeList g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  BccContext ctx(2);
+  BatchDynamicOptions opt;
+  opt.damage_threshold = 1.0;
+  BatchDynamicBcc dyn(ctx, g, opt);
+  ASSERT_EQ(dyn.result().num_components, 2u);
+
+  const std::vector<Edge> weld{{0, 3}, {1, 4}};
+  dyn.apply_batch(weld, {});
+  expect_matches_static(dyn);
+  ASSERT_EQ(dyn.result().num_components, 1u);
+  ASSERT_FALSE(dyn.last_batch().fell_back);
+}
+
+TEST(BatchDynamic, ParallelEdgeUnbridges) {
+  EdgeList g(3, {{0, 1}, {1, 2}});
+  BccContext ctx(1);
+  BatchDynamicOptions opt;
+  opt.damage_threshold = 1.0;
+  BatchDynamicBcc dyn(ctx, g, opt);
+  ASSERT_EQ(dyn.result().bridges.size(), 2u);
+
+  const Edge dup{0, 1};
+  dyn.apply_batch({&dup, 1}, {});
+  expect_matches_static(dyn);
+  ASSERT_EQ(dyn.result().bridges.size(), 1u);
+}
+
+TEST(BatchDynamic, BridgeDeletionDisconnects) {
+  EdgeList g(6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}});
+  BccContext ctx(2);
+  BatchDynamicOptions opt;
+  opt.damage_threshold = 1.0;
+  BatchDynamicBcc dyn(ctx, g, opt);
+
+  const eid bridge = 3;  // {2, 3}
+  dyn.apply_batch({}, {&bridge, 1});
+  expect_matches_static(dyn);
+  ASSERT_EQ(dyn.result().num_components, 2u);
+
+  // Reconnect across the (stale-true for the incremental tracker) cut,
+  // which exercises the visit-stamp re-anchoring path.
+  const Edge rejoin{0, 4};
+  dyn.apply_batch({&rejoin, 1}, {});
+  expect_matches_static(dyn);
+}
+
+TEST(BatchDynamic, EmptyBatchIsIdentity) {
+  BccContext ctx(1);
+  BatchDynamicBcc dyn(ctx, gen::clique_chain(3, 4), {});
+  const std::vector<vid> before = dyn.result().edge_component;
+  dyn.apply_batch({}, {});
+  expect_matches_static(dyn);
+  ASSERT_EQ(dyn.result().edge_component, before);
+  ASSERT_EQ(dyn.last_batch().touched_vertices, 0u);
+  ASSERT_EQ(dyn.last_batch().region_edges, 0u);
+}
+
+TEST(BatchDynamic, FallbackBoundary) {
+  // threshold 0 forces the fallback on any non-empty damage; threshold
+  // 1 never falls back.  Same edit, both sides of the boundary.
+  for (const double threshold : {0.0, 1.0}) {
+    BccContext ctx(2);
+    BatchDynamicOptions opt;
+    opt.damage_threshold = threshold;
+    BatchDynamicBcc dyn(ctx, gen::grid_torus(5, 5), opt);
+    const Edge chord{0, 12};
+    dyn.apply_batch({&chord, 1}, {});
+    expect_matches_static(dyn);
+    ASSERT_EQ(dyn.last_batch().fell_back, threshold == 0.0);
+    ASSERT_EQ(dyn.fallbacks(), threshold == 0.0 ? 1u : 0u);
+    ASSERT_GT(dyn.last_batch().touched_vertices, 0u);
+  }
+}
+
+TEST(BatchDynamic, DenseRegionTakesCertificateRoute) {
+  // K20 region: density ~9.5 edges/vertex, far past the default
+  // certificate_density of 3 — the region solve must go through the
+  // k = 2 BFS certificate and scatter the omitted edges.
+  BccContext ctx(4);
+  BatchDynamicOptions opt;
+  opt.damage_threshold = 1.0;
+  BatchDynamicBcc dyn(ctx, gen::complete(20), opt);
+
+  const eid victim = 0;
+  const Edge chord{0, 1};
+  dyn.apply_batch({&chord, 1}, {&victim, 1});
+  expect_matches_static(dyn);
+  ASSERT_GT(dyn.last_batch().certificate_edges, 0u);
+  ASSERT_LT(dyn.last_batch().certificate_edges,
+            dyn.last_batch().region_edges);
+}
+
+TEST(BatchDynamic, SparseRegionSolvedDirectly) {
+  BccContext ctx(1);
+  BatchDynamicOptions opt;
+  opt.damage_threshold = 1.0;
+  BatchDynamicBcc dyn(ctx, gen::path(20), opt);
+  const Edge chord{0, 5};
+  dyn.apply_batch({&chord, 1}, {});
+  expect_matches_static(dyn);
+  ASSERT_EQ(dyn.last_batch().certificate_edges, 0u);
+}
+
+TEST(BatchDynamic, RejectsMalformedBatches) {
+  BccContext ctx(1);
+  BatchDynamicBcc dyn(ctx, gen::cycle(4), {});
+  const Edge loop{1, 1};
+  EXPECT_THROW(dyn.apply_batch({&loop, 1}, {}), std::invalid_argument);
+  const Edge oob{0, 9};
+  EXPECT_THROW(dyn.apply_batch({&oob, 1}, {}), std::invalid_argument);
+  const eid bad = 99;
+  EXPECT_THROW(dyn.apply_batch({}, {&bad, 1}), std::invalid_argument);
+  const std::vector<eid> dup{0, 0};
+  EXPECT_THROW(dyn.apply_batch({}, dup), std::invalid_argument);
+  // The standing state survives a rejected batch.
+  expect_matches_static(dyn);
+}
+
+TEST(BatchDynamic, EmitsBatchSpansAndCounters) {
+  Trace trace(4);
+  BccContext ctx(4);
+  BatchDynamicOptions opt;
+  opt.damage_threshold = 1.0;
+  opt.trace = &trace;
+  BatchDynamicBcc dyn(ctx, gen::grid_torus(4, 4), opt);
+
+  const Trace::Mark mark = trace.mark();
+  const Edge chord{0, 5};
+  dyn.apply_batch({&chord, 1}, {});
+  const TraceReport report = trace.report_since(mark);
+
+  ASSERT_NE(report.find_path("batch_apply"), nullptr);
+  ASSERT_NE(report.find_path("batch_apply/damage_probe"), nullptr);
+  ASSERT_NE(report.find_path("batch_apply/certificate_solve"), nullptr);
+  EXPECT_GT(report.counter_total("batch_touched_vertices"), 0.0);
+  EXPECT_EQ(report.counter_total("batch_fallbacks"), 0.0);
+
+  // A forced fallback charges the counter and skips certificate_solve.
+  const Trace::Mark mark2 = trace.mark();
+  BatchDynamicOptions strict = opt;
+  strict.damage_threshold = 0.0;
+  BatchDynamicBcc dyn2(ctx, gen::grid_torus(4, 4), strict);
+  const Edge chord2{1, 6};
+  dyn2.apply_batch({&chord2, 1}, {});
+  const TraceReport report2 = trace.report_since(mark2);
+  EXPECT_EQ(report2.counter_total("batch_fallbacks"), 1.0);
+  EXPECT_EQ(report2.find_path("batch_apply/certificate_solve"), nullptr);
+}
+
+TEST(BatchDynamic, LongStreamKeepsBooks) {
+  // A longer stream on one engine: stats stay coherent and fallbacks
+  // accumulate monotonically.
+  BccContext ctx(4);
+  BatchDynamicBcc dyn(ctx, gen::random_connected_gnm(200, 500, 7), {});
+  Xoshiro256 rng(7);
+  std::uint64_t last_fallbacks = 0;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<Edge> ins;
+    for (int i = 0; i < 5; ++i) {
+      const vid u = static_cast<vid>(rng() % 200);
+      const vid v = static_cast<vid>((u + 1 + rng() % 198) % 200);
+      ins.push_back({u, v});
+    }
+    const eid del = static_cast<eid>(rng() % dyn.graph().m());
+    dyn.apply_batch(ins, {&del, 1});
+    expect_matches_static(dyn);
+    ASSERT_GE(dyn.fallbacks(), last_fallbacks);
+    ASSERT_EQ(dyn.fallbacks() > last_fallbacks, dyn.last_batch().fell_back);
+    last_fallbacks = dyn.fallbacks();
+    if (dyn.last_batch().fell_back) {
+      ASSERT_EQ(dyn.last_batch().certificate_edges, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parbcc

@@ -6,13 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
+#include "util/work_deque.hpp"
 
 namespace parbcc {
 namespace {
@@ -215,6 +218,84 @@ TEST_P(SchedulerParam, BusyAccountingProfilesLeafWork) {
     std::uint64_t total = 0;
     for (const std::uint64_t b : s.busy_ns) total += b;
     EXPECT_GT(total, 0u);
+  }
+}
+
+namespace {
+struct NopTask final : ForkTask {
+  std::atomic<int> claims{0};
+  void run_task() override {}
+};
+}  // namespace
+
+TEST(WorkDequeProtocol, StealHalfTakesHalfOldestFirstAndPopStaysLifo) {
+  WorkDeque dq;
+  std::array<NopTask, 8> tasks;
+  for (auto& t : tasks) ASSERT_TRUE(dq.push(&t));
+  ForkTask* out[WorkDeque::kMaxSteal];
+  // 8 visible -> the thief claims half (4), oldest (top) first: the
+  // largest remaining subranges under lazy binary splitting.
+  std::size_t got = dq.steal_half(out, WorkDeque::kMaxSteal);
+  ASSERT_EQ(got, 4u);
+  for (std::size_t i = 0; i < got; ++i) EXPECT_EQ(out[i], &tasks[i]);
+  // 4 left -> the next thief claims 2, continuing in top order.
+  got = dq.steal_half(out, WorkDeque::kMaxSteal);
+  ASSERT_EQ(got, 2u);
+  EXPECT_EQ(out[0], &tasks[4]);
+  EXPECT_EQ(out[1], &tasks[5]);
+  // The owner still pops LIFO from the bottom, untouched by steals.
+  EXPECT_EQ(dq.pop(), &tasks[7]);
+  // The caller's buffer capacity caps the bite.
+  got = dq.steal_half(out, 1);
+  ASSERT_EQ(got, 1u);
+  EXPECT_EQ(out[0], &tasks[6]);
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(WorkDequeProtocol, ConcurrentStealHalfClaimsEachTaskExactlyOnce) {
+  // The owner drains from the bottom while thieves bite halves off the
+  // top; every task must be claimed by exactly one party.  This is the
+  // race the per-element bottom_ re-read in steal_half exists for (a
+  // k-wide CAS could hand a thief an element the owner already popped).
+  constexpr int kRounds = 50;
+  constexpr std::size_t kTasks = 512;
+  for (int round = 0; round < kRounds; ++round) {
+    WorkDeque dq;
+    std::vector<NopTask> tasks(kTasks);
+    for (auto& t : tasks) ASSERT_TRUE(dq.push(&t));
+    std::atomic<bool> go{false};
+    auto thief = [&] {
+      ForkTask* out[WorkDeque::kMaxSteal];
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (;;) {
+        const std::size_t got = dq.steal_half(out, WorkDeque::kMaxSteal);
+        if (got == 0) {
+          if (dq.empty()) break;
+          continue;
+        }
+        for (std::size_t i = 0; i < got; ++i) {
+          static_cast<NopTask*>(out[i])->claims.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+    };
+    std::thread t1(thief), t2(thief), t3(thief);
+    go.store(true, std::memory_order_release);
+    while (ForkTask* popped = dq.pop()) {
+      static_cast<NopTask*>(popped)->claims.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    t1.join();
+    t2.join();
+    t3.join();
+    std::size_t total = 0;
+    for (auto& t : tasks) {
+      ASSERT_EQ(t.claims.load(), 1) << "round " << round;
+      total += static_cast<std::size_t>(t.claims.load());
+    }
+    ASSERT_EQ(total, kTasks);
   }
 }
 

@@ -24,7 +24,16 @@ Checks, per segment of the Chrome export written by bench_fig4:
      schedule forked (sched_tasks and sched_splits counters positive,
      sched_steals present), while the TV-filter-spmd segment — the same
      solve pinned to the paper's static SPMD schedule — carries no
-     sched_* counter at all: the fallback must not touch the deques.
+     sched_* counter at all: the fallback must not touch the deques;
+  8. dynamic segments (label `dynamic:<family>:p<p>`, written by
+     bench_dynamic) carry the batch-dynamic engine's telemetry: a
+     batch_apply span with damage_probe nested per batch, the
+     batch_touched_vertices / batch_fallbacks counters, and a
+     certificate_solve span whenever at least one batch took the
+     incremental path (batch_fallbacks < batch_apply calls).  Static
+     segments must carry no batch span at all, and the
+     all-segments-present check of step 3 applies only to artifacts
+     that contain static segments (a dynamic-only artifact is legal).
 
 Usage: validate_trace.py <trace.json>
 """
@@ -116,6 +125,40 @@ REQUIRED_FASTBCC_COUNTERS = [
     "peak_workspace_bytes",
 ]
 
+# The batch-dynamic engine's spans (batch_dynamic.hpp): required in
+# dynamic segments, forbidden in static ones.
+BATCH_SPANS = ["batch_apply", "damage_probe", "certificate_solve"]
+REQUIRED_DYNAMIC_COUNTERS = ["batch_touched_vertices", "batch_fallbacks"]
+
+
+def check_dynamic_segment(label, report):
+    parts = label.split(":")
+    if len(parts) != 3 or not parts[1] or not parts[2].startswith("p") or \
+            not parts[2][1:].isdigit():
+        fail(f"dynamic segment label {label!r} is not dynamic:<family>:p<p>")
+    calls = {p["name"]: p["calls"] for p in report.get("phases", [])}
+    for span in ("batch_apply", "damage_probe"):
+        if calls.get(span, 0) <= 0:
+            fail(f"{label}: span {span!r} missing from the rollup")
+    if calls["damage_probe"] != calls["batch_apply"]:
+        fail(
+            f"{label}: damage_probe ran {calls['damage_probe']} times for "
+            f"{calls['batch_apply']} batches (want one probe per batch)"
+        )
+    counters = report.get("counters", {})
+    for counter in REQUIRED_DYNAMIC_COUNTERS:
+        if counter not in counters:
+            fail(f"{label}: counter {counter!r} missing")
+    # batch_fallbacks totals the fallen-back batches; any batch that did
+    # not fall back must have opened a certificate_solve span.
+    if counters["batch_fallbacks"] < calls["batch_apply"] and \
+            calls.get("certificate_solve", 0) <= 0:
+        fail(
+            f"{label}: {calls['batch_apply']} batches, only "
+            f"{counters['batch_fallbacks']:.0f} fell back, yet no "
+            "certificate_solve span — the incremental path went untraced"
+        )
+
 
 def fail(msg):
     print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
@@ -155,12 +198,26 @@ def main():
     check_span_balance(events)
 
     seen = set()
+    saw_static = False
     for report in reports:
         label = report.get("label")
+        if isinstance(label, str) and label.startswith("dynamic:"):
+            for phase in report.get("phases", []):
+                if phase.get("inclusive", -1) < 0:
+                    fail(f"{label}: phase {phase['name']!r} negative inclusive")
+            check_dynamic_segment(label, report)
+            continue
         if label not in EXPECTED_STEPS:
             fail(f"unexpected segment label {label!r}")
         seen.add(label)
+        saw_static = True
         names = [p["name"] for p in report.get("phases", [])]
+        batch_present = [s for s in BATCH_SPANS if s in names]
+        if batch_present:
+            fail(
+                f"{label}: batch-dynamic spans {batch_present!r} present in "
+                "a static segment"
+            )
         for step in EXPECTED_STEPS[label]:
             count = names.count(step)
             if count != 1:
@@ -233,9 +290,12 @@ def main():
                     f"{calls.get('filtering', 0)}"
                 )
 
-    missing = set(EXPECTED_STEPS) - seen
-    if missing:
-        fail(f"segments missing from artifact: {sorted(missing)}")
+    # A dynamic-only artifact (bench_dynamic --trace-out) is complete by
+    # itself; the all-algorithms check applies to static artifacts.
+    if saw_static:
+        missing = set(EXPECTED_STEPS) - seen
+        if missing:
+            fail(f"segments missing from artifact: {sorted(missing)}")
 
     print(
         f"validate_trace: OK ({len(events)} events, "
