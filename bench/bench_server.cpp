@@ -1,0 +1,385 @@
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bcc.hpp"
+#include "core/bcc_context.hpp"
+#include "dynamic_churn.hpp"
+#include "graph/generators.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "util/timer.hpp"
+
+/// \file bench_server.cpp
+/// Experiment A7: BCC-as-a-service under concurrent load.
+///
+/// Three sections over one monitor-style workload (the dynamic churn
+/// stream of bench_dynamic, served instead of merely maintained):
+///
+///  (a) publish — sequential epochs; measures apply_batch plus
+///      snapshot build/publish cost, and oracle-checks every epoch
+///      against a fresh static solve of the same standing graph.
+///  (b) concurrent — in-process reader threads hammer the epoch
+///      surface while the writer churns; measures query throughput
+///      and batch latency (p50/p99), and proves the epoch swap with
+///      the reads-completed-during-write counter: a reader that
+///      blocked on the writer could not finish queries while a
+///      mutation batch is in flight.
+///  (c) tcp — the same service behind the loopback TCP server with
+///      closed-loop BccClient load generators; measures end-to-end
+///      round-trip throughput with mutations interleaved.
+///
+/// Any oracle or liveness failure prints "gate: FAIL ..." and exits
+/// non-zero, so CI can smoke this binary directly.
+
+namespace parbcc::bench {
+namespace {
+
+using server::BccClient;
+using server::BccServer;
+using server::BccService;
+using server::Op;
+using server::Query;
+using server::QueryReply;
+using server::Snapshot;
+
+bool g_failed = false;
+/// Answers are written here so the reader loops cannot be elided.
+volatile std::uint32_t g_sink = 0;
+
+void gate(bool ok, const char* what) {
+  if (ok) {
+    std::printf("gate: %s OK\n", what);
+  } else {
+    std::printf("gate: FAIL %s\n", what);
+    g_failed = true;
+  }
+}
+
+Query random_query(std::mt19937_64& rng, vid n, eid m) {
+  Query q;
+  q.op = static_cast<Op>(1 + rng() % 5);
+  if (q.op == Op::kBlockId) {
+    q.a = static_cast<vid>(rng() % std::max<eid>(m, 1));
+    q.b = 0;
+  } else {
+    q.a = static_cast<vid>(rng() % n);
+    q.b = static_cast<vid>(rng() % n);
+  }
+  return q;
+}
+
+/// Fresh-solve oracle for one epoch: rebuild a snapshot from a
+/// from-scratch static solve of the same graph and require identical
+/// answers (every query is partition-determined, so canonical
+/// snapshots agree exactly).
+bool epoch_matches_fresh_solve(const Snapshot& live, const EdgeList& g,
+                               std::mt19937_64& rng) {
+  BccContext ctx(1);
+  BccOptions opt;
+  opt.compute_cut_info = true;
+  const BccResult ref = biconnected_components(ctx, g, opt);
+  const Snapshot fresh(ctx.executor(), g, ref, live.version());
+
+  if (live.num_blocks() != fresh.num_blocks() ||
+      live.num_cut_vertices() != fresh.num_cut_vertices() ||
+      live.num_two_edge_components() != fresh.num_two_edge_components()) {
+    return false;
+  }
+  // block_id must induce the same partition: equal up to label names,
+  // which both sides normalize to first-appearance order over the same
+  // edge numbering — so equal exactly.
+  for (eid e = 0; e < g.m(); ++e) {
+    if (live.block_id(e) != fresh.block_id(e)) return false;
+  }
+  for (vid v = 0; v < g.n; ++v) {
+    if (live.is_cut(v) != fresh.is_cut(v)) return false;
+  }
+  for (int i = 0; i < 512; ++i) {
+    const Query q = random_query(rng, g.n, g.m());
+    if (server::evaluate_query(live, q) != server::evaluate_query(fresh, q)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Percentiles {
+  double p50 = 0, p99 = 0;
+};
+
+Percentiles percentiles(std::vector<double> xs) {
+  Percentiles out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  out.p50 = xs[xs.size() / 2];
+  out.p99 = xs[std::min(xs.size() - 1, xs.size() * 99 / 100)];
+  return out;
+}
+
+struct ChurnBatch {
+  std::vector<Edge> ins;
+  std::vector<eid> dels;
+};
+
+/// Next round of the peripheral-churn stream against the service's
+/// standing graph (writer-side bookkeeping, untimed).
+ChurnBatch next_batch(const BccService& svc, std::vector<Edge>& pool,
+                      eid batch, std::mt19937_64& rng) {
+  ChurnBatch out;
+  out.dels = sample_peripheral(svc.engine(), batch, rng);
+  for (eid i = 0; i < batch && !pool.empty(); ++i) {
+    const std::size_t j = rng() % pool.size();
+    out.ins.push_back(pool[j]);
+    pool[j] = pool.back();
+    pool.pop_back();
+  }
+  for (const eid e : out.dels) pool.push_back(svc.engine().graph().edges[e]);
+  return out;
+}
+
+int run(int argc, char** argv) {
+  // Same shape as bench_dynamic's monitor workload: m = 1.25n leaves
+  // plenty of small blocks and pendant bridges for peripheral churn
+  // (denser gnm collapses into one giant block and the churn stream
+  // would find nothing safe to fail).
+  const vid n = env_n(100000);
+  const eid m = static_cast<eid>(n) + static_cast<eid>(n) / 4;
+  const int threads = env_threads(4);
+  const std::uint64_t seed = env_seed();
+  const int rounds = 10;
+  constexpr int kQueriesPerBatch = 64;
+
+  JsonWriter json(argc, argv);
+  print_header("A7: BCC-as-a-service (epoch-snapshot query server)");
+  std::printf("n = %u, m = %u, writer threads = %d, churn rounds = %d\n\n",
+              n, m, threads, rounds);
+
+  std::mt19937_64 rng(seed);
+  const EdgeList base = gen::random_connected_gnm(n, m, seed);
+  const eid batch = std::max<eid>(m / 200, 1);
+
+  // ---- (a) publish: sequential epochs, each oracle-checked. ----
+  BccContext ctx(threads);
+  BccService svc(ctx, base);
+  std::vector<Edge> pool;
+  {
+    ChurnBatch prime = next_batch(svc, pool, batch, rng);
+    svc.apply_batch({}, prime.dels);
+  }
+
+  std::vector<double> t_apply, t_publish;
+  Timer timer;
+  bool oracle_ok = true;
+  for (int round = 0; round < rounds; ++round) {
+    ChurnBatch b = next_batch(svc, pool, batch, rng);
+    timer.reset();
+    svc.apply_batch(b.ins, b.dels);
+    t_apply.push_back(timer.lap());
+    t_publish.push_back(svc.last_publish_seconds());
+    oracle_ok = oracle_ok && epoch_matches_fresh_solve(
+                                 *svc.snapshot(), svc.engine().graph(), rng);
+  }
+  const RepStats apply_stats = rep_stats(t_apply);
+  const RepStats publish_stats = rep_stats(t_publish);
+  double publish_mean = 0;
+  for (const double t : t_publish) publish_mean += t;
+  publish_mean /= t_publish.size();
+
+  std::printf("(a) publish: apply+publish min %.4fs  (snapshot build alone "
+              "mean %.4fs, min %.4fs)\n",
+              apply_stats.min, publish_mean, publish_stats.min);
+  std::printf("    snapshot: %u blocks, %u cut vertices, %.1f MiB\n",
+              svc.snapshot()->num_blocks(),
+              svc.snapshot()->num_cut_vertices(),
+              svc.snapshot()->memory_bytes() / (1024.0 * 1024.0));
+  gate(oracle_ok, "every epoch matches a fresh static solve");
+
+  {
+    JsonRecord rec;
+    rec.bench = "server";
+    rec.n = n;
+    rec.m = m;
+    rec.p = threads;
+    rec.algorithm = "publish";
+    rec.min = apply_stats.min;
+    rec.median = apply_stats.median;
+    rec.phase_times.emplace_back("snapshot_publish", publish_mean);
+    rec.extra.emplace_back("rounds", rounds);
+    rec.extra.emplace_back("batch_edges_per_side", batch);
+    rec.extra.emplace_back("snapshot_bytes",
+                           static_cast<double>(svc.snapshot()->memory_bytes()));
+    json.add(rec);
+  }
+
+  // ---- (b) concurrent in-process readers vs. the churning writer. ----
+  const int readers = std::min(threads, 4);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writing{false};
+  std::atomic<std::uint64_t> queries_answered{0};
+  std::atomic<std::uint64_t> reads_during_write{0};
+  std::vector<std::vector<double>> reader_lat(readers);
+
+  std::vector<std::thread> reader_threads;
+  for (int t = 0; t < readers; ++t) {
+    reader_threads.emplace_back([&, t] {
+      std::mt19937_64 r(seed ^ (0xabcdull + t));
+      Timer lt;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::shared_ptr<const Snapshot> snap = svc.snapshot();
+        lt.reset();
+        std::uint32_t sink = 0;
+        for (int i = 0; i < kQueriesPerBatch; ++i) {
+          sink ^= server::evaluate_query(
+              *snap, random_query(r, snap->n(), snap->m()));
+        }
+        reader_lat[t].push_back(lt.lap());
+        queries_answered.fetch_add(kQueriesPerBatch,
+                                   std::memory_order_relaxed);
+        if (writing.load(std::memory_order_relaxed)) {
+          reads_during_write.fetch_add(1, std::memory_order_relaxed);
+        }
+        g_sink = sink;
+      }
+    });
+  }
+
+  Timer wall;
+  const std::uint64_t version_before = svc.version();
+  for (int round = 0; round < rounds; ++round) {
+    ChurnBatch b = next_batch(svc, pool, batch, rng);
+    writing.store(true, std::memory_order_relaxed);
+    svc.apply_batch(b.ins, b.dels);
+    writing.store(false, std::memory_order_relaxed);
+  }
+  const double write_window = wall.seconds();
+  const std::uint64_t answered = queries_answered.load();
+  const double elapsed = wall.seconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : reader_threads) t.join();
+
+  std::vector<double> all_lat;
+  for (const auto& v : reader_lat) {
+    all_lat.insert(all_lat.end(), v.begin(), v.end());
+  }
+  const Percentiles lat = percentiles(all_lat);
+  const double qps = answered / elapsed;
+
+  std::printf("\n(b) concurrent: %d readers, %.0f queries/s, batch latency "
+              "p50 %.1fus p99 %.1fus (batches of %d)\n",
+              readers, qps, lat.p50 * 1e6, lat.p99 * 1e6, kQueriesPerBatch);
+  std::printf("    %llu query batches completed while a mutation batch was "
+              "in flight (%.2fs of writer activity)\n",
+              static_cast<unsigned long long>(reads_during_write.load()),
+              write_window);
+  gate(svc.version() == version_before + rounds,
+       "writer published every epoch");
+  gate(reads_during_write.load() > 0,
+       "readers completed queries during apply_batch (no blocked reads)");
+
+  {
+    JsonRecord rec;
+    rec.bench = "server";
+    rec.n = n;
+    rec.m = m;
+    rec.p = threads;
+    rec.algorithm = "concurrent";
+    rec.min = lat.p50;
+    rec.median = lat.p99;
+    rec.extra.emplace_back("readers", readers);
+    rec.extra.emplace_back("queries_per_s", qps);
+    rec.extra.emplace_back("queries_per_batch", kQueriesPerBatch);
+    rec.extra.emplace_back("reads_during_write",
+                           static_cast<double>(reads_during_write.load()));
+    json.add(rec);
+  }
+
+  // ---- (c) TCP loopback: closed-loop clients, mutations interleaved. ----
+  BccServer srv(svc);
+  const int clients = 2;
+  std::atomic<bool> tcp_stop{false};
+  std::atomic<std::uint64_t> tcp_queries{0};
+  std::atomic<bool> tcp_ok{true};
+  std::vector<std::vector<double>> rtt(clients);
+
+  std::vector<std::thread> client_threads;
+  for (int t = 0; t < clients; ++t) {
+    client_threads.emplace_back([&, t] {
+      BccClient c("127.0.0.1", srv.port());
+      std::mt19937_64 r(seed ^ (0x7cll + t));
+      Timer lt;
+      while (!tcp_stop.load(std::memory_order_relaxed)) {
+        std::vector<Query> qs;
+        qs.reserve(kQueriesPerBatch);
+        const std::shared_ptr<const Snapshot> snap = svc.snapshot();
+        for (int i = 0; i < kQueriesPerBatch; ++i) {
+          qs.push_back(random_query(r, snap->n(), snap->m()));
+        }
+        lt.reset();
+        const QueryReply reply = c.query(qs);
+        rtt[t].push_back(lt.lap());
+        if (reply.results.size() != qs.size()) {
+          tcp_ok.store(false, std::memory_order_relaxed);
+        }
+        tcp_queries.fetch_add(qs.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Timer tcp_wall;
+  BccClient writer("127.0.0.1", srv.port());
+  for (int round = 0; round < 4; ++round) {
+    ChurnBatch b = next_batch(svc, pool, batch, rng);
+    writer.apply_batch(b.ins, b.dels);
+  }
+  while (tcp_wall.seconds() < 1.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const std::uint64_t tcp_answered = tcp_queries.load();
+  const double tcp_elapsed = tcp_wall.seconds();
+  tcp_stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : client_threads) t.join();
+
+  std::vector<double> all_rtt;
+  for (const auto& v : rtt) all_rtt.insert(all_rtt.end(), v.begin(), v.end());
+  const Percentiles rtt_pct = percentiles(all_rtt);
+  const double tcp_qps = tcp_answered / tcp_elapsed;
+
+  std::printf("\n(c) tcp: %d clients, %.0f queries/s end-to-end, round-trip "
+              "p50 %.1fus p99 %.1fus\n",
+              clients, tcp_qps, rtt_pct.p50 * 1e6, rtt_pct.p99 * 1e6);
+  gate(tcp_ok.load() && tcp_queries.load() > 0,
+       "tcp clients answered under concurrent mutation");
+  srv.stop();
+
+  {
+    JsonRecord rec;
+    rec.bench = "server";
+    rec.n = n;
+    rec.m = m;
+    rec.p = threads;
+    rec.algorithm = "tcp";
+    rec.min = rtt_pct.p50;
+    rec.median = rtt_pct.p99;
+    rec.extra.emplace_back("clients", clients);
+    rec.extra.emplace_back("queries_per_s", tcp_qps);
+    rec.extra.emplace_back("queries_per_batch", kQueriesPerBatch);
+    json.add(rec);
+  }
+
+  if (!json.flush()) return 1;
+  return g_failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace parbcc::bench
+
+int main(int argc, char** argv) { return parbcc::bench::run(argc, argv); }

@@ -8,8 +8,9 @@
 # work-stealing traversal, SV grafting, bitmap frontier engines, the
 # concurrent union-find behind the fused aux kernel, the Chase-Lev
 # fork-join scheduler itself, the arena-backed context-reuse sweep,
-# and the batch-dynamic probe/splice/solve cycle, all at 12-way width
-# under both loop-scheduling models).
+# the batch-dynamic probe/splice/solve cycle, the hardened text-format
+# readers, and the query server's epoch publication + TCP surface, all
+# at 12-way width under both loop-scheduling models).
 # Exits non-zero on the first failure.
 #
 #   ./ci.sh              # full gate
@@ -63,13 +64,28 @@ PARBCC_N=20000 ./build/bench/bench_dynamic \
     --trace-out=build/trace_dynamic_smoke.json >/dev/null
 python3 tools/validate_trace.py build/trace_dynamic_smoke.json
 
+# The server bench gates itself: every published epoch is checked
+# against a fresh static solve, readers must complete query batches
+# while a mutation is in flight (epoch swap, not a lock), and TCP
+# clients must stay answered under concurrent mutation.  Any "gate:
+# FAIL" exits non-zero.
+echo "==> bench smoke: epoch-snapshot query server under load"
+PARBCC_N=20000 ./build/bench/bench_server \
+    --json build/bench_server_smoke.json > build/bench_server_smoke.log
+grep -q '"server"' build/bench_server_smoke.json
+if grep -q 'gate: FAIL' build/bench_server_smoke.log; then
+  cat build/bench_server_smoke.log
+  exit 1
+fi
+
 echo "==> tsan: configure (build-tsan/, PARBCC_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
 
 echo "==> tsan: build smoke set"
 cmake --build build-tsan -j "$JOBS" --target stress_test csr_test \
     workspace_test frontier_test trace_test concurrent_uf_test \
-    auxgraph_test fastbcc_test scheduler_test batch_dynamic_test
+    auxgraph_test fastbcc_test scheduler_test batch_dynamic_test \
+    io_test server_test
 
 echo "==> tsan: ctest -L sanitize-smoke"
 ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure

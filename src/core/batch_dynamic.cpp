@@ -539,6 +539,7 @@ const BccResult& BatchDynamicBcc::apply_batch(
   }
 
   stats_ = {};
+  ++version_;  // the batch is validated; everything below republishes
   std::vector<std::uint8_t> label_in_region;
   const vid touched = probe_damage(insertions, deletions, label_in_region);
   stats_.touched_vertices = touched;
@@ -608,9 +609,22 @@ const BccResult& BatchDynamicBcc::apply_batch(
   // so when the ids outrun ~2(n + m), pay one first-appearance pass to
   // keep per-label scratch (here and in callers sizing by
   // label_bound()) proportional to the graph.  Amortized O(1) per
-  // spliced edge.
-  if (next_label_ > 2 * (static_cast<vid>(g_.m()) + g_.n) + 1024) {
-    result_.num_components = normalize_labels(result_.edge_component);
+  // spliced edge.  The threshold is 64-bit (renormalize_label_threshold)
+  // — vid arithmetic wraps past n + m = 2^31.  Renormalization is
+  // produce-then-swap: normalize_labels rewrites every element, and
+  // doing that inside the standing array would tear any published
+  // snapshot or caller-held span mid-pass into a mix of old and new
+  // label values (an inconsistent partition, not just non-canonical
+  // ids).  Writing into a fresh buffer and swapping makes the visible
+  // mutation a single pointer-level replacement.
+  const std::uint64_t renorm_limit =
+      opt_.renorm_label_limit != 0
+          ? opt_.renorm_label_limit
+          : renormalize_label_threshold(g_.n, g_.m());
+  if (static_cast<std::uint64_t>(next_label_) > renorm_limit) {
+    std::vector<vid> fresh(result_.edge_component);
+    result_.num_components = normalize_labels(fresh);
+    result_.edge_component = std::move(fresh);
     next_label_ = result_.num_components;
   }
 

@@ -94,6 +94,18 @@
 
 namespace parbcc {
 
+/// Label values above this bound trigger the opportunistic
+/// renormalization (labels are partition-canonical but sparse between
+/// renormalizations, and per-label scratch sizes by the bound).  The
+/// arithmetic is 64-bit on purpose: computed in 32-bit `vid`, the
+/// 2(n + m) product wraps once n + m passes 2^31 and the comparison
+/// silently misfires on exactly the graphs whose label space most
+/// needs compacting.
+inline constexpr std::uint64_t renormalize_label_threshold(std::uint64_t n,
+                                                           std::uint64_t m) {
+  return 2 * (n + m) + 1024;
+}
+
 struct BatchDynamicOptions {
   /// Fall back to a full re-solve when the affected region touches more
   /// than this fraction of the graph's vertices.  The default is the
@@ -119,6 +131,11 @@ struct BatchDynamicOptions {
   /// The default covers meets across the bulk of a power-law giant
   /// component while bounding the worst batch.
   vid search_cap = 1u << 16;
+  /// Renormalize the published labels once label_bound() exceeds this;
+  /// 0 means renormalize_label_threshold(n, m) of the standing graph.
+  /// Tests and churn benches set a tiny limit to force the
+  /// copy-on-renormalize path on every batch.
+  std::uint64_t renorm_label_limit = 0;
   /// Event sink shared by every batch (spans + counters as above).
   Trace* trace = nullptr;
 };
@@ -166,6 +183,15 @@ class BatchDynamicBcc {
 
   /// Full re-solves forced by the damage threshold since construction.
   std::uint64_t fallbacks() const { return fallbacks_; }
+
+  /// Monotone epoch counter: 0 after construction, +1 per apply_batch
+  /// (splice or fallback alike).  This is the snapshot-publication
+  /// hook: a serving layer that republishes result() as an immutable
+  /// snapshot stamps each published epoch with this value, so readers
+  /// can tell stale answers from fresh ones without touching the
+  /// engine.  result()'s buffers are engine-owned and rewritten by the
+  /// next apply_batch — publishers must deep-copy what they serve.
+  std::uint64_t version() const { return version_; }
 
   /// Apply one batch: drop `deletions` (edge ids into graph().edges as
   /// numbered *before* this call; duplicates rejected), append
@@ -245,6 +271,7 @@ class BatchDynamicBcc {
   BccResult result_;
   BatchStats stats_;
   std::uint64_t fallbacks_ = 0;
+  std::uint64_t version_ = 0;
   Trace* trace_ = nullptr;  // opt_.trace, or null (spans become no-ops)
   /// Set by the probe or a split check when a search was undecidable
   /// within opt_.search_cap; apply_batch then falls back regardless of

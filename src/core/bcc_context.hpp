@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "core/drivers.hpp"
@@ -44,10 +45,13 @@ class BccContext {
   Workspace& workspace() { return ws_; }
 
   /// Adjacency for `g`, building it on first use and caching it keyed
-  /// on (&g, n, m).  On a cache hit the PreparedGraph's conversion
-  /// charge is waived, so StepTimes::conversion reports 0 for repeat
-  /// solves of the same graph.  The caller must not mutate the edges
-  /// of a cached graph in place; after doing so, call invalidate().
+  /// on the graph's address plus a content fingerprint — address alone
+  /// is unsafe (a freed graph's storage can be reused by a different
+  /// graph of the same size), and the fingerprint also makes in-place
+  /// edge edits safe: a mutated graph simply misses and reconverts.
+  /// On a cache hit the PreparedGraph's conversion charge is waived,
+  /// so StepTimes::conversion reports 0 for repeat solves of the same
+  /// graph.
   const PreparedGraph& prepare(const EdgeList& g);
 
   /// A context-owned loop-free copy of an input graph, plus the map
@@ -57,11 +61,10 @@ class BccContext {
     std::vector<eid> kept;
   };
 
-  /// Loop-free view of `g`, built on first use and cached keyed on
-  /// (&g, n, m) exactly like prepare() — so the dispatcher's warm
-  /// re-solve of a loop-containing graph skips both the strip pass and
-  /// the stripped adjacency rebuild.  Same in-place-mutation caveat as
-  /// prepare(): call invalidate() after editing a cached graph's edges.
+  /// Loop-free view of `g`, built on first use and cached keyed
+  /// exactly like prepare() (address + content fingerprint) — so the
+  /// dispatcher's warm re-solve of a loop-containing graph skips both
+  /// the strip pass and the stripped adjacency rebuild.
   const StrippedGraph& strip(const EdgeList& g);
 
   /// Drop the conversion and stripped-graph caches (keeps the Executor
@@ -79,12 +82,10 @@ class BccContext {
   Workspace ws_;
   std::optional<PreparedGraph> cache_;
   const EdgeList* cached_graph_ = nullptr;
-  vid cached_n_ = 0;
-  eid cached_m_ = 0;
+  std::uint64_t cached_fp_ = 0;
   std::optional<StrippedGraph> strip_;
   const EdgeList* strip_source_ = nullptr;
-  vid strip_n_ = 0;
-  eid strip_m_ = 0;
+  std::uint64_t strip_fp_ = 0;
 };
 
 }  // namespace parbcc

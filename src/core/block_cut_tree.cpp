@@ -13,11 +13,24 @@ BlockCutTree build_block_cut_tree(Executor& ex, const EdgeList& g,
     throw std::invalid_argument(
         "build_block_cut_tree: result lacks cut info (compute_cut_info)");
   }
+  return build_block_cut_tree(ex, g, result.edge_component,
+                              result.num_components, result.is_articulation);
+}
+
+BlockCutTree build_block_cut_tree(Executor& ex, const EdgeList& g,
+                                  std::span<const vid> edge_component,
+                                  vid num_components,
+                                  std::span<const std::uint8_t> is_articulation) {
+  if (edge_component.size() != g.edges.size() ||
+      is_articulation.size() != g.n) {
+    throw std::invalid_argument(
+        "build_block_cut_tree: arrays do not match the graph");
+  }
   BlockCutTree tree;
-  tree.num_blocks = result.num_components;
+  tree.num_blocks = num_components;
   tree.cut_node_of.assign(g.n, kNoVertex);
   for (vid v = 0; v < g.n; ++v) {
-    if (result.is_articulation[v]) {
+    if (is_articulation[v]) {
       tree.cut_node_of[v] = static_cast<vid>(tree.cut_vertex.size());
       tree.cut_vertex.push_back(v);
     }
@@ -29,7 +42,7 @@ BlockCutTree build_block_cut_tree(Executor& ex, const EdgeList& g,
   // ascending vertex order.
   std::vector<std::uint64_t> keys(2 * static_cast<std::size_t>(g.m()));
   ex.parallel_for(g.m(), [&](std::size_t e) {
-    const std::uint64_t block = result.edge_component[e];
+    const std::uint64_t block = edge_component[e];
     keys[2 * e] = (block << 32) | g.edges[e].u;
     keys[2 * e + 1] = (block << 32) | g.edges[e].v;
   });

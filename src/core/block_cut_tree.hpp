@@ -50,4 +50,15 @@ struct BlockCutTree {
 BlockCutTree build_block_cut_tree(Executor& ex, const EdgeList& g,
                                   const BccResult& result);
 
+/// Same, from bare arrays: `edge_component` must be contiguous in
+/// [0, num_components) (normalize_labels first when the labels come
+/// from a sparse batch-dynamic standing result) and one entry per
+/// edge; `is_articulation` one flag per vertex.  This is the overload
+/// the server's snapshot builder uses — it normalizes a private label
+/// copy and has no BccResult to hand over.
+BlockCutTree build_block_cut_tree(Executor& ex, const EdgeList& g,
+                                  std::span<const vid> edge_component,
+                                  vid num_components,
+                                  std::span<const std::uint8_t> is_articulation);
+
 }  // namespace parbcc

@@ -14,6 +14,14 @@
 ///
 /// This is deliberately minimal: the paper's inputs are synthetic, and
 /// the examples use files only to show round-tripping a workload.
+///
+/// All readers treat their input as untrusted: declared vertex/edge
+/// counts are validated against the 32-bit id space before any
+/// narrowing cast, endpoints are range-checked against the declared n,
+/// and a hostile edge count cannot force a large up-front allocation
+/// (the speculative reserve is capped; the body must actually deliver
+/// the edges).  Violations throw std::runtime_error naming the format
+/// and the offending value.
 
 namespace parbcc::io {
 

@@ -1,0 +1,73 @@
+#include "server/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace parbcc::server {
+
+BccClient::BccClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("client: socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("client: bad address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    throw std::runtime_error("client: connect: " + err);
+  }
+}
+
+BccClient::~BccClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+BccClient::BccClient(BccClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+std::vector<std::uint8_t> BccClient::round_trip(
+    std::span<const std::uint8_t> frame) {
+  if (!write_frame(fd_, frame)) {
+    throw std::runtime_error("client: connection lost while sending");
+  }
+  std::vector<std::uint8_t> payload;
+  switch (read_frame(fd_, payload)) {
+    case ReadStatus::kFrame:
+      return payload;
+    case ReadStatus::kClosed:
+      throw std::runtime_error("client: server closed the connection");
+    case ReadStatus::kError:
+      break;
+  }
+  throw std::runtime_error("client: torn reply frame");
+}
+
+QueryReply BccClient::query(std::span<const Query> queries) {
+  return decode_query_reply(round_trip(encode_query_request(queries)));
+}
+
+InfoReply BccClient::apply_batch(std::span<const Edge> insertions,
+                                 std::span<const eid> deletions) {
+  return decode_info_reply(
+      round_trip(encode_mutate_request(insertions, deletions)));
+}
+
+InfoReply BccClient::info() {
+  return decode_info_reply(round_trip(encode_info_request()));
+}
+
+}  // namespace parbcc::server

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "server/protocol.hpp"
+
+/// \file client.hpp
+/// Blocking TCP client for the BCC query server — one request in
+/// flight per connection, which is all the bench's closed-loop load
+/// generator needs.  Open several clients for concurrency.
+///
+/// Error replies from the server surface as ProtocolError; transport
+/// failures (refused, torn frame, closed mid-reply) as
+/// std::runtime_error.
+
+namespace parbcc::server {
+
+class BccClient {
+ public:
+  /// Connect immediately; throws std::runtime_error on failure.
+  BccClient(const std::string& host, std::uint16_t port);
+  ~BccClient();
+
+  BccClient(const BccClient&) = delete;
+  BccClient& operator=(const BccClient&) = delete;
+  BccClient(BccClient&& other) noexcept;
+  BccClient& operator=(BccClient&&) = delete;
+
+  /// Answer a batch of queries against one server-side epoch.
+  QueryReply query(std::span<const Query> queries);
+
+  /// Apply a mutation batch; returns the epoch it published.
+  InfoReply apply_batch(std::span<const Edge> insertions,
+                        std::span<const eid> deletions);
+
+  InfoReply info();
+
+ private:
+  std::vector<std::uint8_t> round_trip(std::span<const std::uint8_t> frame);
+
+  int fd_ = -1;
+};
+
+}  // namespace parbcc::server

@@ -1,0 +1,335 @@
+#include "server/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "server/snapshot.hpp"
+
+namespace parbcc::server {
+namespace {
+
+/// Little-endian appender.  Frames start with a 4-byte length slot
+/// that finish() backfills once the payload size is known.
+class ByteWriter {
+ public:
+  ByteWriter() { buf_.resize(4); }
+
+  void u8(std::uint8_t x) { buf_.push_back(x); }
+  void u32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((x >> (8 * i)) & 0xff);
+  }
+  void u64(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((x >> (8 * i)) & 0xff);
+  }
+  void bytes(const void* p, std::size_t len) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + len);
+  }
+
+  std::vector<std::uint8_t> finish() {
+    const std::uint32_t len = static_cast<std::uint32_t>(buf_.size() - 4);
+    for (int i = 0; i < 4; ++i) buf_[i] = (len >> (8 * i)) & 0xff;
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over an untrusted payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) x |= std::uint32_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return x;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= std::uint64_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return x;
+  }
+  std::string str(std::size_t len) {
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  void expect_end() const {
+    if (pos_ != data_.size()) {
+      throw ProtocolError("protocol: trailing bytes after message body");
+    }
+  }
+
+  /// Validate a declared element count against a hard cap AND the
+  /// bytes actually present, before any allocation sized by it.
+  std::uint32_t count(std::uint32_t cap, std::size_t bytes_per_element,
+                      const char* what) {
+    const std::uint32_t declared = u32();
+    if (declared > cap) {
+      throw ProtocolError(std::string("protocol: ") + what + " count " +
+                          std::to_string(declared) + " exceeds the cap " +
+                          std::to_string(cap));
+    }
+    if (static_cast<std::uint64_t>(declared) * bytes_per_element >
+        remaining()) {
+      throw ProtocolError(std::string("protocol: ") + what + " count " +
+                          std::to_string(declared) +
+                          " exceeds the payload size");
+    }
+    return declared;
+  }
+
+ private:
+  void need(std::size_t len) const {
+    if (data_.size() - pos_ < len) {
+      throw ProtocolError("protocol: truncated message body");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusError = 1;
+
+/// Reply payloads open with a status byte; an error status carries a
+/// message and aborts the typed decode by throwing it to the caller.
+void decode_status(ByteReader& r) {
+  const std::uint8_t status = r.u8();
+  if (status == kStatusOk) return;
+  if (status == kStatusError) {
+    const std::uint32_t len = r.count(kMaxFrameBytes, 1, "error message");
+    throw ProtocolError("server error: " + r.str(len));
+  }
+  throw ProtocolError("protocol: unknown reply status " +
+                      std::to_string(status));
+}
+
+}  // namespace
+
+std::uint32_t evaluate_query(const Snapshot& snap, const Query& q) {
+  switch (q.op) {
+    case Op::kSameBlock:
+      return snap.same_block(q.a, q.b) ? 1 : 0;
+    case Op::kIsCut:
+      return snap.is_cut(q.a) ? 1 : 0;
+    case Op::kBlockId:
+      return snap.block_id(q.a);
+    case Op::kPathArticulation:
+      return snap.path_articulation(q.a, q.b);
+    case Op::kSameTwoEdge:
+      return snap.same_two_edge(q.a, q.b) ? 1 : 0;
+  }
+  return kNoVertex;
+}
+
+std::vector<std::uint8_t> encode_query_request(std::span<const Query> queries) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kQuery));
+  w.u32(static_cast<std::uint32_t>(queries.size()));
+  for (const Query& q : queries) {
+    w.u8(static_cast<std::uint8_t>(q.op));
+    w.u32(q.a);
+    w.u32(q.b);
+  }
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode_mutate_request(
+    std::span<const Edge> insertions, std::span<const eid> deletions) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kMutate));
+  w.u32(static_cast<std::uint32_t>(insertions.size()));
+  for (const Edge& e : insertions) {
+    w.u32(e.u);
+    w.u32(e.v);
+  }
+  w.u32(static_cast<std::uint32_t>(deletions.size()));
+  for (const eid e : deletions) w.u32(e);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode_info_request() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kInfo));
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode_error_reply(const std::string& message) {
+  ByteWriter w;
+  w.u8(kStatusError);
+  w.u32(static_cast<std::uint32_t>(message.size()));
+  w.bytes(message.data(), message.size());
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode_query_reply(
+    std::uint64_t version, std::span<const std::uint32_t> results) {
+  ByteWriter w;
+  w.u8(kStatusOk);
+  w.u64(version);
+  w.u32(static_cast<std::uint32_t>(results.size()));
+  for (const std::uint32_t r : results) w.u32(r);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode_info_reply(const InfoReply& info) {
+  ByteWriter w;
+  w.u8(kStatusOk);
+  w.u64(info.version);
+  w.u32(info.n);
+  w.u32(info.m);
+  w.u32(info.num_blocks);
+  w.u32(info.num_cut_vertices);
+  w.u32(info.num_two_edge_components);
+  return w.finish();
+}
+
+MsgType decode_request_type(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint8_t type = r.u8();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kQuery:
+    case MsgType::kMutate:
+    case MsgType::kInfo:
+      return static_cast<MsgType>(type);
+  }
+  throw ProtocolError("protocol: unknown request type " +
+                      std::to_string(type));
+}
+
+std::vector<Query> decode_query_request(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  r.u8();  // type, already dispatched
+  const std::uint32_t count = r.count(kMaxQueriesPerBatch, 9, "query");
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Query q;
+    const std::uint8_t op = r.u8();
+    if (op < static_cast<std::uint8_t>(Op::kSameBlock) ||
+        op > static_cast<std::uint8_t>(Op::kSameTwoEdge)) {
+      throw ProtocolError("protocol: unknown query op " + std::to_string(op));
+    }
+    q.op = static_cast<Op>(op);
+    q.a = r.u32();
+    q.b = r.u32();
+    queries.push_back(q);
+  }
+  r.expect_end();
+  return queries;
+}
+
+MutateRequest decode_mutate_request(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  r.u8();  // type
+  MutateRequest req;
+  const std::uint32_t ni = r.count(kMaxMutationEdges, 8, "insertion");
+  req.insertions.reserve(ni);
+  for (std::uint32_t i = 0; i < ni; ++i) {
+    const vid u = r.u32();
+    const vid v = r.u32();
+    req.insertions.push_back({u, v});
+  }
+  const std::uint32_t nd = r.count(kMaxMutationEdges, 4, "deletion");
+  req.deletions.reserve(nd);
+  for (std::uint32_t i = 0; i < nd; ++i) req.deletions.push_back(r.u32());
+  r.expect_end();
+  return req;
+}
+
+QueryReply decode_query_reply(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  decode_status(r);
+  QueryReply reply;
+  reply.version = r.u64();
+  const std::uint32_t count = r.count(kMaxQueriesPerBatch, 4, "result");
+  reply.results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) reply.results.push_back(r.u32());
+  r.expect_end();
+  return reply;
+}
+
+InfoReply decode_info_reply(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  decode_status(r);
+  InfoReply info;
+  info.version = r.u64();
+  info.n = r.u32();
+  info.m = r.u32();
+  info.num_blocks = r.u32();
+  info.num_cut_vertices = r.u32();
+  info.num_two_edge_components = r.u32();
+  r.expect_end();
+  return info;
+}
+
+namespace {
+
+/// Read exactly `len` bytes; 1 on success, 0 on clean EOF before any
+/// byte, -1 on error or a torn read.
+int read_exact(int fd, std::uint8_t* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::read(fd, out + got, len - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;  // EOF mid-frame is torn
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return 1;
+}
+
+}  // namespace
+
+ReadStatus read_frame(int fd, std::vector<std::uint8_t>& payload,
+                      std::uint32_t max_frame_bytes) {
+  std::uint8_t prefix[4];
+  const int r = read_exact(fd, prefix, 4);
+  if (r == 0) return ReadStatus::kClosed;
+  if (r < 0) return ReadStatus::kError;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t(prefix[i]) << (8 * i);
+  // A length beyond the cap means the stream is garbage or hostile;
+  // there is no way to resynchronize, so the caller must close.
+  if (len == 0 || len > max_frame_bytes) return ReadStatus::kError;
+  payload.resize(len);
+  return read_exact(fd, payload.data(), len) == 1 ? ReadStatus::kFrame
+                                                  : ReadStatus::kError;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace parbcc::server

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+/// \file protocol.hpp
+/// Wire format of the BCC query server: length-prefixed binary frames
+/// over a byte stream (TCP here, but nothing below assumes a socket).
+/// No external serialization dependency — the codec is ~200 lines of
+/// little-endian puts and bounds-checked gets.
+///
+/// Frame:  u32 payload length (little-endian), then the payload.
+/// Request payload:   u8 MsgType, then per-type body (below).
+/// Response payload:  u8 status (0 = ok, 1 = error), then per-type
+///                    body on ok, or u32 length + UTF-8 message on
+///                    error.
+///
+///   kQuery    body: u32 count, count x { u8 Op, u32 a, u32 b }
+///             reply: u64 snapshot version, u32 count, count x u32
+///   kMutate   body: u32 #insertions, each { u32 u, u32 v },
+///                   u32 #deletions, each u32 edge id
+///             reply: InfoReply (the post-batch epoch)
+///   kInfo     body: empty
+///             reply: InfoReply
+///
+/// Every decoder treats the peer as untrusted, mirroring graph/io's
+/// header hardening: declared counts are validated against both hard
+/// caps and the actual remaining payload bytes before any allocation,
+/// every get is bounds-checked, and violations throw ProtocolError
+/// (the server answers those with an error frame; only broken framing
+/// itself closes the connection).
+///
+/// Query answers are u32.  Boolean queries answer 0/1; block_id
+/// answers a label contiguous in [0, num_blocks); path_articulation
+/// answers a count.  kNoVertex (0xffffffff) is the "no answer"
+/// sentinel: out-of-range ids (a stale client racing a mutation) or a
+/// disconnected pair.  Ids referencing a mutating graph are validated
+/// against the epoch that answers, never against the writer's state.
+
+namespace parbcc::server {
+
+class Snapshot;
+
+/// Hard ceiling a frame may declare; servers can lower it per-socket.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;
+/// Queries one batch may carry (caps the reply allocation too).
+inline constexpr std::uint32_t kMaxQueriesPerBatch = 1u << 20;
+/// Insertions plus deletions one mutation batch may carry.
+inline constexpr std::uint32_t kMaxMutationEdges = 1u << 22;
+
+/// Malformed bytes from the peer (or an error reply, client side).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class MsgType : std::uint8_t {
+  kQuery = 1,
+  kMutate = 2,
+  kInfo = 3,
+};
+
+enum class Op : std::uint8_t {
+  kSameBlock = 1,         // a, b: vertices -> 0/1
+  kIsCut = 2,             // a: vertex -> 0/1
+  kBlockId = 3,           // a: edge id -> label | kNoVertex
+  kPathArticulation = 4,  // a, b: vertices -> count | kNoVertex
+  kSameTwoEdge = 5,       // a, b: vertices -> 0/1
+};
+
+struct Query {
+  Op op = Op::kSameBlock;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+struct MutateRequest {
+  std::vector<Edge> insertions;
+  std::vector<eid> deletions;
+};
+
+/// Epoch summary answered to kInfo and kMutate.
+struct InfoReply {
+  std::uint64_t version = 0;
+  std::uint32_t n = 0;
+  std::uint32_t m = 0;
+  std::uint32_t num_blocks = 0;
+  std::uint32_t num_cut_vertices = 0;
+  std::uint32_t num_two_edge_components = 0;
+};
+
+struct QueryReply {
+  std::uint64_t version = 0;
+  std::vector<std::uint32_t> results;
+};
+
+/// Answer one query against one epoch (shared by the TCP dispatch, the
+/// load generator and the test oracles, so they cannot drift).
+std::uint32_t evaluate_query(const Snapshot& snap, const Query& q);
+
+// --- Encoders: produce a complete frame, length prefix included. ---
+
+std::vector<std::uint8_t> encode_query_request(std::span<const Query> queries);
+std::vector<std::uint8_t> encode_mutate_request(std::span<const Edge> insertions,
+                                                std::span<const eid> deletions);
+std::vector<std::uint8_t> encode_info_request();
+
+std::vector<std::uint8_t> encode_error_reply(const std::string& message);
+std::vector<std::uint8_t> encode_query_reply(
+    std::uint64_t version, std::span<const std::uint32_t> results);
+std::vector<std::uint8_t> encode_info_reply(const InfoReply& info);
+
+// --- Decoders: take a frame's payload; throw ProtocolError. ---
+
+MsgType decode_request_type(std::span<const std::uint8_t> payload);
+std::vector<Query> decode_query_request(std::span<const std::uint8_t> payload);
+MutateRequest decode_mutate_request(std::span<const std::uint8_t> payload);
+
+/// Client side: either returns the typed reply or throws ProtocolError
+/// carrying the server's error message.
+QueryReply decode_query_reply(std::span<const std::uint8_t> payload);
+InfoReply decode_info_reply(std::span<const std::uint8_t> payload);
+
+// --- Framed I/O over a file descriptor (EINTR/partial-safe). ---
+
+enum class ReadStatus {
+  kFrame,   // payload filled
+  kClosed,  // clean EOF at a frame boundary
+  kError,   // I/O error, torn frame, or an oversized length prefix
+};
+
+/// Read one frame into `payload` (length prefix stripped).
+ReadStatus read_frame(int fd, std::vector<std::uint8_t>& payload,
+                      std::uint32_t max_frame_bytes = kMaxFrameBytes);
+
+/// Write one complete frame; false on I/O error or closed peer.
+bool write_frame(int fd, std::span<const std::uint8_t> frame);
+
+}  // namespace parbcc::server

@@ -1,0 +1,162 @@
+#include "server/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/protocol.hpp"
+
+namespace parbcc::server {
+
+BccServer::BccServer(BccService& service, const ServerOptions& options)
+    : service_(service), opt_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("server: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("server: bad bind address " + opt_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    throw std::runtime_error("server: bind: " + err);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    throw std::runtime_error("server: listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    throw std::runtime_error("server: getsockname: " + err);
+  }
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+BccServer::~BccServer() { stop(); }
+
+void BccServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // shutdown() wakes the blocked accept(); connection reads see EOF or
+  // an error once their sockets are shut down below.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers.swap(conn_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const int fd : conn_fds_) ::close(fd);
+  conn_fds_.clear();
+}
+
+void BccServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable)
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void BccServer::serve_connection(int fd) {
+  std::vector<std::uint8_t> payload;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const ReadStatus status = read_frame(fd, payload, opt_.max_frame_bytes);
+    if (status != ReadStatus::kFrame) break;
+
+    std::vector<std::uint8_t> reply;
+    try {
+      switch (decode_request_type(payload)) {
+        case MsgType::kQuery: {
+          const std::vector<Query> queries = decode_query_request(payload);
+          // One epoch per batch: every query in the batch answers
+          // against the same snapshot, and the writer is never waited
+          // on.
+          const std::shared_ptr<const Snapshot> snap = service_.snapshot();
+          std::vector<std::uint32_t> results;
+          results.reserve(queries.size());
+          for (const Query& q : queries) {
+            results.push_back(evaluate_query(*snap, q));
+          }
+          reply = encode_query_reply(snap->version(), results);
+          stats_.query_batches.fetch_add(1, std::memory_order_relaxed);
+          stats_.queries.fetch_add(queries.size(),
+                                   std::memory_order_relaxed);
+          break;
+        }
+        case MsgType::kMutate: {
+          const MutateRequest req = decode_mutate_request(payload);
+          service_.apply_batch(req.insertions, req.deletions);
+          stats_.mutate_batches.fetch_add(1, std::memory_order_relaxed);
+          [[fallthrough]];
+        }
+        case MsgType::kInfo: {
+          const std::shared_ptr<const Snapshot> snap = service_.snapshot();
+          InfoReply info;
+          info.version = snap->version();
+          info.n = snap->n();
+          info.m = snap->m();
+          info.num_blocks = snap->num_blocks();
+          info.num_cut_vertices = snap->num_cut_vertices();
+          info.num_two_edge_components = snap->num_two_edge_components();
+          reply = encode_info_reply(info);
+          break;
+        }
+      }
+    } catch (const ProtocolError& e) {
+      reply = encode_error_reply(e.what());
+      stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::invalid_argument& e) {
+      // Engine rejected the mutation batch; nothing was published.
+      reply = encode_error_reply(e.what());
+      stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!write_frame(fd, reply)) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace parbcc::server

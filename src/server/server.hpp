@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "server/service.hpp"
+
+/// \file server.hpp
+/// The socket half of BCC-as-a-service: a TCP listener framing client
+/// byte streams into the protocol.hpp messages and dispatching them
+/// against a BccService.
+///
+/// Threading model: one accept thread plus one thread per connection
+/// (the target workload is a handful of long-lived measurement
+/// clients, not ten thousand idle sockets, so an event loop would buy
+/// nothing).  Query handling is read-path only — each kQuery batch
+/// grabs one epoch via service.snapshot() and answers every query in
+/// the batch against it, so a client sees internally consistent
+/// batches and never waits on a concurrent mutation.  kMutate calls
+/// BccService::apply_batch and thus serializes with other writers on
+/// the service's mutex.
+///
+/// Error policy mirrors protocol.hpp: a decodable-but-invalid request
+/// (bad op, bad batch, engine rejection) gets an error reply and the
+/// connection continues; broken framing (torn frame, oversized length)
+/// closes the connection, because the stream cannot be resynchronized.
+
+namespace parbcc::server {
+
+struct ServerOptions {
+  /// Listen address.  Loopback by default: the server is a measurement
+  /// harness, not a hardened public endpoint.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via BccServer::port().
+  std::uint16_t port = 0;
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// Totals across all connections, for bench telemetry.  Counters are
+/// relaxed atomics: they order nothing, they only count.
+struct ServerStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> query_batches{0};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> mutate_batches{0};
+  std::atomic<std::uint64_t> error_replies{0};
+};
+
+class BccServer {
+ public:
+  /// Bind and listen immediately (throws std::runtime_error on
+  /// failure), then serve on background threads until stop().  The
+  /// service must outlive the server.
+  BccServer(BccService& service, const ServerOptions& options = {});
+
+  /// Joins all threads; equivalent to stop().
+  ~BccServer();
+
+  BccServer(const BccServer&) = delete;
+  BccServer& operator=(const BccServer&) = delete;
+
+  /// The actually bound port (resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  const ServerStats& stats() const { return stats_; }
+
+  /// Shut the listener down, close every connection, join all
+  /// threads.  Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  BccService& service_;
+  ServerOptions opt_;
+  ServerStats stats_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;                 // guards conn_fds_ / conn_threads_
+  std::vector<int> conn_fds_;          // open connection sockets
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace parbcc::server

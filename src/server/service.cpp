@@ -1,0 +1,36 @@
+#include "server/service.hpp"
+
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace parbcc::server {
+
+BccService::BccService(BccContext& ctx, EdgeList base,
+                       const BatchDynamicOptions& options)
+    : ctx_(ctx), engine_(ctx, std::move(base), options) {
+  snap_.store(build_snapshot());
+}
+
+std::shared_ptr<const Snapshot> BccService::build_snapshot() {
+  return std::make_shared<const Snapshot>(ctx_.executor(), engine_.graph(),
+                                          engine_.result(),
+                                          engine_.version());
+}
+
+std::uint64_t BccService::apply_batch(std::span<const Edge> insertions,
+                                      std::span<const eid> deletions) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  engine_.apply_batch(insertions, deletions);
+  Timer timer;
+  std::shared_ptr<const Snapshot> fresh = build_snapshot();
+  const std::uint64_t version = fresh->version();
+  // The swap is the entire reader-visible side effect: one pointer
+  // store under the publish microlock.  The previous epoch stays alive
+  // until its last reader drops it.
+  snap_.store(std::move(fresh));
+  last_publish_seconds_ = timer.lap();
+  return version;
+}
+
+}  // namespace parbcc::server

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+
+#include "core/batch_dynamic.hpp"
+#include "core/bcc_context.hpp"
+#include "server/snapshot.hpp"
+
+/// \file service.hpp
+/// BCC-as-a-service, in-process half: a BatchDynamicBcc engine behind
+/// an epoch-published query surface.
+///
+/// This is the reader/writer concurrency contract of the whole serving
+/// layer, kept deliberately small:
+///
+///  - **Readers** call snapshot() — a refcount bump under a
+///    pointer-sized microlock — and then query the returned epoch for
+///    as long as they like.  The microlock is never held across a
+///    batch or a snapshot build, only for the pointer copy itself, so
+///    a reader can never wait on the slow part of a mutation: while a
+///    batch is being applied and its snapshot built, every concurrent
+///    reader keeps answering from the previous epoch.  The shared_ptr
+///    keeps an epoch alive for exactly as long as any reader still
+///    holds it (RCU with reference counting as the grace period).
+///  - **Writers** call apply_batch(), serialized by a private mutex
+///    (the engine, the context arena and the conversion cache are all
+///    single-orchestrator by design).  A writer routes the batch
+///    through BatchDynamicBcc::apply_batch, deep-copies the fresh
+///    standing result into a new immutable Snapshot stamped with the
+///    engine's version counter, and publishes it with one pointer swap
+///    under the publish microlock.  Readers observe epochs in
+///    publication order.
+///
+/// The TCP layer (server.hpp) is a thin framing shim over this class;
+/// embedding applications can use BccService directly and skip the
+/// socket entirely.
+
+namespace parbcc::server {
+
+class BccService {
+ public:
+  /// Take ownership of `base` (loop-free), solve it once, and publish
+  /// epoch 0.  The context supplies the executor and arena for every
+  /// later batch and snapshot build; it must outlive the service and
+  /// must not be used concurrently by anyone else (writer-side state).
+  BccService(BccContext& ctx, EdgeList base,
+             const BatchDynamicOptions& options = {});
+
+  BccService(const BccService&) = delete;
+  BccService& operator=(const BccService&) = delete;
+
+  /// The current epoch.  Never blocks on a mutation in progress (the
+  /// publish microlock is held for a pointer copy only); never returns
+  /// null.  Hold the pointer for a batch of queries so they all answer
+  /// against one consistent epoch.
+  std::shared_ptr<const Snapshot> snapshot() const { return snap_.load(); }
+
+  /// Apply one mutation batch (insertions appended, deletions by edge
+  /// id in the pre-batch numbering — BatchDynamicBcc::apply_batch
+  /// semantics) and publish the resulting epoch.  Returns its version.
+  /// Serialized against other writers; throws std::invalid_argument on
+  /// malformed batches without publishing anything.
+  std::uint64_t apply_batch(std::span<const Edge> insertions,
+                            std::span<const eid> deletions);
+
+  /// Version of the most recently published epoch.
+  std::uint64_t version() const {
+    return snapshot()->version();
+  }
+
+  /// Wall-clock seconds the last apply_batch spent building and
+  /// publishing the snapshot (refresh cost on top of the engine's
+  /// batch application; 0 before the first batch).
+  double last_publish_seconds() const { return last_publish_seconds_; }
+
+  /// Writer-side access to the engine (stats, standing graph).  Not
+  /// synchronized: callers must not touch this concurrently with
+  /// apply_batch — bench/test orchestration only.
+  const BatchDynamicBcc& engine() const { return engine_; }
+
+ private:
+  /// The published-epoch cell: a shared_ptr behind a hand-rolled
+  /// acquire/release spinlock.  This is deliberately not
+  /// std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic releases its
+  /// embedded lock on the load path with memory_order_relaxed, which
+  /// leaves the reader's pointer copy formally unordered against the
+  /// next store (benign on real hardware, but a data race by the
+  /// model, and ThreadSanitizer reports it as one).  Spelling out the
+  /// same protocol with a release unlock costs nothing and keeps the
+  /// server layer clean under TSan.  The lock is held only for the
+  /// pointer copy / swap — a refcount bump — never while a batch is
+  /// applied or a snapshot built, so readers still cannot wait on the
+  /// slow part of a mutation.
+  class EpochPtr {
+   public:
+    std::shared_ptr<const Snapshot> load() const {
+      lock();
+      std::shared_ptr<const Snapshot> out = ptr_;
+      unlock();
+      return out;
+    }
+
+    void store(std::shared_ptr<const Snapshot> next) {
+      lock();
+      ptr_.swap(next);
+      unlock();
+      // The displaced epoch (now in `next`) releases outside the lock;
+      // if this writer holds its last reference, the Snapshot destroys
+      // here rather than under the spinlock.
+    }
+
+   private:
+    void lock() const {
+      while (locked_.exchange(true, std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+    void unlock() const { locked_.store(false, std::memory_order_release); }
+
+    mutable std::atomic<bool> locked_{false};
+    std::shared_ptr<const Snapshot> ptr_;
+  };
+
+  std::shared_ptr<const Snapshot> build_snapshot();
+
+  BccContext& ctx_;
+  BatchDynamicBcc engine_;
+  std::mutex write_mu_;
+  EpochPtr snap_;
+  double last_publish_seconds_ = 0;
+};
+
+}  // namespace parbcc::server

@@ -268,6 +268,42 @@ TEST(BatchDynamic, EmitsBatchSpansAndCounters) {
   EXPECT_EQ(report2.find_path("batch_apply/certificate_solve"), nullptr);
 }
 
+TEST(BatchDynamic, RenormThresholdComputedIn64Bit) {
+  // The threshold is 2(n + m) + 1024.  Near the top of the 32-bit id
+  // space the old vid-typed expression wrapped around to a tiny value,
+  // silently forcing a renormalization on every batch; the fix keeps
+  // the arithmetic in 64 bits.
+  EXPECT_EQ(renormalize_label_threshold(3, 4), 2u * 7u + 1024u);
+  EXPECT_GT(renormalize_label_threshold(1'500'000'000ull, 1'000'000'000ull),
+            std::uint64_t{UINT32_MAX});
+  EXPECT_EQ(renormalize_label_threshold(std::uint64_t{1} << 31,
+                                        std::uint64_t{1} << 31),
+            (std::uint64_t{1} << 33) + 1024);
+}
+
+TEST(BatchDynamic, ForcedRenormalizationKeepsPartition) {
+  // renorm_label_limit = 1 triggers the copy-on-renormalize path after
+  // every batch: the standing result must keep matching the static
+  // solve, and the label space must be contiguous again each time.
+  BccContext ctx(2);
+  BatchDynamicOptions opt;
+  opt.renorm_label_limit = 1;
+  BatchDynamicBcc dyn(ctx, gen::random_connected_gnm(120, 260, 9), opt);
+  Xoshiro256 rng(9);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Edge> ins;
+    for (int i = 0; i < 5; ++i) {
+      const vid u = static_cast<vid>(rng() % 120);
+      ins.push_back({u, static_cast<vid>((u + 1 + rng() % 118) % 120)});
+    }
+    const eid del = static_cast<eid>(rng() % dyn.graph().m());
+    dyn.apply_batch(ins, {&del, 1});
+    expect_matches_static(dyn);
+    EXPECT_EQ(dyn.label_bound(), dyn.result().num_components);
+    EXPECT_EQ(dyn.version(), static_cast<std::uint64_t>(round + 1));
+  }
+}
+
 TEST(BatchDynamic, LongStreamKeepsBooks) {
   // A longer stream on one engine: stats stay coherent and fallbacks
   // accumulate monotonically.

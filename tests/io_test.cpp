@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "test_util.hpp"
+
+namespace parbcc {
+namespace {
+
+/// Edge lists compare exactly; DIMACS preserves order too.  METIS
+/// stores an adjacency structure, so round-tripping through it may
+/// reorder edges and flip endpoint order — compare as canonical sets.
+std::multiset<std::pair<vid, vid>> edge_set(const EdgeList& g) {
+  std::multiset<std::pair<vid, vid>> s;
+  for (const Edge& e : g.edges) {
+    s.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  return s;
+}
+
+class IoRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  EdgeList input() const {
+    switch (GetParam()) {
+      case 0:
+        return EdgeList(0, {});
+      case 1:
+        return EdgeList(5, {});  // isolated vertices only
+      case 2:
+        return gen::clique_chain(3, 4);
+      case 3:
+        return gen::random_gnm(60, 150, 42);  // parallel edges possible
+      default:
+        return gen::star(8);
+    }
+  }
+};
+
+TEST_P(IoRoundTrip, EdgeList) {
+  const EdgeList g = input();
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const EdgeList back = io::read_edge_list(ss);
+  EXPECT_EQ(back.n, g.n);
+  ASSERT_EQ(back.edges.size(), g.edges.size());
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_EQ(back.edges[i].u, g.edges[i].u);
+    EXPECT_EQ(back.edges[i].v, g.edges[i].v);
+  }
+}
+
+TEST_P(IoRoundTrip, Dimacs) {
+  const EdgeList g = input();
+  std::stringstream ss;
+  io::write_dimacs(ss, g);
+  const EdgeList back = io::read_dimacs(ss);
+  EXPECT_EQ(back.n, g.n);
+  EXPECT_EQ(edge_set(back), edge_set(g));
+}
+
+TEST_P(IoRoundTrip, Metis) {
+  const EdgeList g = input();
+  std::stringstream ss;
+  io::write_metis(ss, g);
+  const EdgeList back = io::read_metis(ss);
+  EXPECT_EQ(back.n, g.n);
+  EXPECT_EQ(edge_set(back), edge_set(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IoRoundTrip, ::testing::Range(0, 5));
+
+EdgeList parse_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  return io::read_edge_list(is);
+}
+
+TEST(IoEdgeList, AcceptsCommentsAndBlankLines) {
+  const EdgeList g =
+      parse_edge_list("# header comment\n\n3 2\n# body\n0 1\n\n1 2\n");
+  EXPECT_EQ(g.n, 3u);
+  ASSERT_EQ(g.edges.size(), 2u);
+  EXPECT_EQ(g.edges[1].u, 1u);
+  EXPECT_EQ(g.edges[1].v, 2u);
+}
+
+TEST(IoEdgeList, RejectsMalformedInput) {
+  EXPECT_THROW(parse_edge_list(""), std::runtime_error);
+  EXPECT_THROW(parse_edge_list("# only comments\n"), std::runtime_error);
+  EXPECT_THROW(parse_edge_list("nonsense\n"), std::runtime_error);
+  EXPECT_THROW(parse_edge_list("3\n"), std::runtime_error);        // no m
+  EXPECT_THROW(parse_edge_list("3 2\n0 1\n"), std::runtime_error); // truncated
+  EXPECT_THROW(parse_edge_list("3 1\n0\n"), std::runtime_error);   // bad edge
+  EXPECT_THROW(parse_edge_list("3 1\nx y\n"), std::runtime_error);
+}
+
+TEST(IoEdgeList, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(parse_edge_list("3 1\n0 3\n"), std::runtime_error);
+  EXPECT_THROW(parse_edge_list("3 1\n7 1\n"), std::runtime_error);
+  // Endpoints are checked against the declared n even when they would
+  // fit in 32 bits.
+  EXPECT_THROW(parse_edge_list("2 1\n0 4294967295\n"), std::runtime_error);
+}
+
+TEST(IoEdgeList, RejectsHeaderExceedingIdSpace) {
+  // A vertex count at or past kNoVertex would alias the sentinel after
+  // the narrowing cast; the reader must reject it, not truncate.
+  EXPECT_THROW(parse_edge_list("5000000000 1\n0 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_edge_list("4294967295 0\n"), std::runtime_error);
+  try {
+    parse_edge_list("18446744073709551615 0\n");
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("vertex count"), std::string::npos);
+  }
+  // Largest representable id is fine.
+  const EdgeList g = parse_edge_list("4294967294 0\n");
+  EXPECT_EQ(g.n, kNoVertex - 1);
+}
+
+TEST(IoEdgeList, HostileEdgeCountDoesNotPreallocate) {
+  // An edge count near the id limit passes validation but must not
+  // reserve() gigabytes up front: the reader caps the speculative
+  // reserve and then fails on the missing body, quickly and cheaply.
+  EXPECT_THROW(parse_edge_list("10 4294967294\n0 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_edge_list("10 4294967295\n"), std::runtime_error);
+}
+
+EdgeList parse_dimacs(const std::string& text) {
+  std::istringstream is(text);
+  return io::read_dimacs(is);
+}
+
+TEST(IoDimacs, RejectsMalformedInput) {
+  EXPECT_THROW(parse_dimacs(""), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("c only a comment\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p edge 3\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p graph 3 1\ne 1 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("e 1 2\np edge 3 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p edge 3 1\np edge 3 1\ne 1 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p edge 3 1\nz 1 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p edge 3 2\ne 1 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p edge 3 1\ne 0 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p edge 3 1\ne 1 4\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p edge 5000000000 0\n"), std::runtime_error);
+}
+
+EdgeList parse_metis(const std::string& text) {
+  std::istringstream is(text);
+  return io::read_metis(is);
+}
+
+TEST(IoMetis, RejectsMalformedInput) {
+  EXPECT_THROW(parse_metis(""), std::runtime_error);
+  EXPECT_THROW(parse_metis("3\n"), std::runtime_error);
+  EXPECT_THROW(parse_metis("3 1 1\n2 3\n1\n1\n"), std::runtime_error);
+  EXPECT_THROW(parse_metis("3 1\n2\n"), std::runtime_error);    // truncated
+  EXPECT_THROW(parse_metis("3 1\n4\n\n\n"), std::runtime_error);
+  EXPECT_THROW(parse_metis("3 1\n0\n\n\n"), std::runtime_error);
+  EXPECT_THROW(parse_metis("3 2\n2\n1\n\n"), std::runtime_error); // count
+  EXPECT_THROW(parse_metis("5000000000 0\n"), std::runtime_error);
+}
+
+TEST(IoMetis, RejectsSelfLoopsOnWrite) {
+  const EdgeList g(2, {{1, 1}});
+  std::stringstream ss;
+  EXPECT_THROW(io::write_metis(ss, g), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parbcc

@@ -157,6 +157,31 @@ TEST(BccContext, ConversionChargedOnceForRepeatedSolvesOfSameGraph) {
       testutil::same_partition(first.edge_component, second.edge_component));
 }
 
+TEST(BccContext, SameAddressSameSizeDifferentGraphMissesCache) {
+  // Regression: the conversion cache used to key on (&g, n, m) only.
+  // Overwriting a solved graph with a different graph of identical
+  // size — the same aliasing a freed-then-reallocated EdgeList
+  // produces — matched the stale key and served the old adjacency,
+  // silently solving the wrong graph.  The content fingerprint in the
+  // key forces a reconversion.
+  EdgeList g = gen::random_gnm(2000, 6000, 1);
+  BccContext ctx(2);
+  BccOptions opt;
+  opt.compute_cut_info = true;
+
+  biconnected_components(ctx, g, opt);
+  g = gen::random_gnm(2000, 6000, 2);  // same address, n, and m
+  const BccResult got = biconnected_components(ctx, g, opt);
+  EXPECT_GT(got.times.conversion, 0.0);  // cache miss, not a stale hit
+
+  BccContext fresh(2);
+  const BccResult want = biconnected_components(fresh, g, opt);
+  EXPECT_EQ(got.num_components, want.num_components);
+  EXPECT_TRUE(
+      testutil::same_partition(got.edge_component, want.edge_component));
+  EXPECT_EQ(got.is_articulation, want.is_articulation);
+}
+
 TEST(BccContext, InvalidateForcesReconversion) {
   const EdgeList g = gen::random_connected_gnm(5000, 20000, 3);
   BccContext ctx(2);
