@@ -7,8 +7,11 @@
 // to filter, as in trees/cacti).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "graph/io_binary.hpp"
 
 using namespace parbcc;
 using namespace parbcc::bench;
@@ -31,9 +34,15 @@ double run(const EdgeList& g, BccAlgorithm algorithm, int p, vid* blocks) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int p = env_threads();
   const std::uint64_t seed = env_seed();
+  // --graph <file.pbg>: append real graphs (tools/fetch_graphs.sh) to
+  // the family table, loaded through the zero-copy mmap path.
+  std::vector<std::string> external;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--graph") external.push_back(argv[i + 1]);
+  }
 
   print_header("Graph-family robustness study (extension)");
   std::printf("p = %d\n\n", p);
@@ -61,6 +70,17 @@ int main() {
     std::printf("%-20s %10u %10u %8u %12.3f %12.3f %12.3f\n", f.name, f.g.n,
                 f.g.m(), blocks, t_smp, t_opt, t_filter);
   }
+  for (const std::string& path : external) {
+    const io::MappedGraph mapped = io::MappedGraph::map(path);
+    const EdgeList& g = mapped.graph();
+    vid blocks = 0;
+    const double t_smp = run(g, BccAlgorithm::kTvSmp, p, &blocks);
+    const double t_opt = run(g, BccAlgorithm::kTvOpt, p, &blocks);
+    const double t_filter = run(g, BccAlgorithm::kTvFilter, p, &blocks);
+    std::printf("%-20s %10u %10u %8u %12.3f %12.3f %12.3f\n", path.c_str(),
+                g.n, g.m(), blocks, t_smp, t_opt, t_filter);
+  }
+
   std::printf(
       "\nshape check: TV-filter wins where nontree edges abound (dense,\n"
       "rmat, random) and loses its edge on near-trees (cactus, clique\n"

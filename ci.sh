@@ -8,9 +8,11 @@
 # work-stealing traversal, SV grafting, bitmap frontier engines, the
 # concurrent union-find behind the fused aux kernel, the Chase-Lev
 # fork-join scheduler itself, the arena-backed context-reuse sweep,
-# the batch-dynamic probe/splice/solve cycle, the hardened text-format
-# readers, and the query server's epoch publication + TCP surface, all
-# at 12-way width under both loop-scheduling models).
+# the batch-dynamic probe/splice/solve cycle, the hardened text and
+# binary readers, the parallel Rice encoder with its decode sweeps, the
+# zero-copy ingestion pipeline on the committed fixtures, and the query
+# server's epoch publication + TCP surface, all at 12-way width under
+# both loop-scheduling models).
 # Exits non-zero on the first failure.
 #
 #   ./ci.sh              # full gate
@@ -78,6 +80,35 @@ if grep -q 'gate: FAIL' build/bench_server_smoke.log; then
   exit 1
 fi
 
+# bench_io hard-gates the ingestion stack itself: warm-mmap load >= 20x
+# the fastest text ingestion, mmap-path labels identical to in-memory
+# labels on every family, and the compressed backend within 1.6x wall /
+# <= 0.5x bytes on the 20n family.  A nonzero exit is a gate failure.
+echo "==> bench smoke: zero-copy ingestion gates (A8)"
+PARBCC_N=20000 PARBCC_REPS=2 ./build/bench/bench_io \
+    --json build/bench_io_smoke.json >/dev/null
+grep -q '"io"' build/bench_io_smoke.json
+
+echo "==> trace smoke: ingestion segments (io_map/io_prefault/decode)"
+PARBCC_N=20000 PARBCC_REPS=1 ./build/bench/bench_io \
+    --trace-out=build/trace_io_smoke.json >/dev/null
+python3 tools/validate_trace.py build/trace_io_smoke.json
+
+# End-to-end converter path on a committed fixture: text -> .pbg with
+# the deep verify pass, then solve the file both ways and diff the
+# invariant rows (the sed strips pbgstat's name column, so identical
+# invariants collapse to one row under uniq).
+echo "==> io smoke: edgelist2pbg -> mmap-solve vs text-solve diff"
+./build/tools/edgelist2pbg --format snap --verify \
+    tests/data/social-comm.txt build/ci_social-comm.pbg >/dev/null
+./build/tools/pbgstat --tsv tests/data/social-comm.txt \
+    build/ci_social-comm.pbg > build/ci_io_stat.tsv
+if [[ "$(tail -n +2 build/ci_io_stat.tsv | sed 's/[^\t]*\t//' | uniq | wc -l)" != 1 ]]; then
+  echo "io smoke: text and mmap invariants diverge:" >&2
+  cat build/ci_io_stat.tsv >&2
+  exit 1
+fi
+
 echo "==> tsan: configure (build-tsan/, PARBCC_SANITIZE=thread)"
 cmake -B build-tsan -S . -DPARBCC_SANITIZE=thread >/dev/null
 
@@ -85,7 +116,7 @@ echo "==> tsan: build smoke set"
 cmake --build build-tsan -j "$JOBS" --target stress_test csr_test \
     workspace_test frontier_test trace_test concurrent_uf_test \
     auxgraph_test fastbcc_test scheduler_test batch_dynamic_test \
-    io_test server_test
+    io_test server_test compressed_csr_test realgraph_test
 
 echo "==> tsan: ctest -L sanitize-smoke"
 ctest --test-dir build-tsan -L sanitize-smoke --output-on-failure

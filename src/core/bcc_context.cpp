@@ -38,6 +38,35 @@ const PreparedGraph& BccContext::prepare(const EdgeList& g) {
   return *cache_;
 }
 
+const PreparedGraph& BccContext::adopt(io::MappedGraph&& mapped) {
+  // Drop the old cache entry before its backing mapping: the entry's
+  // views point into the mapped bytes.
+  cache_.reset();
+  cached_graph_ = nullptr;
+  mapped_.reset();
+  mapped_.emplace(std::move(mapped));
+  cache_.emplace(mapped_->graph(), mapped_->csr());
+  if (mapped_->has_compressed()) {
+    cache_->attach_compressed(mapped_->compressed());
+  }
+  // Key the cache like prepare() would, so solving the mapped graph
+  // through the ordinary dispatcher is a hit (the fingerprint pass
+  // also warms the edges section).
+  cached_graph_ = &mapped_->graph();
+  cached_fp_ = fingerprint(mapped_->graph());
+  return *cache_;
+}
+
+namespace io {
+
+const PreparedGraph& map_prepared_graph(BccContext& ctx,
+                                        const std::string& path,
+                                        const MapOptions& opt) {
+  return ctx.adopt(MappedGraph::map(path, opt));
+}
+
+}  // namespace io
+
 const BccContext::StrippedGraph& BccContext::strip(const EdgeList& g) {
   const std::uint64_t fp = fingerprint(g);
   if (strip_ && strip_source_ == &g && strip_fp_ == fp) {

@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "core/drivers.hpp"
 #include "graph/edge_list.hpp"
+#include "graph/io_binary.hpp"
 #include "util/thread_pool.hpp"
 #include "util/workspace.hpp"
 
@@ -54,6 +56,22 @@ class BccContext {
   /// graph.
   const PreparedGraph& prepare(const EdgeList& g);
 
+  /// Take ownership of a mapped .pbg file and seed the conversion
+  /// cache with its on-disk arrays: the cache entry's EdgeList borrows
+  /// the edges section, its Csr adopts the offsets/targets/eids
+  /// sections, and a compressed section (if present) is attached for
+  /// the kCompressed backend — no CSR rebuild, no copy, conversion
+  /// reported as 0.  The mapping lives as long as the cache entry
+  /// does; prepare()/solve calls on adopt(...)'s graph() are cache
+  /// hits.  Replaces any previously adopted mapping.
+  const PreparedGraph& adopt(io::MappedGraph&& mapped);
+
+  /// The adopted mapping's graph view (nullptr when none) — what
+  /// callers pass to solve_bcc after io::map_prepared_graph.
+  const EdgeList* mapped_graph() const {
+    return mapped_ ? &mapped_->graph() : nullptr;
+  }
+
   /// A context-owned loop-free copy of an input graph, plus the map
   /// from surviving edges back to their original indices.
   struct StrippedGraph {
@@ -74,12 +92,14 @@ class BccContext {
     cached_graph_ = nullptr;
     strip_.reset();
     strip_source_ = nullptr;
+    mapped_.reset();
   }
 
  private:
   std::optional<Executor> owned_;
   Executor* ex_;
   Workspace ws_;
+  std::optional<io::MappedGraph> mapped_;
   std::optional<PreparedGraph> cache_;
   const EdgeList* cached_graph_ = nullptr;
   std::uint64_t cached_fp_ = 0;
@@ -87,5 +107,17 @@ class BccContext {
   const EdgeList* strip_source_ = nullptr;
   std::uint64_t strip_fp_ = 0;
 };
+
+namespace io {
+
+/// One-call zero-copy ingestion: map + validate the .pbg at `path` and
+/// adopt it into `ctx`'s conversion cache.  Solve afterwards with
+/// `solve_bcc(ctx, *ctx.mapped_graph(), opt)` — the prepare step is a
+/// guaranteed cache hit and conversion reports 0.
+const PreparedGraph& map_prepared_graph(BccContext& ctx,
+                                        const std::string& path,
+                                        const MapOptions& opt = {});
+
+}  // namespace io
 
 }  // namespace parbcc

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <optional>
+
 #include "core/bcc_result.hpp"
+#include "graph/compressed_csr.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "util/thread_pool.hpp"
@@ -61,11 +64,32 @@ class PreparedGraph {
   /// hits so repeat solves report conversion = 0.
   void waive_conversion_charge() { conversion_seconds_ = 0; }
 
+  /// The compressed-adjacency companion (BccOptions::csr_backend ==
+  /// kCompressed), built from the plain CSR on first demand and kept
+  /// for the PreparedGraph's lifetime — repeat solves of a cached
+  /// graph reuse it like they reuse the CSR.  Mutable + const because
+  /// drivers hold the PreparedGraph by const reference and the
+  /// context is single-orchestrator (one solve at a time).
+  const CompressedCsr& ensure_compressed(Executor& ex) const {
+    if (!compressed_) compressed_.emplace(CompressedCsr::build(ex, *csr_));
+    return *compressed_;
+  }
+  /// Attach an externally built/adopted compressed adjacency (the mmap
+  /// loader adopts the file's compressed section; its storage must
+  /// outlive the PreparedGraph).
+  void attach_compressed(CompressedCsr c) const {
+    compressed_.emplace(std::move(c));
+  }
+  const CompressedCsr* compressed() const {
+    return compressed_ ? &*compressed_ : nullptr;
+  }
+
  private:
   const EdgeList* graph_;
   const Csr* csr_ = nullptr;
   Csr owned_;
   double conversion_seconds_ = 0;
+  mutable std::optional<CompressedCsr> compressed_;
 };
 
 /// Direct SMP emulation of Tarjan-Vishkin (paper §3.1): SV spanning

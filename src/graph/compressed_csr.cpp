@@ -1,0 +1,166 @@
+#include "graph/compressed_csr.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace parbcc {
+
+namespace {
+
+// MSB-first bit packer used by the per-row encoder.  Codes go into the
+// top bits of a 64-bit staging buffer; whole bytes spill to `p`.
+struct BitWriter {
+  std::uint8_t* p;
+  std::uint64_t buf = 0;
+  unsigned nbits = 0;
+
+  void put(std::uint32_t value, unsigned bits) {
+    buf |= static_cast<std::uint64_t>(value) << (64 - nbits - bits);
+    nbits += bits;
+    while (nbits >= 8) {
+      *p++ = static_cast<std::uint8_t>(buf >> 56);
+      buf <<= 8;
+      nbits -= 8;
+    }
+  }
+  void flush() {
+    if (nbits > 0) {
+      *p++ = static_cast<std::uint8_t>(buf >> 56);
+      buf = 0;
+      nbits = 0;
+    }
+  }
+};
+
+constexpr unsigned kMaxRiceK = 24;
+
+inline unsigned rice_bits(vid gap, unsigned k) {
+  const unsigned q = gap >> k;
+  return q >= CompressedCsr::kEscapeQ ? CompressedCsr::kEscapeQ + 32
+                                      : q + 1 + k;
+}
+
+inline unsigned varint_size(vid v) {
+  return 1 + (std::bit_width(v | 1u) - 1) / 7;
+}
+
+// Pick the Rice parameter for a row of gaps: seed from the mean gap,
+// then try the neighbouring values — the exact cost is a cheap sum and
+// the m = 20n bytes-streamed gate is sensitive to a wasted bit per arc.
+unsigned choose_k(const vid* nbrs, eid deg) {
+  if (deg < 2) return 0;
+  const vid span = nbrs[deg - 1] - nbrs[0];
+  const vid mean = span / (deg - 1);
+  const unsigned k0 =
+      mean == 0 ? 0
+                : std::min<unsigned>(std::bit_width(mean) - 1, kMaxRiceK);
+  unsigned best_k = k0;
+  std::uint64_t best_cost = ~std::uint64_t{0};
+  for (unsigned k = k0 > 0 ? k0 - 1 : 0;
+       k <= std::min(k0 + 1, kMaxRiceK); ++k) {
+    std::uint64_t cost = 0;
+    for (eid j = 1; j < deg; ++j) {
+      cost += rice_bits(nbrs[j] - nbrs[j - 1], k);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+std::uint64_t row_encoded_bytes(const vid* nbrs, eid deg, unsigned k) {
+  if (deg == 0) return 0;
+  std::uint64_t bits = 0;
+  for (eid j = 1; j < deg; ++j) {
+    bits += rice_bits(nbrs[j] - nbrs[j - 1], k);
+  }
+  return 1 + varint_size(nbrs[0]) + (bits + 7) / 8;
+}
+
+void encode_row(std::uint8_t* out, const vid* nbrs, eid deg, unsigned k) {
+  *out++ = static_cast<std::uint8_t>(k);
+  vid first = nbrs[0];
+  while (first >= 0x80) {
+    *out++ = static_cast<std::uint8_t>(first) | 0x80;
+    first >>= 7;
+  }
+  *out++ = static_cast<std::uint8_t>(first);
+  BitWriter bw{out};
+  for (eid j = 1; j < deg; ++j) {
+    const vid gap = nbrs[j] - nbrs[j - 1];
+    const unsigned q = gap >> k;
+    if (q >= CompressedCsr::kEscapeQ) {
+      bw.put((1u << CompressedCsr::kEscapeQ) - 1, CompressedCsr::kEscapeQ);
+      bw.put(gap, 32);
+    } else {
+      bw.put((1u << (q + 1)) - 2, q + 1);  // q ones, then a zero
+      if (k > 0) bw.put(gap & ((1u << k) - 1), k);
+    }
+  }
+  bw.flush();
+}
+
+}  // namespace
+
+CompressedCsr CompressedCsr::build(Executor& ex, const Csr& csr) {
+  CompressedCsr c;
+  const vid n = csr.num_vertices();
+  const eid m = csr.num_edges();
+  c.n_ = n;
+  c.m_ = m;
+  const std::size_t num_arcs = 2 * static_cast<std::size_t>(m);
+
+  c.offsets_.resize(n + 1);
+  std::memcpy(c.offsets_.data(), csr.offsets().data(),
+              (n + 1) * sizeof(eid));
+  c.index_.resize(n + 1);
+  c.eids_.resize(num_arcs);
+
+  // Canonicalize every row: sorted by (neighbour, edge id).  Packed
+  // u64 keys sort both halves of the pair in one comparison; the
+  // sorted neighbours feed the size and encode passes, the sorted eids
+  // become the owned decode-order eid array.
+  uvector<std::uint64_t> packed(num_arcs);
+  uvector<vid> sorted_nbrs(num_arcs);
+  uvector<std::uint8_t> ks(n);
+  const std::span<const eid> offsets = csr.offsets();
+  ex.parallel_for(n, [&](std::size_t v) {
+    const eid lo = offsets[v];
+    const eid deg = offsets[v + 1] - lo;
+    const auto nbrs = csr.neighbors(static_cast<vid>(v));
+    const auto eids = csr.incident_edges(static_cast<vid>(v));
+    for (eid j = 0; j < deg; ++j) {
+      packed[lo + j] =
+          (static_cast<std::uint64_t>(nbrs[j]) << 32) | eids[j];
+    }
+    std::sort(packed.begin() + lo, packed.begin() + lo + deg);
+    for (eid j = 0; j < deg; ++j) {
+      sorted_nbrs[lo + j] = static_cast<vid>(packed[lo + j] >> 32);
+      c.eids_[lo + j] = static_cast<eid>(packed[lo + j]);
+    }
+    const unsigned k = choose_k(sorted_nbrs.data() + lo, deg);
+    ks[v] = static_cast<std::uint8_t>(k);
+    c.index_[v + 1] = row_encoded_bytes(sorted_nbrs.data() + lo, deg, k);
+  });
+
+  c.index_[0] = 0;
+  for (vid v = 0; v < n; ++v) c.index_[v + 1] += c.index_[v];
+
+  c.data_.resize(c.index_[n]);
+  ex.parallel_for(n, [&](std::size_t v) {
+    const eid deg = offsets[v + 1] - offsets[v];
+    if (deg == 0) return;
+    encode_row(c.data_.data() + c.index_[v], &sorted_nbrs[offsets[v]], deg,
+               ks[v]);
+  });
+
+  c.offsets_view_ = {c.offsets_.data(), c.offsets_.size()};
+  c.index_view_ = {c.index_.data(), c.index_.size()};
+  c.data_view_ = {c.data_.data(), c.data_.size()};
+  c.eids_view_ = {c.eids_.data(), c.eids_.size()};
+  return c;
+}
+
+}  // namespace parbcc

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "graph/csr.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+#include "util/uninit.hpp"
+
+/// \file compressed_csr.hpp
+/// Delta-compressed adjacency: each vertex's neighbour row is sorted,
+/// the first neighbour is stored as a byte varint, and the remaining
+/// gaps are Rice-coded with a per-row parameter k (unary quotient, k
+/// raw remainder bits, 8-ones escape to a raw 32-bit gap for
+/// outliers).  Rows are byte-aligned and located by a per-vertex byte
+/// index, so decoding is row-local and parallel sweeps need no shared
+/// cursor.  On the m = 20n benchmark family this streams ~0.45x the
+/// bytes of the plain 4-byte-per-arc row, trading decode cycles for
+/// memory bandwidth in the BFS and low/high sweeps (BccOptions::
+/// csr_backend selects it; see DESIGN.md "Zero-copy ingestion").
+///
+/// Canonical row order.  Compression sorts each row by (neighbour,
+/// edge id), so the edge-id array here is permuted to match decode
+/// order.  A built CompressedCsr owns that permuted copy; the .pbg
+/// converter instead writes *canonical* (sorted) plain rows to disk so
+/// the file's single eids section serves both backends, and the
+/// mmap-adopted CompressedCsr borrows it (Csr's contract that no
+/// algorithm depends on adjacency order makes canonicalization legal).
+///
+/// Like Csr, storage is owning-or-borrowed: build() owns its arrays,
+/// adopt() wraps the index/data/eids sections of a mapped .pbg file.
+
+namespace parbcc {
+
+class CompressedCsr {
+ public:
+  /// Escape sentinel: a quotient of 8+ unary ones is followed by the
+  /// raw 32-bit gap instead of a remainder.
+  static constexpr unsigned kEscapeQ = 8;
+
+  /// Compress the rows of `csr` in parallel.  The result owns all
+  /// storage (including the permuted eids) and is independent of the
+  /// source Csr except for the offsets array, which it copies.
+  static CompressedCsr build(Executor& ex, const Csr& csr);
+
+  /// Adopt caller-managed sections of a mapped .pbg file: `offsets` is
+  /// the plain CSR offsets section (degrees + eid subranges), `index`
+  /// the n + 1 row byte index, `data` the packed row bytes, `eids` the
+  /// plain eids section (canonical order on disk).  Storage must
+  /// outlive the CompressedCsr; contents are trusted (the loader
+  /// validates first).
+  static CompressedCsr adopt(vid n, eid m, std::span<const eid> offsets,
+                             std::span<const std::uint64_t> index,
+                             std::span<const std::uint8_t> data,
+                             std::span<const eid> eids) {
+    CompressedCsr c;
+    c.n_ = n;
+    c.m_ = m;
+    c.offsets_view_ = offsets;
+    c.index_view_ = index;
+    c.data_view_ = data;
+    c.eids_view_ = eids;
+    return c;
+  }
+
+  CompressedCsr() = default;
+  CompressedCsr(const CompressedCsr&) = delete;
+  CompressedCsr& operator=(const CompressedCsr&) = delete;
+  CompressedCsr(CompressedCsr&&) = default;
+  CompressedCsr& operator=(CompressedCsr&&) = default;
+
+  vid num_vertices() const { return n_; }
+  eid num_edges() const { return m_; }
+  eid degree(vid v) const { return offsets_view_[v + 1] - offsets_view_[v]; }
+
+  /// Encoded bytes of row v (what a full decode of the row streams).
+  std::size_t row_bytes(vid v) const {
+    return static_cast<std::size_t>(index_view_[v + 1] - index_view_[v]);
+  }
+
+  /// Total encoded adjacency bytes (rows only, excludes the index).
+  std::size_t data_bytes() const { return data_view_.size(); }
+
+  /// Edge ids of row v in decode order.
+  std::span<const eid> incident_edges(vid v) const {
+    return eids_view_.subspan(offsets_view_[v], degree(v));
+  }
+
+  /// Raw section views, in the shapes the .pbg writer serializes.
+  std::span<const std::uint64_t> row_index() const { return index_view_; }
+  std::span<const std::uint8_t> row_data() const { return data_view_; }
+  std::span<const eid> edge_ids() const { return eids_view_; }
+
+  /// Decode row v, calling `f(neighbour, edge_id)` per arc in sorted
+  /// neighbour order; `f` returns true to stop early.  Returns the
+  /// encoded bytes consumed (whole row when not stopped; the
+  /// byte-rounded prefix when stopped early) — the hot loops charge
+  /// this to the csr_decode_bytes counter.
+  template <typename F>
+  std::size_t decode_row(vid v, F&& f) const {
+    const eid deg = degree(v);
+    if (deg == 0) return 0;
+    const std::uint8_t* p = data_view_.data() + index_view_[v];
+    const std::uint8_t* row_begin = p;
+    const eid* eids = eids_view_.data() + offsets_view_[v];
+    // The encoder never writes k > 24; the min caps a corrupted byte
+    // in a mapped file so the shifts below stay defined (garbage in,
+    // garbage out — never undefined behaviour).
+    const unsigned k = std::min<unsigned>(*p++, 31);
+    // Varint first neighbour.
+    vid nbr = 0;
+    unsigned shift = 0;
+    for (;;) {
+      const std::uint8_t b = *p++;
+      nbr |= static_cast<vid>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    if (f(nbr, eids[0])) {
+      return static_cast<std::size_t>(p - row_begin);
+    }
+    // Rice-coded gaps, MSB-first.  The 64-bit buffer keeps codes in
+    // its top bits; refills never read past the row's own bytes.
+    const std::uint8_t* row_end = row_begin + row_bytes(v);
+    std::uint64_t buf = 0;
+    unsigned nbits = 0;
+    for (eid j = 1; j < deg; ++j) {
+      while (nbits <= 56 && p < row_end) {
+        buf |= static_cast<std::uint64_t>(*p++) << (56 - nbits);
+        nbits += 8;
+      }
+      const unsigned q = static_cast<unsigned>(std::countl_one(buf));
+      vid gap;
+      if (q >= kEscapeQ) {  // escape: 8 ones + raw 32-bit gap
+        buf <<= kEscapeQ;
+        nbits -= kEscapeQ;
+        while (nbits <= 56 && p < row_end) {
+          buf |= static_cast<std::uint64_t>(*p++) << (56 - nbits);
+          nbits += 8;
+        }
+        gap = static_cast<vid>(buf >> 32);
+        buf <<= 32;
+        nbits -= 32;
+      } else {
+        buf <<= q + 1;  // quotient ones + terminating zero
+        gap = static_cast<vid>(q) << k;
+        if (k > 0) {
+          gap |= static_cast<vid>(buf >> (64 - k));
+          buf <<= k;
+        }
+        nbits -= q + 1 + k;
+      }
+      nbr += gap;
+      if (f(nbr, eids[j])) {
+        // Bytes pulled into the buffer, minus whole unconsumed bytes.
+        return static_cast<std::size_t>(p - row_begin) - nbits / 8;
+      }
+    }
+    return static_cast<std::size_t>(p - row_begin);
+  }
+
+ private:
+  vid n_ = 0;
+  eid m_ = 0;
+  // Owned storage (empty when adopted); the views are the live arrays.
+  uvector<eid> offsets_;           // n + 1 (copy of the source Csr's)
+  uvector<std::uint64_t> index_;   // n + 1 row byte index
+  uvector<std::uint8_t> data_;     // packed rows
+  uvector<eid> eids_;              // 2m, permuted to decode order
+  std::span<const eid> offsets_view_;
+  std::span<const std::uint64_t> index_view_;
+  std::span<const std::uint8_t> data_view_;
+  std::span<const eid> eids_view_;
+};
+
+}  // namespace parbcc

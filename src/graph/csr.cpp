@@ -300,6 +300,9 @@ Csr Csr::build(Executor& ex, Workspace& ws, const EdgeList& g) {
   csr.offsets_.resize(n + 1);
   csr.nbrs_.resize(num_arcs);
   csr.eids_.resize(num_arcs);
+  csr.offsets_view_ = {csr.offsets_.data(), csr.offsets_.size()};
+  csr.nbrs_view_ = {csr.nbrs_.data(), csr.nbrs_.size()};
+  csr.eids_view_ = {csr.eids_.data(), csr.eids_.size()};
 
   if (m == 0) {
     std::fill(csr.offsets_.begin(), csr.offsets_.end(), eid{0});

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -23,6 +26,133 @@ struct Edge {
   vid other(vid x) const { return x == u ? v : u; }
 };
 
+/// Storage for an edge array that either owns a vector or borrows a
+/// read-only span (e.g. the edges section of an mmap'd .pbg file — see
+/// io_binary.hpp).  Borrowing is what makes zero-copy ingestion
+/// possible: a mapped graph's edges flow through every solver without
+/// ever being copied into the heap.
+///
+/// The interface is the vector subset the codebase uses.  Const access
+/// reads the active view; any mutating call on a borrowed store first
+/// materializes a private owning copy (copy-on-write), so existing
+/// mutation-heavy code (batch_dynamic's standing graph, generators,
+/// readers) is correct regardless of where the edges came from.  The
+/// referenced storage of a borrowed store must outlive every read —
+/// callers adopting mapped memory keep the mapping alive (see
+/// BccContext::adopt).
+class EdgeStore {
+ public:
+  using value_type = Edge;
+  using iterator = Edge*;
+  using const_iterator = const Edge*;
+
+  EdgeStore() = default;
+  EdgeStore(std::vector<Edge> v)
+      : own_(std::move(v)), view_(own_.data(), own_.size()) {}
+
+  /// A non-owning view over caller-managed storage.
+  static EdgeStore borrow(std::span<const Edge> s) {
+    EdgeStore e;
+    e.view_ = s;
+    e.borrowed_ = true;
+    return e;
+  }
+
+  // A copy of an owning store deep-copies (and re-points the view at
+  // the copy); a copy of a borrowed store stays a borrow of the same
+  // storage — copies share the original's lifetime obligation.
+  EdgeStore(const EdgeStore& o) : own_(o.own_), borrowed_(o.borrowed_) {
+    view_ = borrowed_ ? o.view_ : std::span<const Edge>(own_);
+  }
+  EdgeStore& operator=(const EdgeStore& o) {
+    if (this != &o) {
+      own_ = o.own_;
+      borrowed_ = o.borrowed_;
+      view_ = borrowed_ ? o.view_ : std::span<const Edge>(own_);
+    }
+    return *this;
+  }
+  // Vector moves keep their heap buffer, so the moved view stays valid.
+  EdgeStore(EdgeStore&& o) noexcept
+      : own_(std::move(o.own_)), view_(o.view_), borrowed_(o.borrowed_) {
+    o.view_ = {};
+    o.own_.clear();
+    o.borrowed_ = false;
+  }
+  EdgeStore& operator=(EdgeStore&& o) noexcept {
+    if (this != &o) {
+      own_ = std::move(o.own_);
+      view_ = o.view_;
+      borrowed_ = o.borrowed_;
+      o.view_ = {};
+      o.own_.clear();
+      o.borrowed_ = false;
+    }
+    return *this;
+  }
+
+  bool is_borrowed() const { return borrowed_; }
+
+  const Edge* data() const { return view_.data(); }
+  std::size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const Edge& operator[](std::size_t i) const { return view_[i]; }
+  const Edge& back() const { return view_.back(); }
+  const_iterator begin() const { return view_.data(); }
+  const_iterator end() const { return view_.data() + view_.size(); }
+  operator std::span<const Edge>() const { return view_; }
+
+  friend bool operator==(const EdgeStore& a, const EdgeStore& b) {
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  Edge* data() { return materialize().data(); }
+  Edge& operator[](std::size_t i) { return materialize()[i]; }
+  Edge& back() { return materialize().back(); }
+  iterator begin() { return materialize().data(); }
+  iterator end() {
+    std::vector<Edge>& v = materialize();
+    return v.data() + v.size();
+  }
+  void push_back(Edge e) {
+    materialize().push_back(e);
+    view_ = {own_.data(), own_.size()};
+  }
+  void pop_back() {
+    materialize().pop_back();
+    view_ = {own_.data(), own_.size()};
+  }
+  void reserve(std::size_t c) {
+    materialize().reserve(c);
+    view_ = {own_.data(), own_.size()};
+  }
+  void resize(std::size_t s) {
+    materialize().resize(s);
+    view_ = {own_.data(), own_.size()};
+  }
+  void clear() {
+    own_.clear();
+    borrowed_ = false;
+    view_ = {};
+  }
+
+ private:
+  /// Switch to owning storage, copying the borrowed view if needed.
+  std::vector<Edge>& materialize() {
+    if (borrowed_) {
+      own_.assign(view_.begin(), view_.end());
+      borrowed_ = false;
+      view_ = {own_.data(), own_.size()};
+    }
+    return own_;
+  }
+
+  std::vector<Edge> own_;
+  std::span<const Edge> view_;
+  bool borrowed_ = false;
+};
+
 /// An undirected graph as n vertices plus an edge list.
 /// Vertices are [0, n).  Parallel edges are permitted (they are
 /// biconnectivity-relevant: a doubled edge is never a bridge);
@@ -30,7 +160,7 @@ struct Edge {
 /// remove_self_loops() if an input may contain any.
 struct EdgeList {
   vid n = 0;
-  std::vector<Edge> edges;
+  EdgeStore edges;
 
   EdgeList() = default;
   EdgeList(vid num_vertices, std::vector<Edge> e)

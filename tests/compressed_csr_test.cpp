@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/bcc.hpp"
+#include "graph/compressed_csr.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "spanning/bfs_tree.hpp"
+#include "test_util.hpp"
+#include "util/workspace.hpp"
+
+namespace parbcc {
+namespace {
+
+/// Row contents as a sorted (neighbour, eid) list — the canonical
+/// order both backends must agree on up to permutation.
+std::vector<std::pair<vid, eid>> plain_row(const Csr& csr, vid v) {
+  const auto nbrs = csr.neighbors(v);
+  const auto eids = csr.incident_edges(v);
+  std::vector<std::pair<vid, eid>> row;
+  row.reserve(nbrs.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    row.emplace_back(nbrs[i], eids[i]);
+  }
+  std::sort(row.begin(), row.end());
+  return row;
+}
+
+std::vector<std::pair<vid, eid>> decoded_row(const CompressedCsr& cc, vid v) {
+  std::vector<std::pair<vid, eid>> row;
+  cc.decode_row(v, [&](vid w, eid e) {
+    row.emplace_back(w, e);
+    return false;
+  });
+  return row;
+}
+
+class CompressedRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  EdgeList input() const {
+    switch (GetParam()) {
+      case 0:
+        return EdgeList(0, {});
+      case 1:
+        return EdgeList(7, {});  // all rows empty
+      case 2:
+        return gen::star(64);  // one huge row, 64 single-arc rows
+      case 3:
+        return gen::random_gnm(200, 1500, 7);  // parallel edges likely
+      case 4:
+        return gen::random_power_law(500, 4000, 2.2, 11);  // skewed gaps
+      case 5:
+        return gen::complete(40);  // gap-1 runs, small k
+      case 6:
+        return gen::grid_torus(20, 25);  // uniform degree 4
+      default:
+        return gen::rmat(10, 16, 3);  // hubs + outlier gaps (escapes)
+    }
+  }
+};
+
+TEST_P(CompressedRoundTrip, DecodesEveryRowExactly) {
+  const EdgeList g = input();
+  Executor ex(4);
+  const Csr csr = Csr::build(ex, g);
+  const CompressedCsr cc = CompressedCsr::build(ex, csr);
+
+  ASSERT_EQ(cc.num_vertices(), csr.num_vertices());
+  ASSERT_EQ(cc.num_edges(), csr.num_edges());
+  for (vid v = 0; v < g.n; ++v) {
+    ASSERT_EQ(cc.degree(v), csr.degree(v)) << "v=" << v;
+    const auto expect = plain_row(csr, v);
+    const auto got = decoded_row(cc, v);
+    ASSERT_EQ(got, expect) << "v=" << v;
+    // Decode order is sorted by construction.
+    ASSERT_TRUE(std::is_sorted(got.begin(), got.end()));
+  }
+}
+
+TEST_P(CompressedRoundTrip, FullDecodeStreamsExactlyRowBytes) {
+  const EdgeList g = input();
+  Executor ex(2);
+  const Csr csr = Csr::build(ex, g);
+  const CompressedCsr cc = CompressedCsr::build(ex, csr);
+
+  std::size_t total = 0;
+  for (vid v = 0; v < g.n; ++v) {
+    const std::size_t streamed = cc.decode_row(v, [](vid, eid) {
+      return false;
+    });
+    EXPECT_EQ(streamed, cc.row_bytes(v)) << "v=" << v;
+    total += streamed;
+  }
+  EXPECT_EQ(total, cc.data_bytes());
+}
+
+TEST_P(CompressedRoundTrip, EarlyStopChargesOnlyThePrefix) {
+  const EdgeList g = input();
+  Executor ex(2);
+  const Csr csr = Csr::build(ex, g);
+  const CompressedCsr cc = CompressedCsr::build(ex, csr);
+
+  for (vid v = 0; v < g.n; ++v) {
+    const eid deg = cc.degree(v);
+    if (deg == 0) continue;
+    // Stop after the first arc: a long row must not charge its tail.
+    const std::size_t first = cc.decode_row(v, [](vid, eid) {
+      return true;
+    });
+    EXPECT_GE(first, 2u);  // k byte + at least one varint byte
+    EXPECT_LE(first, cc.row_bytes(v));
+    if (deg >= 8) {
+      EXPECT_LT(first, cc.row_bytes(v)) << "v=" << v;
+    }
+    // Stopping at arc i must stream a monotone prefix of the row.
+    std::size_t prev = first;
+    for (eid stop = 2; stop <= std::min<eid>(deg, 4); ++stop) {
+      eid seen = 0;
+      const std::size_t bytes = cc.decode_row(v, [&](vid, eid) {
+        return ++seen == stop;
+      });
+      EXPECT_GE(bytes, prev) << "v=" << v << " stop=" << stop;
+      EXPECT_LE(bytes, cc.row_bytes(v));
+      prev = bytes;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CompressedRoundTrip, ::testing::Range(0, 8));
+
+TEST(CompressedCsr, AdoptViewsMatchBuiltArrays) {
+  const EdgeList g = gen::random_connected_gnm(300, 2000, 5);
+  Executor ex(4);
+  const Csr csr = Csr::build(ex, g);
+  const CompressedCsr built = CompressedCsr::build(ex, csr);
+  // Adopt the built object's own sections (stand-in for a mapped file:
+  // same shapes, same trust model).  Note adopt() wants the *decode
+  // order* eids, which for a built object is its permuted copy.
+  const CompressedCsr adopted = CompressedCsr::adopt(
+      g.n, g.m(), csr.offsets(), built.row_index(), built.row_data(),
+      built.edge_ids());
+  ASSERT_EQ(adopted.data_bytes(), built.data_bytes());
+  for (vid v = 0; v < g.n; ++v) {
+    ASSERT_EQ(decoded_row(adopted, v), decoded_row(built, v)) << "v=" << v;
+  }
+}
+
+TEST(CompressedCsr, CompressesDenseFamilyBelowHalf) {
+  // The A8 gate shape: m = 20n.  Gaps average n/40, so Rice rows must
+  // land well under the 4-byte plain arc — this pins the ratio the
+  // bench gate (<= 0.5x) relies on, at test scale.
+  const EdgeList g = gen::random_connected_gnm(5000, 100000, 17);
+  Executor ex(4);
+  const Csr csr = Csr::build(ex, g);
+  const CompressedCsr cc = CompressedCsr::build(ex, csr);
+  const double plain_bytes =
+      static_cast<double>(csr.targets().size()) * sizeof(vid);
+  EXPECT_LT(static_cast<double>(cc.data_bytes()), 0.5 * plain_bytes);
+}
+
+TEST(CompressedCsr, BfsLevelsMatchPlainBackend) {
+  for (const int shape : {0, 1, 2}) {
+    const EdgeList g = shape == 0   ? gen::random_connected_gnm(800, 6000, 3)
+                       : shape == 1 ? gen::rmat(10, 12, 9)
+                                    : gen::barbell(30, 200);
+    Executor ex(4);
+    Workspace ws;
+    const Csr csr = Csr::build(ex, g);
+    const CompressedCsr cc = CompressedCsr::build(ex, csr);
+    for (const BfsMode mode :
+         {BfsMode::kAuto, BfsMode::kTopDown, BfsMode::kBottomUp}) {
+      const BfsTree plain = bfs_tree(ex, ws, csr, 0, mode);
+      const BfsTree comp = bfs_tree(ex, ws, cc, 0, mode);
+      ASSERT_EQ(comp.level, plain.level);
+      ASSERT_EQ(comp.reached, plain.reached);
+      ASSERT_EQ(comp.num_levels, plain.num_levels);
+      // Parents may differ (any BFS tree is valid) but must respect
+      // the level structure: parent one level up, joined by an edge.
+      for (vid v = 0; v < g.n; ++v) {
+        if (comp.parent[v] == kNoVertex || v == comp.root) continue;
+        ASSERT_EQ(comp.level[v], comp.level[comp.parent[v]] + 1) << v;
+        const Edge& e = g.edges[comp.parent_edge[v]];
+        ASSERT_TRUE((e.u == v && e.v == comp.parent[v]) ||
+                    (e.v == v && e.u == comp.parent[v]));
+      }
+      ASSERT_GT(comp.decode_bytes, 0u);
+      ASSERT_LE(comp.decode_bytes, cc.data_bytes() * (comp.num_levels + 1));
+      ASSERT_EQ(plain.decode_bytes, 0u);
+    }
+  }
+}
+
+TEST(CompressedCsr, SolveMatchesPlainBackendLabels) {
+  for (const int shape : {0, 1, 2, 3}) {
+    const EdgeList g = shape == 0 ? gen::random_connected_gnm(600, 4000, 21)
+                       : shape == 1
+                           ? gen::clique_chain(12, 8)
+                           : shape == 2 ? gen::random_cactus(40, 9, 13)
+                                        : gen::rmat(9, 10, 31);
+    for (const BccAlgorithm alg :
+         {BccAlgorithm::kTvFilter, BccAlgorithm::kFastBcc}) {
+      BccOptions plain_opt;
+      plain_opt.algorithm = alg;
+      plain_opt.threads = 4;
+      BccOptions comp_opt = plain_opt;
+      comp_opt.csr_backend = CsrBackend::kCompressed;
+      const BccResult a = biconnected_components(g, plain_opt);
+      const BccResult b = biconnected_components(g, comp_opt);
+      ASSERT_EQ(b.num_components, a.num_components)
+          << to_string(alg) << " shape=" << shape;
+      ASSERT_TRUE(testutil::same_partition(b.edge_component, a.edge_component))
+          << to_string(alg) << " shape=" << shape;
+      ASSERT_EQ(b.is_articulation, a.is_articulation);
+      ASSERT_EQ(b.bridges, a.bridges);
+    }
+  }
+}
+
+TEST(CompressedCsr, SolveEmitsDecodeBytesCounter) {
+  const EdgeList g = gen::random_connected_gnm(2000, 16000, 27);
+  BccOptions opt;
+  opt.algorithm = BccAlgorithm::kFastBcc;
+  opt.threads = 4;
+  opt.csr_backend = CsrBackend::kCompressed;
+  const BccResult r = biconnected_components(g, opt);
+  const auto it =
+      std::find_if(r.trace.counters.begin(), r.trace.counters.end(),
+                   [](const TraceCounterTotal& c) {
+                     return c.name == "csr_decode_bytes";
+                   });
+  ASSERT_NE(it, r.trace.counters.end());
+  EXPECT_GT(it->total, 0.0);
+}
+
+}  // namespace
+}  // namespace parbcc

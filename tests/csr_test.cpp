@@ -159,5 +159,43 @@ TEST(CsrBuild, PrebuiltCsrIgnoredOnMismatch) {
   EXPECT_EQ(got.num_components, want.num_components);
 }
 
+TEST(CsrAdopt, BorrowedViewsReadTheCallerArrays) {
+  const EdgeList g = gen::random_gnm(100, 600, 3);
+  Executor ex(4);
+  const Csr owned = Csr::build(ex, g);
+  EXPECT_FALSE(owned.is_borrowed());
+
+  const Csr borrowed = Csr::adopt(g.n, g.m(), owned.offsets(),
+                                  owned.targets(), owned.edge_ids());
+  EXPECT_TRUE(borrowed.is_borrowed());
+  ASSERT_EQ(borrowed.num_vertices(), owned.num_vertices());
+  ASSERT_EQ(borrowed.num_edges(), owned.num_edges());
+  // Zero copy: the views alias the source arrays, element for element.
+  EXPECT_EQ(borrowed.offsets().data(), owned.offsets().data());
+  EXPECT_EQ(borrowed.targets().data(), owned.targets().data());
+  EXPECT_EQ(borrowed.edge_ids().data(), owned.edge_ids().data());
+  for (vid v = 0; v < g.n; ++v) {
+    ASSERT_EQ(borrowed.degree(v), owned.degree(v));
+    const auto bn = borrowed.neighbors(v);
+    const auto on = owned.neighbors(v);
+    ASSERT_TRUE(std::equal(bn.begin(), bn.end(), on.begin(), on.end()));
+  }
+}
+
+TEST(CsrAdopt, MoveKeepsViewsValid) {
+  // An owned Csr's views point into its own vectors; moving the Csr
+  // moves the heap buffers, so the views must still be right after.
+  const EdgeList g = gen::clique_chain(5, 6);
+  Executor ex(2);
+  Csr a = Csr::build(ex, g);
+  const vid* targets_before = a.targets().data();
+  Csr b = std::move(a);
+  EXPECT_EQ(b.targets().data(), targets_before);
+  EXPECT_EQ(b.num_vertices(), g.n);
+  eid arcs = 0;
+  for (vid v = 0; v < g.n; ++v) arcs += b.degree(v);
+  EXPECT_EQ(arcs, 2 * g.m());
+}
+
 }  // namespace
 }  // namespace parbcc

@@ -1,14 +1,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "core/bcc.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/text_parse.hpp"
 #include "test_util.hpp"
 
 namespace parbcc {
@@ -172,6 +179,400 @@ TEST(IoMetis, RejectsSelfLoopsOnWrite) {
   const EdgeList g(2, {{1, 1}});
   std::stringstream ss;
   EXPECT_THROW(io::write_metis(ss, g), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel text parsers: must agree with the serial readers line for
+// line, and reject the same malformed inputs — from any thread count.
+
+TEST(ParallelParse, MatchesSerialEdgeListReader) {
+  const EdgeList g = gen::random_gnm(300, 2500, 19);
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const std::string text = ss.str();
+  for (const int p : {1, 4, 12}) {
+    Executor ex(p);
+    const EdgeList parsed = io::parse_edge_list(ex, text);
+    ASSERT_EQ(parsed.n, g.n);
+    ASSERT_EQ(parsed.m(), g.m());
+    for (eid e = 0; e < g.m(); ++e) {
+      ASSERT_EQ(parsed.edges[e].u, g.edges[e].u) << e;
+      ASSERT_EQ(parsed.edges[e].v, g.edges[e].v) << e;
+    }
+  }
+}
+
+TEST(ParallelParse, MatchesSerialDimacsReader) {
+  const EdgeList g = gen::random_gnm(200, 1200, 23);
+  std::stringstream ss;
+  io::write_dimacs(ss, g);
+  Executor ex(8);
+  const EdgeList parsed = io::parse_dimacs(ex, ss.str());
+  EXPECT_EQ(parsed.n, g.n);
+  EXPECT_EQ(edge_set(parsed), edge_set(g));
+}
+
+TEST(ParallelParse, SnapDensifiesDedupesAndDropsLoops) {
+  Executor ex(4);
+  // Sparse 64-bit ids, duplicate arcs both ways, a self-loop, comments.
+  const EdgeList g = io::parse_snap(ex,
+                                    "# comment\n"
+                                    "1000000000000 7\n"
+                                    "7 1000000000000\n"
+                                    "42 42\n"
+                                    "7 42\n");
+  EXPECT_EQ(g.n, 3u);  // ids {7, 42, 10^12} densified
+  ASSERT_EQ(g.m(), 2u);  // one direction kept, loop dropped
+  EXPECT_EQ(edge_set(g), (std::multiset<std::pair<vid, vid>>{{0, 1}, {0, 2}}));
+}
+
+TEST(ParallelParse, RejectsMalformedInput) {
+  Executor ex(4);
+  EXPECT_THROW(io::parse_edge_list(ex, ""), std::runtime_error);
+  EXPECT_THROW(io::parse_edge_list(ex, "3 2\n0 1\n"), std::runtime_error);
+  EXPECT_THROW(io::parse_edge_list(ex, "3 1\n0 3\n"), std::runtime_error);
+  EXPECT_THROW(io::parse_edge_list(ex, "3 1\n0 1 junk\n"),
+               std::runtime_error);
+  EXPECT_THROW(io::parse_edge_list(ex, "5000000000 1\n0 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(io::parse_dimacs(ex, "p edge 3 1\ne 0 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(io::parse_dimacs(ex, "p edge 3 2\ne 1 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(io::parse_snap(ex, "1 2\nnonsense\n"), std::runtime_error);
+  EXPECT_THROW(io::parse_snap(ex, "1\n"), std::runtime_error);
+}
+
+TEST(ParallelParse, ManyChunksPreserveOrder) {
+  // Enough lines that every thread gets several chunks; edge ids must
+  // still come out in file order (the concat is order-preserving).
+  const vid n = 20000;
+  std::string text = std::to_string(n) + " " + std::to_string(n - 1) + "\n";
+  for (vid v = 1; v < n; ++v) {
+    text += std::to_string(v - 1) + " " + std::to_string(v) + "\n";
+  }
+  Executor ex(12);
+  const EdgeList parsed = io::parse_edge_list(ex, text);
+  ASSERT_EQ(parsed.m(), n - 1);
+  for (eid e = 0; e < parsed.m(); ++e) {
+    ASSERT_EQ(parsed.edges[e].u, e);
+    ASSERT_EQ(parsed.edges[e].v, e + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// .pbg binary format: round-trip, loader hardening, malformed-file fuzz.
+
+std::string pbg_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+}
+
+void spew(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Re-seal the header after a deliberate header patch, so the test
+/// reaches the targeted validation instead of the checksum gate.
+void reseal_header(std::vector<std::uint8_t>& bytes) {
+  constexpr std::size_t kOffHeaderChecksum = 0xc8;
+  const std::uint64_t sum = io::pbg_checksum(bytes.data(), kOffHeaderChecksum);
+  std::memcpy(bytes.data() + kOffHeaderChecksum, &sum, sizeof(sum));
+}
+
+void expect_rejects(const std::vector<std::uint8_t>& bytes,
+                    const std::string& what, bool verify = true) {
+  const std::string path = pbg_path("malformed.pbg");
+  spew(path, bytes);
+  io::MapOptions opt;
+  opt.verify = verify;
+  try {
+    io::MappedGraph::map(path, opt);
+    FAIL() << "expected rejection: " << what;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+class PbgRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  EdgeList input() const {
+    switch (GetParam()) {
+      case 0:
+        return EdgeList(0, {});
+      case 1:
+        return EdgeList(5, {});  // isolated vertices only
+      case 2:
+        return gen::clique_chain(3, 4);
+      case 3: {
+        // Parallel edges allowed; strip self-loops (writer rejects).
+        return remove_self_loops(gen::random_gnm(60, 150, 42));
+      }
+      default:
+        return gen::star(8);
+    }
+  }
+};
+
+TEST_P(PbgRoundTrip, MappedViewsMatchSource) {
+  const EdgeList g = input();
+  Executor ex(4);
+  const std::string path = pbg_path("roundtrip.pbg");
+  io::write_pbg(path, ex, g);
+
+  io::MapOptions opt;
+  opt.verify = true;
+  const io::MappedGraph mapped = io::MappedGraph::map(path, opt);
+  ASSERT_EQ(mapped.graph().n, g.n);
+  ASSERT_EQ(mapped.graph().m(), g.m());
+  // The edges section is the source edge list verbatim.
+  for (eid e = 0; e < g.m(); ++e) {
+    EXPECT_EQ(mapped.graph().edges[e].u, g.edges[e].u);
+    EXPECT_EQ(mapped.graph().edges[e].v, g.edges[e].v);
+  }
+  // The mapped CSR is an adjacency of the same graph (canonical row
+  // order, so compare rows as sorted sets against a fresh build).
+  const Csr built = Csr::build(ex, g);
+  // (The n = 0 graph cannot distinguish borrowed from owned-empty.)
+  if (g.n > 0) ASSERT_TRUE(mapped.csr().is_borrowed());
+  for (vid v = 0; v < g.n; ++v) {
+    ASSERT_EQ(mapped.csr().degree(v), built.degree(v));
+    const auto ms = mapped.csr().neighbors(v);
+    std::vector<vid> mine(ms.begin(), ms.end());
+    const auto bs = built.neighbors(v);
+    std::vector<vid> ref(bs.begin(), bs.end());
+    ASSERT_TRUE(std::is_sorted(mine.begin(), mine.end()));
+    std::sort(ref.begin(), ref.end());
+    ASSERT_EQ(mine, ref) << "v=" << v;
+    // Each arc's edge id names an edge incident to v.
+    const auto eids = mapped.csr().incident_edges(v);
+    for (std::size_t i = 0; i < eids.size(); ++i) {
+      const Edge& e = g.edges[eids[i]];
+      EXPECT_TRUE(e.u == v || e.v == v);
+    }
+  }
+  ASSERT_TRUE(mapped.has_compressed());
+  const CompressedCsr cc = mapped.compressed();
+  for (vid v = 0; v < g.n; ++v) {
+    std::vector<vid> via_decode;
+    cc.decode_row(v, [&](vid w, eid) {
+      via_decode.push_back(w);
+      return false;
+    });
+    const auto ms = mapped.csr().neighbors(v);
+    ASSERT_EQ(via_decode, std::vector<vid>(ms.begin(), ms.end())) << v;
+  }
+}
+
+TEST_P(PbgRoundTrip, NoCompressVariantMapsWithoutSections) {
+  const EdgeList g = input();
+  Executor ex(2);
+  const std::string path = pbg_path("roundtrip_nc.pbg");
+  io::PbgWriteOptions wopt;
+  wopt.include_compressed = false;
+  io::write_pbg(path, ex, g, wopt);
+  io::MapOptions opt;
+  opt.verify = true;
+  const io::MappedGraph mapped = io::MappedGraph::map(path, opt);
+  EXPECT_EQ(mapped.graph().n, g.n);
+  EXPECT_EQ(mapped.graph().m(), g.m());
+  EXPECT_FALSE(mapped.has_compressed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PbgRoundTrip, ::testing::Range(0, 5));
+
+TEST(Pbg, WriterRejectsSelfLoops) {
+  Executor ex(1);
+  const EdgeList g(3, {{0, 1}, {2, 2}});
+  EXPECT_THROW(io::write_pbg(pbg_path("loops.pbg"), ex, g),
+               std::runtime_error);
+}
+
+TEST(Pbg, PrefaultedParallelMapSolvesIdentically) {
+  const EdgeList g = gen::random_connected_gnm(400, 3000, 8);
+  Executor ex(4);
+  const std::string path = pbg_path("prefault.pbg");
+  io::write_pbg(path, ex, g);
+
+  Trace tr;
+  io::MapOptions opt;
+  opt.prefault = true;
+  opt.executor = &ex;
+  opt.trace = &tr;
+  BccContext ctx(4);
+  const PreparedGraph& pg = io::map_prepared_graph(ctx, path, opt);
+  ASSERT_TRUE(pg.csr().is_borrowed());
+  const TraceReport rep = tr.report();
+  EXPECT_NE(rep.find_path("io_map"), nullptr);
+  EXPECT_NE(rep.find_path("io_map/io_prefault"), nullptr);
+
+  const BccResult from_map = biconnected_components(ctx, *ctx.mapped_graph());
+  const BccResult in_memory = biconnected_components(g);
+  EXPECT_EQ(from_map.num_components, in_memory.num_components);
+  EXPECT_TRUE(testutil::same_partition(from_map.edge_component,
+                                       in_memory.edge_component));
+  // Second solve on the adopted graph is a cache hit: conversion 0.
+  const BccResult again = biconnected_components(ctx, *ctx.mapped_graph());
+  EXPECT_EQ(again.times.conversion, 0.0);
+}
+
+class PbgMalformed : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Executor ex(2);
+    const EdgeList g = gen::clique_chain(4, 5);
+    io::write_pbg(valid_path_, ex, g);
+    valid_ = slurp(valid_path_);
+    ASSERT_GE(valid_.size(), 256u);
+  }
+
+  std::string valid_path_ = pbg_path("valid.pbg");
+  std::vector<std::uint8_t> valid_;
+};
+
+TEST_F(PbgMalformed, TruncatedBelowHeader) {
+  expect_rejects({}, "truncated");
+  expect_rejects(std::vector<std::uint8_t>(100, 0), "truncated");
+  expect_rejects({valid_.begin(), valid_.begin() + 255}, "truncated");
+}
+
+TEST_F(PbgMalformed, BadMagicAndVersion) {
+  auto bytes = valid_;
+  bytes[0] ^= 0xff;
+  expect_rejects(bytes, "bad magic");
+
+  bytes = valid_;
+  bytes[0x08] = 99;  // version
+  reseal_header(bytes);
+  expect_rejects(bytes, "unsupported version");
+
+  bytes = valid_;
+  bytes[0x0c] |= 0x80;  // unknown flag bit
+  reseal_header(bytes);
+  expect_rejects(bytes, "unknown flag");
+}
+
+TEST_F(PbgMalformed, HeaderChecksumGuardsEveryHeaderField) {
+  auto bytes = valid_;
+  bytes[0x10] ^= 0x01;  // n, without resealing
+  expect_rejects(bytes, "header checksum");
+}
+
+TEST_F(PbgMalformed, HostileCounts) {
+  auto bytes = valid_;
+  const std::uint32_t n = 0xffffffffu;  // aliases kNoVertex
+  std::memcpy(bytes.data() + 0x10, &n, sizeof(n));
+  reseal_header(bytes);
+  expect_rejects(bytes, "vertex count");
+
+  bytes = valid_;
+  const std::uint64_t m = 0x80000000ull;  // 2m overflows eid space
+  std::memcpy(bytes.data() + 0x18, &m, sizeof(m));
+  reseal_header(bytes);
+  expect_rejects(bytes, "edge count");
+}
+
+TEST_F(PbgMalformed, SectionTableAbuse) {
+  // offsets section (table slot 1 at 0x20 + 24) pushed past EOF.
+  auto bytes = valid_;
+  const std::uint64_t huge = 1ull << 40;
+  std::memcpy(bytes.data() + 0x20 + 24, &huge, sizeof(huge));
+  reseal_header(bytes);
+  expect_rejects(bytes, "past EOF");
+
+  // Misaligned offset.
+  bytes = valid_;
+  std::uint64_t off;
+  std::memcpy(&off, bytes.data() + 0x20 + 24, sizeof(off));
+  off += 4;
+  std::memcpy(bytes.data() + 0x20 + 24, &off, sizeof(off));
+  reseal_header(bytes);
+  expect_rejects(bytes, "misaligned");
+
+  // Wrong size for a shape-determined section.
+  bytes = valid_;
+  std::uint64_t sz;
+  std::memcpy(&sz, bytes.data() + 0x20 + 24 + 8, sizeof(sz));
+  sz -= 4;
+  std::memcpy(bytes.data() + 0x20 + 24 + 8, &sz, sizeof(sz));
+  reseal_header(bytes);
+  expect_rejects(bytes, "section size");
+}
+
+TEST_F(PbgMalformed, NonMonotoneOffsetsRejectedWithoutVerify) {
+  // Structural checks are always on: corrupt offsets[1] (first row
+  // boundary) and expect the monotonicity scan to fire even with
+  // verify=false.  The patch lives in section data, which the header
+  // checksum does not cover — exactly the hole the scan closes.
+  auto bytes = valid_;
+  std::uint64_t off;
+  std::memcpy(&off, bytes.data() + 0x20 + 24, sizeof(off));
+  const std::uint32_t evil = 0xf0000000u;
+  std::memcpy(bytes.data() + off + 4, &evil, sizeof(evil));
+  expect_rejects(bytes, "monotone", /*verify=*/false);
+}
+
+TEST_F(PbgMalformed, VerifyCatchesSectionBitRot) {
+  // Flip one bit in the targets section: structural checks cannot see
+  // it (still a valid vertex id), the deep pass must.
+  auto bytes = valid_;
+  std::uint64_t off;
+  std::memcpy(&off, bytes.data() + 0x20 + 2 * 24, sizeof(off));
+  bytes[off] ^= 0x01;
+  expect_rejects(bytes, "checksum", /*verify=*/true);
+}
+
+TEST_F(PbgMalformed, EveryByteFlipEitherRejectsOrIsBenignPadding) {
+  // Deterministic whole-file fuzz: flip each byte in turn and map with
+  // the deep pass.  Every flip must either throw a named error or —
+  // only for inter-section zero padding, which no checksum covers —
+  // yield a graph identical to the original.
+  io::MapOptions opt;
+  opt.verify = true;
+  const io::MappedGraph ref = io::MappedGraph::map(valid_path_, opt);
+  const std::string path = pbg_path("flip.pbg");
+  int benign = 0;
+  for (std::size_t i = 0; i < valid_.size(); ++i) {
+    auto bytes = valid_;
+    bytes[i] ^= 0xff;
+    spew(path, bytes);
+    try {
+      const io::MappedGraph m = io::MappedGraph::map(path, opt);
+      ASSERT_EQ(m.graph().n, ref.graph().n) << "byte " << i;
+      ASSERT_EQ(m.graph().m(), ref.graph().m()) << "byte " << i;
+      for (eid e = 0; e < ref.graph().m(); ++e) {
+        ASSERT_EQ(m.graph().edges[e].u, ref.graph().edges[e].u);
+        ASSERT_EQ(m.graph().edges[e].v, ref.graph().edges[e].v);
+      }
+      ++benign;
+    } catch (const std::runtime_error&) {
+      // Named rejection: the common (and desired) outcome.
+    }
+  }
+  // Padding is a small minority of the file.
+  EXPECT_LT(benign, static_cast<int>(valid_.size() / 4));
+}
+
+TEST_F(PbgMalformed, EveryTruncationRejects) {
+  // The file ends exactly at its last section, so every proper prefix
+  // chops real data and must be rejected (structural pass only — the
+  // bounds checks, not the checksums, are the last line of defence).
+  const std::string path = pbg_path("trunc.pbg");
+  for (std::size_t len = 0; len < valid_.size();
+       len += 61) {  // prime stride covers all regions
+    spew(path, {valid_.begin(), valid_.begin() + len});
+    EXPECT_THROW(io::MappedGraph::map(path), std::runtime_error)
+        << "len=" << len;
+  }
 }
 
 }  // namespace

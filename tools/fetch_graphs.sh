@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Download real-world graphs (SNAP road/web/social families), verify
+# their checksums, and convert them to .pbg with edgelist2pbg, so real
+# inputs can join the bench surface:
+#
+#   tools/fetch_graphs.sh [family...]        # default: all
+#   build/bench/bench_io --graph data/graphs/roadNet-PA.pbg
+#   build/bench/bench_families --graph data/graphs/com-dblp.pbg
+#
+# Checksums are trust-on-first-use: the first successful download of a
+# family records its sha256 in data/graphs/SHA256SUMS; every later
+# fetch verifies against that pin (commit the file to pin for the whole
+# team).  Not run in CI (CI hosts have no network); the committed
+# reference graphs under tests/data/ are generated locally by
+# make_refgraphs.py instead.  Requires: curl, gunzip, sha256sum, and a
+# built edgelist2pbg (cmake --build build --target edgelist2pbg).
+set -euo pipefail
+
+DEST="${DEST:-data/graphs}"
+CONVERTER="${CONVERTER:-build/tools/edgelist2pbg}"
+SUMS="$DEST/SHA256SUMS"
+mkdir -p "$DEST"
+touch "$SUMS"
+
+if [[ ! -x "$CONVERTER" ]]; then
+  echo "fetch_graphs: converter not found at $CONVERTER" >&2
+  echo "  build it first: cmake --build build --target edgelist2pbg" >&2
+  exit 1
+fi
+
+# name|url|format
+RECIPES=(
+  "roadNet-PA|https://snap.stanford.edu/data/roadNet-PA.txt.gz|snap"
+  "roadNet-CA|https://snap.stanford.edu/data/roadNet-CA.txt.gz|snap"
+  "com-dblp|https://snap.stanford.edu/data/bigdata/communities/com-dblp.ungraph.txt.gz|snap"
+  "web-Stanford|https://snap.stanford.edu/data/web-Stanford.txt.gz|snap"
+  "com-youtube|https://snap.stanford.edu/data/bigdata/communities/com-youtube.ungraph.txt.gz|snap"
+)
+
+fetch_one() {
+  local name="$1" url="$2" format="$3"
+  local gz="$DEST/$name.txt.gz" txt="$DEST/$name.txt" pbg="$DEST/$name.pbg"
+  if [[ -f "$pbg" ]]; then
+    echo "$name: $pbg already present, skipping"
+    return 0
+  fi
+  echo "$name: downloading $url"
+  curl -L --fail --retry 3 -o "$gz" "$url"
+  local sum
+  sum=$(sha256sum "$gz" | cut -d' ' -f1)
+  local pinned
+  pinned=$(grep " $name.txt.gz\$" "$SUMS" | cut -d' ' -f1 || true)
+  if [[ -z "$pinned" ]]; then
+    echo "$sum  $name.txt.gz" >>"$SUMS"
+    echo "$name: pinned sha256 $sum (first fetch — commit $SUMS to share)"
+  elif [[ "$pinned" != "$sum" ]]; then
+    echo "$name: sha256 mismatch (pinned $pinned, got $sum)" >&2
+    echo "$name: upstream file changed? delete the $SUMS line to re-pin" >&2
+    return 1
+  fi
+  gunzip -kf "$gz"
+  "$CONVERTER" --format "$format" --verify "$txt" "$pbg"
+  rm -f "$txt"  # keep the .gz (checksummed) and the .pbg
+  echo "$name: done -> $pbg"
+}
+
+wanted=("$@")
+status=0
+for recipe in "${RECIPES[@]}"; do
+  IFS='|' read -r name url format <<<"$recipe"
+  if [[ ${#wanted[@]} -gt 0 ]]; then
+    keep=0
+    for w in "${wanted[@]}"; do [[ "$w" == "$name" ]] && keep=1; done
+    [[ $keep -eq 1 ]] || continue
+  fi
+  fetch_one "$name" "$url" "$format" || status=1
+done
+exit $status

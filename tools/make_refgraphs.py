@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Generate the committed reference graphs under tests/data/.
+
+CI hosts have no network access, so the "real graph" fixtures shipped
+with the repo cannot be SNAP downloads.  Instead this script produces
+deterministic structured stand-ins for the three families the paper
+benchmarks against -- road networks, web graphs, social networks --
+plus a block-heavy stress shape, each a few hundred KB of SNAP-style
+"u v" text.  The generator is seeded and pure Python (Mersenne Twister
+sequences are stable across CPython versions), so re-running it
+reproduces the committed files byte for byte:
+
+    python3 tools/make_refgraphs.py tests/data
+
+The pinned invariant table consumed by realgraph_test
+(tests/data/refgraphs.tsv) is produced separately by running the
+solver once on these files; see tests/realgraph_test.cpp.
+
+Every graph is connected by construction (each recipe lays down an
+explicit spanning skeleton before adding random structure) and
+loop-free; duplicate edges are removed.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+
+def emit(path: Path, name: str, edges, n: int) -> None:
+    """Write a SNAP-style headerless edge list with comment banner."""
+    canon = sorted({(min(u, v), max(u, v)) for (u, v) in edges if u != v})
+    with open(path, "w") as f:
+        f.write(f"# {name}: deterministic reference graph "
+                f"(tools/make_refgraphs.py)\n")
+        f.write(f"# Nodes: {n} Edges: {len(canon)}\n")
+        for u, v in canon:
+            f.write(f"{u}\t{v}\n")
+    print(f"{path}: n={n} m={len(canon)}")
+
+
+def road_grid(rng: random.Random):
+    """Road-network stand-in: W x H grid with potholes and shortcuts.
+
+    Row 0 and column 0 are kept intact as a spanning comb so deleting
+    interior edges never disconnects the graph; the deletions carve
+    dead-end streets (articulation points), the diagonals add the odd
+    overpass.
+    """
+    w, h = 110, 90
+    n = w * h
+    vid = lambda x, y: y * w + x
+    edges = []
+    for y in range(h):
+        for x in range(w):
+            if x + 1 < w:
+                keep = y == 0 or rng.random() >= 0.22
+                if keep:
+                    edges.append((vid(x, y), vid(x + 1, y)))
+            if y + 1 < h:
+                keep = x == 0 or rng.random() >= 0.22
+                if keep:
+                    edges.append((vid(x, y), vid(x, y + 1)))
+    for _ in range(n // 40):  # sparse diagonal shortcuts
+        x = rng.randrange(w - 1)
+        y = rng.randrange(h - 1)
+        edges.append((vid(x, y), vid(x + 1, y + 1)))
+    return "road-grid", edges, n
+
+
+def web_pa(rng: random.Random):
+    """Web-graph stand-in: preferential attachment, 2 links per page.
+
+    The repeated-endpoints trick gives degree-proportional sampling;
+    hubs emerge with degree in the hundreds, like a small web crawl.
+    """
+    n = 9000
+    m_per = 2
+    targets = [0, 1, 0, 1]  # seed: nodes 0-1 joined by an edge, twice
+    edges = [(0, 1)]
+    for v in range(2, n):
+        picked = set()
+        while len(picked) < min(m_per, v):
+            picked.add(targets[rng.randrange(len(targets))])
+        for u in picked:
+            edges.append((u, v))
+            targets.append(u)
+            targets.append(v)
+    return "web-pa", edges, n
+
+
+def social_comm(rng: random.Random):
+    """Social-network stand-in: dense communities, sparse bridges.
+
+    40 Erdos-Renyi communities on a ring; consecutive communities share
+    one bridge edge (ring keeps it connected), plus a few long-range
+    friendships.  Bridge endpoints are the articulation points.
+    """
+    comms = 40
+    edges = []
+    offsets = []
+    n = 0
+    for _ in range(comms):
+        size = rng.randrange(60, 140)
+        offsets.append(n)
+        base = n
+        # spanning path inside the community, then random extra ties
+        for i in range(1, size):
+            edges.append((base + i - 1, base + i))
+        extra = int(size * 2.5)
+        for _ in range(extra):
+            a = base + rng.randrange(size)
+            b = base + rng.randrange(size)
+            if a != b:
+                edges.append((a, b))
+        n += size
+    sizes = offsets[1:] + [n]
+    for c in range(comms):  # ring of single-edge bridges
+        a = offsets[c] + rng.randrange(sizes[c] - offsets[c])
+        nc = (c + 1) % comms
+        b = offsets[nc] + rng.randrange(sizes[nc] - offsets[nc])
+        edges.append((a, b))
+    for _ in range(comms // 4):  # long-range friendships
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a != b:
+            edges.append((a, b))
+    return "social-comm", edges, n
+
+
+def clique_chain(rng: random.Random):
+    """Block-heavy stress shape: cliques strung on a bridge path.
+
+    Every bridge is its own biconnected component and every clique is
+    one block, so the block count is high and the largest block is a
+    full clique -- a good fixture for the labelling invariants.
+    """
+    cliques = 120
+    edges = []
+    n = 0
+    prev_anchor = None
+    for _ in range(cliques):
+        size = rng.randrange(4, 14)
+        base = n
+        for i in range(size):
+            for j in range(i + 1, size):
+                edges.append((base + i, base + j))
+        anchor = base + rng.randrange(size)
+        if prev_anchor is not None:
+            edges.append((prev_anchor, anchor))
+        prev_anchor = base + rng.randrange(size)
+        n += size
+    return "clique-chain", edges, n
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("tests/data")
+    out.mkdir(parents=True, exist_ok=True)
+    for seed, recipe in ((11, road_grid), (23, web_pa),
+                         (37, social_comm), (53, clique_chain)):
+        name, edges, n = recipe(random.Random(seed))
+        emit(out / f"{name}.txt", name, edges, n)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+// pbgstat: print the structural invariants of a graph file.
+//
+//   pbgstat [--threads N] [--tsv] <graph.pbg | graph.txt> ...
+//
+// Inputs ending in .pbg are mmapped with the deep integrity pass; all
+// other files go through the text parsers (auto-sniffed).  For each
+// graph the tool solves biconnected components and prints n, m, the
+// component count, the largest block's edge count, the articulation
+// count, and the bridge count — the invariant tuple realgraph_test
+// pins.  --tsv emits the exact refgraphs.tsv row format so the table
+// can be regenerated:
+//
+//   ./build/tools/pbgstat --tsv tests/data/*.txt > tests/data/refgraphs.tsv
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bcc.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/text_parse.hpp"
+
+using namespace parbcc;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t end = (dot == std::string::npos || dot < start)
+                              ? path.size()
+                              : dot;
+  return path.substr(start, end - start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  bool tsv = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--tsv") {
+      tsv = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: " << argv[0]
+              << " [--threads N] [--tsv] <graph.pbg|graph.txt> ...\n";
+    return 2;
+  }
+
+  if (tsv) {
+    std::cout << "# graph\tn\tm\tnum_components\tlargest_block_edges"
+                 "\tarticulation_points\tbridges\n";
+  }
+  for (const std::string& path : inputs) {
+    try {
+      BccContext ctx(threads);
+      const EdgeList* g = nullptr;
+      EdgeList parsed;
+      if (ends_with(path, ".pbg")) {
+        io::MapOptions mopt;
+        mopt.verify = true;
+        io::map_prepared_graph(ctx, path, mopt);
+        g = ctx.mapped_graph();
+      } else {
+        Executor ex(threads);
+        parsed = io::read_text_graph(ex, path);
+        g = &parsed;
+      }
+      BccOptions opt;
+      opt.threads = threads;
+      const BccResult r = biconnected_components(ctx, *g, opt);
+
+      std::vector<eid> block_edges(r.num_components, 0);
+      for (const vid c : r.edge_component) ++block_edges[c];
+      const eid largest =
+          block_edges.empty()
+              ? 0
+              : *std::max_element(block_edges.begin(), block_edges.end());
+      std::uint64_t cuts = 0;
+      for (const std::uint8_t a : r.is_articulation) cuts += a;
+
+      if (tsv) {
+        std::cout << stem_of(path) << '\t' << g->n << '\t' << g->m() << '\t'
+                  << r.num_components << '\t' << largest << '\t' << cuts
+                  << '\t' << r.bridges.size() << '\n';
+      } else {
+        std::cout << path << ": n=" << g->n << " m=" << g->m()
+                  << " components=" << r.num_components
+                  << " largest_block_edges=" << largest
+                  << " articulation_points=" << cuts
+                  << " bridges=" << r.bridges.size() << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "pbgstat: " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

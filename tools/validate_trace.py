@@ -33,7 +33,16 @@ Checks, per segment of the Chrome export written by bench_fig4:
      incremental path (batch_fallbacks < batch_apply calls).  Static
      segments must carry no batch span at all, and the
      all-segments-present check of step 3 applies only to artifacts
-     that contain static segments (a dynamic-only artifact is legal).
+     that contain static segments (a dynamic-only or io-only artifact
+     is legal);
+  9. io segments (label `io:<mult>n`, written by bench_io) trace one
+     mmap load plus one compressed-backend solve: an io_map span with
+     io_prefault nested inside (one prefaulted load each), the
+     io_mapped_bytes / io_prefault_bytes counters, and a positive
+     csr_decode_bytes counter proving the solve actually streamed the
+     Rice-coded rows rather than silently falling back to plain
+     adjacency.  Static segments must carry no io_* span: the solvers
+     never load files themselves.
 
 Usage: validate_trace.py <trace.json>
 """
@@ -130,6 +139,42 @@ REQUIRED_FASTBCC_COUNTERS = [
 BATCH_SPANS = ["batch_apply", "damage_probe", "certificate_solve"]
 REQUIRED_DYNAMIC_COUNTERS = ["batch_touched_vertices", "batch_fallbacks"]
 
+# The mmap loader's spans (io_binary.hpp): required in io segments,
+# forbidden in static ones (the solvers never open files).
+IO_SPANS = ["io_map", "io_prefault"]
+REQUIRED_IO_COUNTERS = [
+    "io_mapped_bytes",
+    "io_prefault_bytes",
+    "csr_decode_bytes",
+]
+
+
+def check_io_segment(label, report):
+    suffix = label.split(":", 1)[1]
+    if not suffix.endswith("n") or not suffix[:-1].isdigit():
+        fail(f"io segment label {label!r} is not io:<mult>n")
+    calls = {p["name"]: p["calls"] for p in report.get("phases", [])}
+    for span in IO_SPANS:
+        if calls.get(span, 0) != 1:
+            fail(
+                f"{label}: span {span!r} appears {calls.get(span, 0)} "
+                "times in the rollup (want exactly 1 prefaulted load)"
+            )
+    counters = report.get("counters", {})
+    for counter in REQUIRED_IO_COUNTERS:
+        if counters.get(counter, 0) <= 0:
+            fail(f"{label}: counter {counter!r} missing or zero")
+    # The loader maps whole files: every prefaulted byte was mapped.
+    if counters["io_prefault_bytes"] > counters["io_mapped_bytes"]:
+        fail(
+            f"{label}: io_prefault_bytes "
+            f"({counters['io_prefault_bytes']:.0f}) exceeds io_mapped_bytes "
+            f"({counters['io_mapped_bytes']:.0f})"
+        )
+    for phase in report.get("phases", []):
+        if phase.get("inclusive", -1) < 0:
+            fail(f"{label}: phase {phase['name']!r} negative inclusive")
+
 
 def check_dynamic_segment(label, report):
     parts = label.split(":")
@@ -207,6 +252,9 @@ def main():
                     fail(f"{label}: phase {phase['name']!r} negative inclusive")
             check_dynamic_segment(label, report)
             continue
+        if isinstance(label, str) and label.startswith("io:"):
+            check_io_segment(label, report)
+            continue
         if label not in EXPECTED_STEPS:
             fail(f"unexpected segment label {label!r}")
         seen.add(label)
@@ -217,6 +265,12 @@ def main():
             fail(
                 f"{label}: batch-dynamic spans {batch_present!r} present in "
                 "a static segment"
+            )
+        io_present = [s for s in IO_SPANS if s in names]
+        if io_present:
+            fail(
+                f"{label}: io spans {io_present!r} present in a static "
+                "segment — the solvers must not load files"
             )
         for step in EXPECTED_STEPS[label]:
             count = names.count(step)
