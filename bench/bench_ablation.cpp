@@ -433,7 +433,7 @@ bool bfs_kernel_section(Executor& ex, JsonWriter& json, const char* family,
   if (!assert_skew && imb[1] >= 1.35) {
     std::printf("!! static schedule is imbalanced %.2fx in arcs on the flat "
                 "control bfs/%s (>= 1.35x)\n",
-                family, imb[1]);
+                imb[1], family);
     ok = false;
   }
   // The wall gate is a catastrophe net, not a parity assertion: on an

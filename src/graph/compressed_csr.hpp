@@ -50,8 +50,11 @@ class CompressedCsr {
   /// the plain CSR offsets section (degrees + eid subranges), `index`
   /// the n + 1 row byte index, `data` the packed row bytes, `eids` the
   /// plain eids section (canonical order on disk).  Storage must
-  /// outlive the CompressedCsr; contents are trusted (the loader
-  /// validates first).
+  /// outlive the CompressedCsr.  The index/offsets shapes must already
+  /// be structurally valid (the loader always checks them); row *bytes*
+  /// need not be — decode_row bounds every read by the row's byte range
+  /// and clamps every neighbour to [0, n), and the loader's verify pass
+  /// checks full decode-vs-targets equality on demand.
   static CompressedCsr adopt(vid n, eid m, std::span<const eid> offsets,
                              std::span<const std::uint64_t> index,
                              std::span<const std::uint8_t> data,
@@ -99,32 +102,45 @@ class CompressedCsr {
   /// encoded bytes consumed (whole row when not stopped; the
   /// byte-rounded prefix when stopped early) — the hot loops charge
   /// this to the csr_decode_bytes counter.
+  ///
+  /// Every read is bounded by the row's own [cindex[v], cindex[v+1])
+  /// byte range and every emitted neighbour is clamped to [0, n), so
+  /// corrupt or hostile row bytes in an adopted mapping produce
+  /// garbage-but-defined in-range values — never an out-of-bounds
+  /// read here or an out-of-bounds index in a consumer.  Semantic
+  /// integrity (decode == targets section) is the loader's verify
+  /// pass; the clamp is defence in depth behind it.
   template <typename F>
   std::size_t decode_row(vid v, F&& f) const {
     const eid deg = degree(v);
     if (deg == 0) return 0;
     const std::uint8_t* p = data_view_.data() + index_view_[v];
     const std::uint8_t* row_begin = p;
+    const std::uint8_t* row_end = row_begin + row_bytes(v);
+    if (p == row_end) return 0;  // malformed: nonempty row, zero bytes
     const eid* eids = eids_view_.data() + offsets_view_[v];
+    const vid max_nbr = n_ - 1;
     // The encoder never writes k > 24; the min caps a corrupted byte
     // in a mapped file so the shifts below stay defined (garbage in,
     // garbage out — never undefined behaviour).
     const unsigned k = std::min<unsigned>(*p++, 31);
-    // Varint first neighbour.
+    // Varint first neighbour.  Bounded by row_end, and the OR is
+    // skipped once the shift leaves the 32-bit value (hostile
+    // continuation bits would otherwise run past the row and the
+    // mapping itself).
     vid nbr = 0;
     unsigned shift = 0;
-    for (;;) {
+    while (p < row_end) {
       const std::uint8_t b = *p++;
-      nbr |= static_cast<vid>(b & 0x7f) << shift;
+      if (shift < 32) nbr |= static_cast<vid>(b & 0x7f) << shift;
       if (!(b & 0x80)) break;
       shift += 7;
     }
-    if (f(nbr, eids[0])) {
+    if (f(std::min(nbr, max_nbr), eids[0])) {
       return static_cast<std::size_t>(p - row_begin);
     }
     // Rice-coded gaps, MSB-first.  The 64-bit buffer keeps codes in
     // its top bits; refills never read past the row's own bytes.
-    const std::uint8_t* row_end = row_begin + row_bytes(v);
     std::uint64_t buf = 0;
     unsigned nbits = 0;
     for (eid j = 1; j < deg; ++j) {
@@ -154,9 +170,12 @@ class CompressedCsr {
         nbits -= q + 1 + k;
       }
       nbr += gap;
-      if (f(nbr, eids[j])) {
-        // Bytes pulled into the buffer, minus whole unconsumed bytes.
-        return static_cast<std::size_t>(p - row_begin) - nbits / 8;
+      if (f(std::min(nbr, max_nbr), eids[j])) {
+        // Bytes pulled into the buffer, minus whole unconsumed bytes
+        // (the min guards the count when a malformed row exhausted its
+        // bytes and nbits wrapped).
+        const auto pulled = static_cast<std::size_t>(p - row_begin);
+        return pulled - std::min<std::size_t>(nbits / 8, pulled);
       }
     }
     return static_cast<std::size_t>(p - row_begin);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <utility>
@@ -36,7 +37,10 @@ struct Edge {
 /// reads the active view; any mutating call on a borrowed store first
 /// materializes a private owning copy (copy-on-write), so existing
 /// mutation-heavy code (batch_dynamic's standing graph, generators,
-/// readers) is correct regardless of where the edges came from.  The
+/// readers) is correct regardless of where the edges came from.
+/// Because overload resolution picks the non-const accessors on any
+/// non-const EdgeStore, an accidental mutable iteration silently pays
+/// that copy — materialize_count() makes it observable.  The
 /// referenced storage of a borrowed store must outlive every read —
 /// callers adopting mapped memory keep the mapping alive (see
 /// BccContext::adopt).
@@ -93,6 +97,16 @@ class EdgeStore {
 
   bool is_borrowed() const { return borrowed_; }
 
+  /// Process-wide count of borrow -> own materializations.  Each one is
+  /// an O(m) heap copy of a mapped edges section, so a rising count on
+  /// a zero-copy path means some caller reached a *non-const* accessor
+  /// on an adopted graph (e.g. `for (Edge& e : g.edges)` on a non-const
+  /// EdgeList) — pass the graph const to keep the borrow.  io_test
+  /// pins this at zero across mmap-backed solves.
+  static std::size_t materialize_count() {
+    return materialize_count_.load(std::memory_order_relaxed);
+  }
+
   const Edge* data() const { return view_.data(); }
   std::size_t size() const { return view_.size(); }
   bool empty() const { return view_.empty(); }
@@ -144,9 +158,12 @@ class EdgeStore {
       own_.assign(view_.begin(), view_.end());
       borrowed_ = false;
       view_ = {own_.data(), own_.size()};
+      materialize_count_.fetch_add(1, std::memory_order_relaxed);
     }
     return own_;
   }
+
+  static inline std::atomic<std::size_t> materialize_count_{0};
 
   std::vector<Edge> own_;
   std::span<const Edge> view_;

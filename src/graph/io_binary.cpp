@@ -397,8 +397,9 @@ MappedGraph MappedGraph::map(const std::string& path, const MapOptions& opt) {
     }
   }
 
-  // --- Optional deep verification: section checksums + per-element
-  // range checks (faults the whole file in). ---
+  // --- Optional deep verification: section checksums, per-element
+  // range checks, and a full decode of every compressed row (faults
+  // the whole file in). ---
   if (opt.verify) {
     for (std::size_t s = 0; s < kSecCount; ++s) {
       if (sections[s].offset == 0 && sections[s].bytes == 0) continue;
@@ -428,6 +429,36 @@ MappedGraph MappedGraph::map(const std::string& path, const MapOptions& opt) {
       if (arc_eids[a] >= m) {
         fail(path, "eids section has an out-of-range edge id at arc " +
                        std::to_string(a));
+      }
+    }
+    // Decode every compressed row and require it to reproduce the
+    // (already range-checked) targets row exactly.  Checksums alone
+    // only prove the bytes match what the header claims — a hostile
+    // file with self-consistent checksums could still encode
+    // out-of-range or wrong neighbours, which the kCompressed sweeps
+    // would then feed to parent[]/pre[] indexing.  This is what makes
+    // verify=true end-to-end for the compressed backend.
+    if (has_compressed) {
+      const CompressedCsr rows = CompressedCsr::adopt(
+          n, m, {offsets, static_cast<std::size_t>(n) + 1},
+          {cindex, static_cast<std::size_t>(n) + 1},
+          {bytes + sections[kSecCdata].offset,
+           static_cast<std::size_t>(sections[kSecCdata].bytes)},
+          {arc_eids, static_cast<std::size_t>(num_arcs)});
+      for (vid v = 0; v < n; ++v) {
+        const eid lo = offsets[v];
+        const eid deg = offsets[v + 1] - lo;
+        eid matched = 0;
+        rows.decode_row(v, [&](vid w, eid) {
+          if (w >= n || w != targets[lo + matched]) return true;  // stop
+          ++matched;
+          return false;
+        });
+        if (matched != deg) {
+          fail(path, "compressed row does not decode to the targets row "
+                     "at vertex " +
+                         std::to_string(v));
+        }
       }
     }
   }

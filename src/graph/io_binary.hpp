@@ -51,10 +51,15 @@
 /// hostile n/m (ids must fit the 32-bit space, 2m must fit an eid),
 /// section bounds vs. the real file size, and offsets monotonicity are
 /// all rejected with a named error *before any allocation*.  Section
-/// checksums and per-element range checks (targets < n, eids < m,
-/// cindex shape) are O(data) and opt-in via MapOptions::verify —
-/// the converter always writes them, so paranoid callers can demand
-/// end-to-end integrity.
+/// checksums, per-element range checks (edges/targets < n, eids < m),
+/// and a full decode of every compressed row against the targets
+/// section are O(data) and opt-in via MapOptions::verify — the
+/// converter always writes checksums, so paranoid callers can demand
+/// end-to-end integrity, including that the compressed backend decodes
+/// to exactly the same adjacency the plain backend reads.  (Even
+/// without verify, CompressedCsr::decode_row bounds every read by the
+/// row byte index and clamps neighbours to [0, n), so hostile row
+/// bytes can corrupt results but never memory.)
 
 namespace parbcc::io {
 
@@ -83,8 +88,9 @@ struct MapOptions {
   /// across cores instead of serializing on the first traversal.
   bool prefault = false;
   Executor* executor = nullptr;
-  /// Deep integrity pass: recompute section checksums and range-check
-  /// every element (O(file bytes), faults everything in).
+  /// Deep integrity pass: recompute section checksums, range-check
+  /// every element, and decode every compressed row against the
+  /// targets section (O(file bytes), faults everything in).
   bool verify = false;
   /// Receives io_map / io_prefault spans and io_mapped_bytes /
   /// io_prefault_bytes counters.  Orchestrator-only, like the solver

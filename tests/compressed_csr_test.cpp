@@ -220,6 +220,52 @@ TEST(CompressedCsr, SolveMatchesPlainBackendLabels) {
   }
 }
 
+TEST(CompressedCsr, HostileRowBytesStayBoundedAndInRange) {
+  // Handcrafted adversarial sections standing in for a corrupt mapped
+  // file: row 0 is a k byte plus seven 0xff varint-continuation bytes
+  // (the varint never terminates inside the row and the shift would
+  // pass the vid width), row 2 ends mid-varint on the very last byte
+  // of the data array.  decode_row must terminate, call f exactly
+  // degree times, emit only in-range neighbours, and never read
+  // outside the row — ASan in sanitize-smoke enforces the last part
+  // (the unbounded loop this pins against ran off the array here).
+  const vid n = 3;
+  const std::vector<eid> offsets = {0, 4, 4, 6};
+  const std::vector<std::uint64_t> index = {0, 8, 8, 10};
+  const std::vector<std::uint8_t> data(10, 0xff);
+  const std::vector<eid> eids(6, 0);
+  const CompressedCsr cc = CompressedCsr::adopt(
+      n, 3, {offsets.data(), offsets.size()}, {index.data(), index.size()},
+      {data.data(), data.size()}, {eids.data(), eids.size()});
+  for (vid v = 0; v < n; ++v) {
+    const eid deg = offsets[v + 1] - offsets[v];
+    eid calls = 0;
+    const std::size_t consumed = cc.decode_row(v, [&](vid w, eid) {
+      EXPECT_LT(w, n) << "v=" << v;
+      ++calls;
+      return false;
+    });
+    EXPECT_EQ(calls, deg) << "v=" << v;
+    EXPECT_LE(consumed, cc.row_bytes(v)) << "v=" << v;
+  }
+
+  // A nonempty row with zero encoded bytes (the loader rejects this
+  // shape, but decode_row must not rely on that): no calls, no reads.
+  const std::vector<eid> offsets1 = {0, 2};
+  const std::vector<std::uint64_t> index1 = {0, 0};
+  const std::vector<eid> eids1 = {0, 0};
+  const CompressedCsr empty = CompressedCsr::adopt(
+      1, 1, {offsets1.data(), offsets1.size()},
+      {index1.data(), index1.size()}, {}, {eids1.data(), eids1.size()});
+  eid calls = 0;
+  EXPECT_EQ(empty.decode_row(0, [&](vid, eid) {
+    ++calls;
+    return false;
+  }),
+            0u);
+  EXPECT_EQ(calls, 0u);
+}
+
 TEST(CompressedCsr, SolveEmitsDecodeBytesCounter) {
   const EdgeList g = gen::random_connected_gnm(2000, 16000, 27);
   BccOptions opt;

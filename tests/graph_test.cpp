@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
@@ -38,6 +40,31 @@ TEST(EdgeList, RemoveSelfLoopsKeepsMapping) {
   EXPECT_EQ(kept, (std::vector<eid>{0, 2}));
   EXPECT_EQ(out.edges[0], (Edge{0, 1}));
   EXPECT_EQ(out.edges[1], (Edge{1, 3}));
+}
+
+TEST(EdgeStore, BorrowedMutationIsCountedCopyOnWrite) {
+  const std::vector<Edge> storage = {{0, 1}, {1, 2}, {2, 0}};
+  EdgeStore s = EdgeStore::borrow({storage.data(), storage.size()});
+  const std::size_t before = EdgeStore::materialize_count();
+
+  // Const reads keep the borrow and never copy.
+  for (const Edge& e : std::as_const(s)) EXPECT_LT(e.u, 3u);
+  EXPECT_EQ(std::as_const(s)[1], (Edge{1, 2}));
+  ASSERT_TRUE(s.is_borrowed());
+  EXPECT_EQ(EdgeStore::materialize_count(), before);
+
+  // A non-const accessor on a borrowed store is the silent O(m) copy
+  // the counter exists to surface.
+  for (Edge& e : s) (void)e;
+  EXPECT_FALSE(s.is_borrowed());
+  EXPECT_EQ(EdgeStore::materialize_count(), before + 1);
+  EXPECT_EQ(s.data()[0], storage[0]);
+
+  // Already owned: further mutation is free.
+  s[0].u = 2;
+  s.push_back({0, 1});
+  EXPECT_EQ(EdgeStore::materialize_count(), before + 1);
+  EXPECT_EQ(storage[0].u, 0u);  // the borrowed storage was never touched
 }
 
 TEST(Csr, AdjacencyMatchesEdgeList) {

@@ -425,6 +425,31 @@ TEST(Pbg, PrefaultedParallelMapSolvesIdentically) {
   EXPECT_EQ(again.times.conversion, 0.0);
 }
 
+TEST(Pbg, MappedSolveNeverMaterializesEdges) {
+  // The zero-copy contract, pinned via EdgeStore's process-wide
+  // materialization counter: solving a mapped graph must never reach a
+  // non-const EdgeStore accessor (each such touch is a silent O(m)
+  // heap copy of the mapped edges section).
+  const EdgeList g = gen::random_connected_gnm(300, 1200, 9);
+  Executor ex(4);
+  const std::string path = pbg_path("zerocopy.pbg");
+  io::write_pbg(path, ex, g);
+
+  BccContext ctx(4);
+  io::map_prepared_graph(ctx, path, {});
+  ASSERT_TRUE(ctx.mapped_graph()->edges.is_borrowed());
+  const std::size_t before = EdgeStore::materialize_count();
+  for (const BccAlgorithm alg :
+       {BccAlgorithm::kTvFilter, BccAlgorithm::kFastBcc}) {
+    BccOptions opt;
+    opt.algorithm = alg;
+    const BccResult r = biconnected_components(ctx, *ctx.mapped_graph(), opt);
+    EXPECT_GT(r.num_components, 0u);
+  }
+  EXPECT_EQ(EdgeStore::materialize_count(), before);
+  EXPECT_TRUE(ctx.mapped_graph()->edges.is_borrowed());
+}
+
 class PbgMalformed : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -529,6 +554,46 @@ TEST_F(PbgMalformed, VerifyCatchesSectionBitRot) {
   std::memcpy(&off, bytes.data() + 0x20 + 2 * 24, sizeof(off));
   bytes[off] ^= 0x01;
   expect_rejects(bytes, "checksum", /*verify=*/true);
+}
+
+TEST_F(PbgMalformed, VerifyCatchesSelfConsistentHostileCdata) {
+  // Overwrite the whole cdata section with 0xff and re-seal both its
+  // section checksum (table slot 5) and the header checksum covering
+  // it: every checksum is now self-consistent, so only the
+  // decode-vs-targets pass can see that the compressed rows no longer
+  // encode the graph.  Before that pass existed, this file mapped with
+  // verify=true and fed unbounded decoded neighbours into the
+  // kCompressed sweeps' parent[]/pre[] indexing.
+  auto bytes = valid_;
+  std::uint64_t off, len;
+  std::memcpy(&off, bytes.data() + 0x20 + 5 * 24, sizeof(off));
+  std::memcpy(&len, bytes.data() + 0x20 + 5 * 24 + 8, sizeof(len));
+  ASSERT_GT(len, 0u);
+  std::fill(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+            bytes.begin() + static_cast<std::ptrdiff_t>(off + len), 0xff);
+  const std::uint64_t sum = io::pbg_checksum(bytes.data() + off, len);
+  std::memcpy(bytes.data() + 0x20 + 5 * 24 + 16, &sum, sizeof(sum));
+  reseal_header(bytes);
+  expect_rejects(bytes, "compressed row", /*verify=*/true);
+
+  // Without verify the map succeeds (structural checks cannot price
+  // row contents) — but decoding the hostile rows stays bounded and
+  // in-range, so even the trusted path cannot be steered out of
+  // bounds, only into garbage labels.
+  const std::string path = pbg_path("hostile_cdata.pbg");
+  spew(path, bytes);
+  const io::MappedGraph m = io::MappedGraph::map(path);
+  ASSERT_TRUE(m.has_compressed());
+  const CompressedCsr cc = m.compressed();
+  for (vid v = 0; v < m.graph().n; ++v) {
+    eid calls = 0;
+    cc.decode_row(v, [&](vid w, eid) {
+      EXPECT_LT(w, m.graph().n) << "v=" << v;
+      ++calls;
+      return false;
+    });
+    EXPECT_EQ(calls, m.csr().degree(v)) << "v=" << v;
+  }
 }
 
 TEST_F(PbgMalformed, EveryByteFlipEitherRejectsOrIsBenignPadding) {
